@@ -1,0 +1,198 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// iteration executes the (scaled) experiment end to end on the simulated
+// substrate and reports the headline quantities as benchmark metrics, so
+// `go test -bench=. -benchmem` regenerates the whole evaluation and
+// EXPERIMENTS.md can quote the numbers. cmd/experiments prints the same
+// results as full tables, at any scale.
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// benchScale keeps each iteration around a second; raise it toward 1.0 to
+// approach the paper's exact workload sizes.
+const benchScale = 0.1
+
+func reportDropRate(b *testing.B, label string, rate float64) {
+	b.ReportMetric(100*rate, label+"-drop-%")
+}
+
+func BenchmarkFig3LoadImbalance(b *testing.B) {
+	opt := bench.Options{Scale: benchScale, Seed: 2014}
+	for i := 0; i < b.N; i++ {
+		_, prof, err := bench.Fig3(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(prof.Total(0)), "hotq-pkts")
+			b.ReportMetric(float64(prof.Peak(3)), "warmq-peak/10ms")
+		}
+	}
+}
+
+func BenchmarkTable1Drops(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, spec := range []bench.EngineSpec{bench.NETMAP, bench.DNA, bench.PFRing} {
+			res, offered, err := bench.RunBorder(bench.BorderRun{
+				Spec: spec, Queues: 6, X: 300, Scale: benchScale, Seed: 2014,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				reportDropRate(b, spec.Name()+"-q0cap", res.CaptureDropRate(0, offered[0]))
+				reportDropRate(b, spec.Name()+"-q0del", res.DeliveryDropRate(0, offered[0]))
+			}
+		}
+	}
+}
+
+func BenchmarkFig8BasicNoLoad(b *testing.B) {
+	specs := []bench.EngineSpec{bench.DNA, bench.PFRing, bench.NETMAP, bench.WireCAPB(256, 100)}
+	for i := 0; i < b.N; i++ {
+		for _, spec := range specs {
+			res, err := bench.RunConstant(bench.ConstantRun{Spec: spec, Packets: 100_000, X: 0, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				reportDropRate(b, spec.Name(), res.DropRate())
+			}
+		}
+	}
+}
+
+func BenchmarkFig9BasicHeavyLoad(b *testing.B) {
+	specs := []bench.EngineSpec{bench.DNA, bench.WireCAPB(256, 100), bench.WireCAPB(256, 500)}
+	for i := 0; i < b.N; i++ {
+		for _, spec := range specs {
+			res, err := bench.RunConstant(bench.ConstantRun{Spec: spec, Packets: 100_000, X: 300, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				reportDropRate(b, spec.Name()+"@P=1e5", res.DropRate())
+			}
+		}
+	}
+}
+
+func BenchmarkFig10RMInvariance(b *testing.B) {
+	specs := []bench.EngineSpec{bench.WireCAPB(64, 400), bench.WireCAPB(128, 200), bench.WireCAPB(256, 100)}
+	for i := 0; i < b.N; i++ {
+		for _, spec := range specs {
+			res, err := bench.RunConstant(bench.ConstantRun{Spec: spec, Packets: 60_000, X: 300, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				reportDropRate(b, spec.Name(), res.DropRate())
+			}
+		}
+	}
+}
+
+func BenchmarkFig11AdvancedMode(b *testing.B) {
+	specs := []bench.EngineSpec{
+		bench.DNA, bench.WireCAPB(256, 100), bench.WireCAPA(256, 100, 60),
+	}
+	for i := 0; i < b.N; i++ {
+		for _, spec := range specs {
+			res, _, err := bench.RunBorder(bench.BorderRun{
+				Spec: spec, Queues: 6, X: 300, Scale: benchScale, Seed: 2014,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				reportDropRate(b, spec.Name(), res.DropRate())
+			}
+		}
+	}
+}
+
+func BenchmarkFig12ThresholdSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, t := range []int{60, 90} {
+			res, _, err := bench.RunBorder(bench.BorderRun{
+				Spec: bench.WireCAPA(256, 100, t), Queues: 4, X: 300, Scale: benchScale, Seed: 2014,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				reportDropRate(b, res.Spec.Name(), res.DropRate())
+			}
+		}
+	}
+}
+
+func BenchmarkFig13Forwarding(b *testing.B) {
+	specs := []bench.EngineSpec{bench.DNA, bench.WireCAPA(256, 100, 60)}
+	for i := 0; i < b.N; i++ {
+		for _, spec := range specs {
+			res, _, err := bench.RunBorder(bench.BorderRun{
+				Spec: spec, Queues: 4, X: 300, Scale: benchScale, Seed: 2014, Forward: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				reportDropRate(b, spec.Name()+"-e2e", res.DropRate())
+			}
+		}
+	}
+}
+
+func BenchmarkFig14Scalability(b *testing.B) {
+	type cfg struct {
+		spec  bench.EngineSpec
+		frame int
+	}
+	cfgs := []cfg{
+		{bench.DNA, 60},
+		{bench.WireCAPA(256, 100, 60), 60},
+		{bench.WireCAPA(256, 100, 60), 96},
+	}
+	for i := 0; i < b.N; i++ {
+		for _, c := range cfgs {
+			rate, err := bench.RunScalability(bench.ScalabilityRun{
+				Spec: c.spec, QueuesPerNIC: 2, FrameLen: c.frame,
+				Packets: 300_000, Seed: 2014,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				label := "64B"
+				if c.frame == 96 {
+					label = "100B"
+				}
+				reportDropRate(b, c.spec.Name()+"@"+label, rate)
+			}
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures the substrate itself: how many
+// simulated wire-rate packets per second of real time the discrete-event
+// engine sustains end to end (NIC -> WireCAP -> handler).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunConstant(bench.ConstantRun{
+			Spec: bench.WireCAPB(256, 100), Packets: 200_000, X: 0, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Totals().Delivered == 0 {
+			b.Fatal("nothing delivered")
+		}
+	}
+	b.ReportMetric(float64(200_000*b.N)/b.Elapsed().Seconds(), "sim-pkts/s")
+}

@@ -1,0 +1,36 @@
+// Command experiments regenerates every table and figure of the WireCAP
+// paper's evaluation on the simulated substrate.
+//
+// Usage:
+//
+//	experiments [-run name] [-scale f] [-pmax n] [-seed n]
+//
+// Names: fig3, table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, all.
+// At -scale 1 and -pmax 10000000 the workloads match the paper's sizes
+// (several minutes of CPU); the defaults run a faithful-shape, reduced-
+// size pass in tens of seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run (fig3..fig14, table1, all)")
+	scale := flag.Float64("scale", 0.25, "border-workload scale (1.0 = paper)")
+	pmax := flag.Uint64("pmax", 1_000_000, "largest burst P for fig8-10 (paper: 10000000)")
+	pkts := flag.Uint64("scalepkts", 1_000_000, "per-NIC packets for fig14")
+	seed := flag.Uint64("seed", 2014, "workload seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	opt := bench.Options{Scale: *scale, PMax: *pmax, ScalePackets: *pkts, Seed: *seed, CSV: *csv}
+	if err := bench.ByName(*run, opt, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,89 @@
+// Command pkt-handler is the paper's Experiment 2 tool: it captures and
+// processes packets from every queue of a simulated NIC with a chosen
+// capture engine, applying a BPF filter x times per packet, and reports
+// capture and delivery drop rates.
+//
+// Usage:
+//
+//	pkt-handler [-engine name] [-queues n] [-x n] [-filter expr]
+//	            [-seconds s] [-seed n] [-forward]
+//
+// Engines: dna, netmap, pfring, psioe, pfpacket, wirecap-b, wirecap-a
+// (WireCAP geometry via -m, -r, -t).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	engine := flag.String("engine", "wirecap-a", "capture engine: dna|netmap|pfring|psioe|pfpacket|wirecap-b|wirecap-a")
+	queues := flag.Int("queues", 6, "receive queues")
+	x := flag.Int("x", 300, "BPF filter applications per packet (0 = no load)")
+	filter := flag.String("filter", "131.225.2 and udp", "BPF filter expression")
+	seconds := flag.Float64("seconds", 32, "trace duration")
+	seed := flag.Uint64("seed", 2014, "workload seed")
+	forward := flag.Bool("forward", false, "forward processed packets out a second NIC")
+	m := flag.Int("m", 256, "WireCAP descriptor segment size M")
+	r := flag.Int("r", 100, "WireCAP pool size R")
+	t := flag.Int("t", 60, "WireCAP offload threshold percent T")
+	flag.Parse()
+
+	var spec bench.EngineSpec
+	switch strings.ToLower(*engine) {
+	case "dna":
+		spec = bench.DNA
+	case "netmap":
+		spec = bench.NETMAP
+	case "pfring", "pf_ring":
+		spec = bench.PFRing
+	case "psioe":
+		spec = bench.PSIOE
+	case "pfpacket", "pf_packet", "raw":
+		spec = bench.RawSocket
+	case "wirecap-b", "wirecapb":
+		spec = bench.WireCAPB(*m, *r)
+	case "wirecap-a", "wirecapa", "wirecap":
+		spec = bench.WireCAPA(*m, *r, *t)
+	default:
+		fmt.Fprintf(os.Stderr, "pkt-handler: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+	if *forward && !spec.SupportsForwarding() {
+		fmt.Fprintf(os.Stderr, "pkt-handler: %s cannot forward (per the paper)\n", spec.Name())
+		os.Exit(2)
+	}
+	res, offered, err := bench.RunBorder(bench.BorderRun{
+		Spec: spec, Queues: *queues, X: *x,
+		Seconds: *seconds, Seed: *seed, Forward: *forward,
+		Filter: *filter,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pkt-handler:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("engine:        %s\n", spec.Name())
+	fmt.Printf("offered:       %d packets\n", res.Sent)
+	tot := res.Stats.Totals()
+	fmt.Printf("received:      %d\n", tot.Received)
+	fmt.Printf("capture drops: %d (%.1f%%)\n", tot.CaptureDrops, 100*float64(tot.CaptureDrops)/float64(res.Sent))
+	fmt.Printf("delivery drops:%d (%.1f%%)\n", tot.DeliveryDrops, 100*float64(tot.DeliveryDrops)/float64(res.Sent))
+	fmt.Printf("processed:     %d (filter matched %d)\n", res.Handler.Processed, res.Handler.Matched)
+	if *forward {
+		fmt.Printf("forwarded:     %d (tx-ring rejects %d)\n", res.Forwarded, res.Handler.TxDropped)
+	}
+	fmt.Printf("overall drop rate: %.1f%%\n", 100*res.DropRate())
+	fmt.Println()
+	fmt.Printf("%-6s %12s %12s %12s\n", "queue", "offered", "capture-drop", "delivery-drop")
+	for q := 0; q < *queues; q++ {
+		fmt.Printf("%-6d %12d %11.1f%% %11.1f%%\n", q, offered[q],
+			100*res.CaptureDropRate(q, offered[q]),
+			100*res.DeliveryDropRate(q, offered[q]))
+	}
+}

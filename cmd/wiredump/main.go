@@ -1,0 +1,107 @@
+// Command wiredump is a tcpdump-style trace inspector for the capture
+// files this repository produces (and any Ethernet pcap/pcapng file): it
+// applies a BPF filter expression and prints one line per matching
+// packet.
+//
+// Usage:
+//
+//	wiredump -r trace.pcap [-c count] [-d] [filter expression ...]
+//
+// -d prints the compiled BPF program (like tcpdump -d) and exits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bpf"
+	"repro/internal/packet"
+	"repro/internal/trace"
+)
+
+func main() {
+	file := flag.String("r", "", "pcap or pcapng file to read (required unless -d)")
+	count := flag.Int("c", 0, "stop after this many matching packets (0 = all)")
+	dump := flag.Bool("d", false, "print the compiled filter program and exit")
+	flag.Parse()
+
+	expr := strings.Join(flag.Args(), " ")
+	prog, err := bpf.Compile(expr, 65535)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wiredump:", err)
+		os.Exit(2)
+	}
+	if *dump {
+		fmt.Print(bpf.Disassemble(prog))
+		return
+	}
+	if *file == "" {
+		fmt.Fprintln(os.Stderr, "wiredump: -r is required")
+		os.Exit(2)
+	}
+	vm, err := bpf.NewVM(prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wiredump:", err)
+		os.Exit(2)
+	}
+
+	src, closeFn, err := openTrace(*file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wiredump:", err)
+		os.Exit(1)
+	}
+	defer closeFn()
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	var dec packet.Decoded
+	matched := 0
+	for {
+		frame, ts, ok := src.Next()
+		if !ok {
+			break
+		}
+		if !vm.Match(frame) {
+			continue
+		}
+		// Decode errors still print the link-level line, as tcpdump does.
+		_ = packet.Decode(frame, &dec)
+		fmt.Fprintln(w, packet.Format(ts, &dec))
+		matched++
+		if *count > 0 && matched >= *count {
+			break
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%d packets matched\n", matched)
+}
+
+// openTrace opens a capture file, auto-detecting pcap versus pcapng.
+func openTrace(path string) (trace.Source, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var magic [4]byte
+	if _, err := f.ReadAt(magic[:], 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	closeFn := func() { f.Close() }
+	if magic == [4]byte{0x0A, 0x0D, 0x0D, 0x0A} {
+		rd, err := trace.NewNgReader(f)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return trace.NewNgSource(rd), closeFn, nil
+	}
+	rd, err := trace.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return trace.NewPcapSource(rd), closeFn, nil
+}

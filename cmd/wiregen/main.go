@@ -1,0 +1,83 @@
+// Command wiregen synthesizes workload traces and writes them as pcap
+// files, so experiments can be replayed from disk (queue-profiler -pcap,
+// wirecap.Sim.ReplayPcapFile) or inspected with standard tools.
+//
+// Usage:
+//
+//	wiregen -out trace.pcap [-kind border|rate] [-seconds s] [-packets n]
+//	        [-frame bytes] [-queues n] [-seed n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+func main() {
+	out := flag.String("out", "", "output pcap path (required)")
+	kind := flag.String("kind", "border", "workload: border (Figure 3 trace) or rate (constant wire-rate)")
+	seconds := flag.Float64("seconds", 4, "border trace duration")
+	packets := flag.Uint64("packets", 100000, "packet count for -kind rate")
+	frame := flag.Int("frame", 60, "frame bytes for -kind rate")
+	queues := flag.Int("queues", 6, "queue count the workload is shaped for")
+	seed := flag.Uint64("seed", 2014, "workload seed")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "wiregen: -out is required")
+		os.Exit(2)
+	}
+	var src trace.Source
+	switch *kind {
+	case "border":
+		src = trace.NewBorder(trace.BorderConfig{
+			Queues:   *queues,
+			Duration: vtime.Time(*seconds * float64(vtime.Second)),
+			Seed:     *seed,
+		})
+	case "rate":
+		src = trace.NewConstantRate(trace.ConstantRateConfig{
+			Packets:  *packets,
+			FrameLen: *frame,
+			Queues:   *queues,
+			Seed:     *seed,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "wiregen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wiregen:", err)
+		os.Exit(1)
+	}
+	w, err := trace.NewWriter(f, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wiregen:", err)
+		os.Exit(1)
+	}
+	for {
+		frame, ts, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := w.WritePacket(ts, frame); err != nil {
+			fmt.Fprintln(os.Stderr, "wiregen:", err)
+			os.Exit(1)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "wiregen:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "wiregen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d packets to %s\n", w.Count(), *out)
+}

@@ -1,0 +1,12 @@
+// Package repro is a full reproduction of "WireCAP: a Novel Packet
+// Capture Engine for Commodity NICs in High-speed Networks" (Wu & DeMar,
+// ACM IMC 2014) as a Go library over a deterministic simulated substrate.
+//
+// The public API lives in repro/wirecap; the paper's engine is
+// repro/internal/core; the simulated NIC/memory/bus/BPF/traffic substrate
+// and the baseline engines live under repro/internal. See README.md for a
+// tour, DESIGN.md for the system inventory and substitutions, and
+// EXPERIMENTS.md for paper-versus-measured results. The benchmarks in
+// bench_test.go regenerate every table and figure of the paper's
+// evaluation; cmd/experiments prints them as tables.
+package repro

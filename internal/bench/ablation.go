@@ -1,0 +1,290 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/engines"
+	"repro/internal/nic"
+	"repro/internal/packet"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// This file holds the ablation and extension studies DESIGN.md §5 calls
+// out: design choices the paper fixes that the simulator lets us vary.
+
+// AblationFlush compares WireCAP with and without the partial-chunk
+// timeout flush, at several timeout values, on a light trickle where
+// chunks rarely fill: the flush trades a little copying for bounded
+// delivery latency (and, without it, a trickle is never delivered at
+// all).
+func AblationFlush(opt Options) (Table, error) {
+	opt.setDefaults()
+	t := Table{
+		ID:    "Ablation A1",
+		Title: "Partial-chunk flush: delivery vs latency on a 5 kp/s trickle (M=256)",
+		Columns: []string{"flush timeout", "delivered", "of sent",
+			"delay p50", "delay p99", "max", "flush copies"},
+	}
+	for _, timeout := range []vtime.Time{-1, 500 * vtime.Microsecond,
+		2 * vtime.Millisecond, 10 * vtime.Millisecond} {
+		sched := vtime.NewScheduler()
+		n := nic.New(sched, nic.Config{ID: 0, RxQueues: 1, RingSize: 1024, Promiscuous: true})
+		costs := engines.DefaultCosts()
+		h := app.NewPktHandler(0, costs, 1)
+		h.Clock = sched
+		eng, err := core.New(sched, n, core.Config{
+			M: 256, R: 100, FlushTimeout: timeout, Costs: costs,
+		}, h)
+		if err != nil {
+			return Table{}, err
+		}
+		src := trace.NewConstantRate(trace.ConstantRateConfig{
+			Packets: 5000, LineRateBps: 5000 * 84 * 8, Seed: opt.Seed, // 5 kp/s for 1 s
+		})
+		st := trace.Drive(sched, n, src, nil)
+		sched.Run()
+		label := timeout.String()
+		if timeout < 0 {
+			label = "disabled"
+		}
+		p50, p99, max := "-", "-", "-"
+		if h.Processed > 0 {
+			p50 = vtime.Time(h.DelayHist.Percentile(0.5)).String()
+			p99 = vtime.Time(h.DelayHist.Percentile(0.99)).String()
+			max = h.MaxDelay.String()
+		}
+		t.Rows = append(t.Rows, []string{
+			label,
+			fmt.Sprintf("%d", h.Processed),
+			fmt.Sprintf("%d", st.Sent),
+			p50, p99, max,
+			fmt.Sprintf("%d", eng.QueueStats(0).ChunksFlushed),
+		})
+	}
+	return t, nil
+}
+
+// AblationOffloadPolicy compares the offload-target policies (the paper
+// uses least-loaded) under a single-queue overload with idle buddies.
+func AblationOffloadPolicy(opt Options) (Table, error) {
+	opt.setDefaults()
+	t := Table{
+		ID:      "Ablation A2",
+		Title:   "Offload target policy under single-queue overload (4 queues, x=300)",
+		Columns: []string{"policy", "drop rate", "chunks offloaded"},
+	}
+	policies := []struct {
+		name string
+		p    core.OffloadPolicy
+	}{
+		{"shortest-queue", core.OffloadShortest},
+		{"round-robin", core.OffloadRoundRobin},
+		{"random", core.OffloadRandom},
+	}
+	for _, pol := range policies {
+		sched := vtime.NewScheduler()
+		n := nic.New(sched, nic.Config{ID: 0, RxQueues: 4, RingSize: 1024, Promiscuous: true})
+		costs := engines.DefaultCosts()
+		h := app.NewPktHandler(300, costs, 4)
+		eng, err := core.New(sched, n, core.Config{
+			M: 256, R: 100, Mode: core.Advanced, Policy: pol.p, Costs: costs, Seed: opt.Seed,
+		}, h)
+		if err != nil {
+			return Table{}, err
+		}
+		src := trace.NewConstantRate(trace.ConstantRateConfig{
+			Packets: 200_000, Queues: 4, SingleQueue: true,
+			LineRateBps: 130_000 * 84 * 8, Seed: opt.Seed,
+		})
+		st := trace.Drive(sched, n, src, nil)
+		sched.Run()
+		var offloaded uint64
+		for q := 0; q < 4; q++ {
+			offloaded += eng.QueueStats(q).ChunksOffloaded
+		}
+		t.Rows = append(t.Rows, []string{
+			pol.name,
+			pct(eng.Stats().DropRate(st.Sent)),
+			fmt.Sprintf("%d", offloaded),
+		})
+	}
+	return t, nil
+}
+
+// AblationSteering contrasts RSS with round-robin NIC steering (the
+// paper's §2.3 "first approach"): round-robin balances perfectly — no
+// drops — but sprays each flow across threads, destroying the flow
+// affinity application logic depends on.
+func AblationSteering(opt Options) (Table, error) {
+	opt.setDefaults()
+	t := Table{
+		ID:      "Ablation A3",
+		Title:   "NIC steering policy on the border trace (6 queues, x=300, DNA)",
+		Columns: []string{"steering", "drop rate", "flows split across threads"},
+	}
+	for _, rr := range []bool{false, true} {
+		sched := vtime.NewScheduler()
+		var steering nic.Steering
+		name := "RSS (per-flow)"
+		if rr {
+			steering = nic.NewRoundRobin(6)
+			name = "round-robin"
+		}
+		n := nic.New(sched, nic.Config{
+			ID: 0, RxQueues: 6, RingSize: 1024, Promiscuous: true, Steering: steering,
+		})
+		costs := engines.DefaultCosts()
+		h := &flowAffinityHandler{
+			cost:  costs.HandlerCost(300),
+			queue: make(map[packet.FlowKey]int),
+			split: make(map[packet.FlowKey]bool),
+		}
+		engines.NewDNA(sched, n, costs, h)
+		src := trace.NewBorder(trace.BorderConfig{
+			Queues: 6, Duration: vtime.Time(32 * opt.Scale * float64(vtime.Second)), Seed: opt.Seed,
+		})
+		st := trace.Drive(sched, n, src, nil)
+		sched.Run()
+		drops := st.Sent - h.processed
+		t.Rows = append(t.Rows, []string{
+			name,
+			pct(float64(drops) / float64(st.Sent)),
+			fmt.Sprintf("%d of %d", len(h.split), len(h.queue)),
+		})
+	}
+	return t, nil
+}
+
+// flowAffinityHandler records which thread (queue) saw each flow.
+type flowAffinityHandler struct {
+	cost      vtime.Time
+	processed uint64
+	queue     map[packet.FlowKey]int
+	split     map[packet.FlowKey]bool
+	dec       packet.Decoded
+}
+
+func (h *flowAffinityHandler) Cost(int, []byte) vtime.Time { return h.cost }
+
+func (h *flowAffinityHandler) Handle(q int, data []byte, ts vtime.Time, done func()) {
+	h.processed++
+	if err := packet.Decode(data, &h.dec); err == nil {
+		if prev, ok := h.queue[h.dec.Flow]; ok && prev != q {
+			h.split[h.dec.Flow] = true
+		} else {
+			h.queue[h.dec.Flow] = q
+		}
+	}
+	done()
+}
+
+// Extension40GE runs WireCAP at 40 GbE — the paper's stated next step
+// ("In the near future, we will apply WireCAP for 40 GE networks") —
+// showing how many queues a 40 GbE port needs before the per-queue
+// packet rate fits a single x=0 thread.
+func Extension40GE(opt Options) (Table, error) {
+	opt.setDefaults()
+	t := Table{
+		ID:      "Extension E1",
+		Title:   "WireCAP-A-(256,100,60%) at 40 GbE wire rate, 64B frames, x=0",
+		Columns: []string{"queues", "offered Mp/s", "drop rate"},
+	}
+	for _, queues := range []int{2, 4, 8} {
+		sched := vtime.NewScheduler()
+		n := nic.New(sched, nic.Config{
+			ID: 0, RxQueues: queues, RingSize: 1024,
+			LineRateBps: 40e9, Promiscuous: true,
+		})
+		costs := engines.DefaultCosts()
+		h := app.NewPktHandler(0, costs, queues)
+		_, err := core.New(sched, n, core.Config{
+			M: 256, R: 100, Mode: core.Advanced, ThresholdPct: 60, Costs: costs,
+		}, h)
+		if err != nil {
+			return Table{}, err
+		}
+		src := trace.NewConstantRate(trace.ConstantRateConfig{
+			Packets: opt.ScalePackets, Queues: queues,
+			LineRateBps: 40e9, Seed: opt.Seed,
+		})
+		st := trace.Drive(sched, n, src, nil)
+		sched.Run()
+		ns := n.Stats()
+		drop := float64(st.Sent-uint64(h.Processed)) / float64(st.Sent)
+		_ = ns
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", queues),
+			fmt.Sprintf("%.1f", float64(st.Sent)/st.Last.Seconds()/1e6),
+			pct(drop),
+		})
+	}
+	return t, nil
+}
+
+// AblationTimestamp quantifies the paper's §5c concern: batch (chunk)
+// processing delays delivery, so a capture stack that stamped packets in
+// software at delivery time — rather than in hardware at DMA time, as
+// this simulator's NIC does — would see timestamp errors that grow with
+// the batch size M and shrink with the packet rate. The reported mean
+// delay *is* that error.
+func AblationTimestamp(opt Options) (Table, error) {
+	opt.setDefaults()
+	t := Table{
+		ID:      "Ablation A4",
+		Title:   "Software-timestamp error vs chunk size and rate (flush 2 ms)",
+		Columns: []string{"M", "rate", "sw-stamp error p50", "p99", "max"},
+	}
+	for _, m := range []int{64, 256, 1024} {
+		for _, rate := range []float64{10_000, 100_000, 1_000_000} {
+			sched := vtime.NewScheduler()
+			n := nic.New(sched, nic.Config{ID: 0, RxQueues: 1, RingSize: 1024, Promiscuous: true})
+			costs := engines.DefaultCosts()
+			h := app.NewPktHandler(0, costs, 1)
+			h.Clock = sched
+			_, err := core.New(sched, n, core.Config{
+				M: m, R: 40960 / m, FlushTimeout: 2 * vtime.Millisecond, Costs: costs,
+			}, h)
+			if err != nil {
+				return Table{}, err
+			}
+			src := trace.NewConstantRate(trace.ConstantRateConfig{
+				Packets: uint64(rate / 10), LineRateBps: rate * 84 * 8, Seed: opt.Seed,
+			})
+			trace.Drive(sched, n, src, nil)
+			sched.Run()
+			p50, p99, max := "-", "-", "-"
+			if h.Processed > 0 {
+				p50 = vtime.Time(h.DelayHist.Percentile(0.5)).String()
+				p99 = vtime.Time(h.DelayHist.Percentile(0.99)).String()
+				max = h.MaxDelay.String()
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", m),
+				fmt.Sprintf("%.0f p/s", rate),
+				p50, p99, max,
+			})
+		}
+	}
+	return t, nil
+}
+
+// Ablations runs every ablation/extension study.
+func Ablations(opt Options, w io.Writer) error {
+	for _, f := range []func(Options) (Table, error){
+		AblationFlush, AblationOffloadPolicy, AblationSteering, AblationTimestamp,
+		Extension40GE, ExtensionDPDK,
+	} {
+		t, err := f(opt)
+		if err != nil {
+			return err
+		}
+		if err := opt.render(t, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

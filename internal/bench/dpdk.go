@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/engines"
+	"repro/internal/nic"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// ExtensionDPDK is the comparison the paper defers to future work
+// ("Comparing WireCAP with DPDK (with offloading) will be our future
+// research"): WireCAP's chunk-granular, engine-level offloading against a
+// DPDK-style framework where the application must steer packets itself,
+// one packet at a time, over software rings.
+//
+// The workload steers a high packet rate at one queue of a 4-queue NIC
+// with moderately loaded handlers (x=3): one thread cannot keep up, four
+// can. The interesting quantity besides the drop rate is the *hot
+// thread's CPU time*: DPDK's application-layer offloading spends donor
+// CPU on every steered packet, while WireCAP's capture thread moves whole
+// chunks by metadata.
+func ExtensionDPDK(opt Options) (Table, error) {
+	opt.setDefaults()
+	t := Table{
+		ID:    "Extension E2",
+		Title: "WireCAP vs DPDK offloading (7 Mp/s at one of 4 queues, x=3)",
+		Columns: []string{"engine", "drop rate",
+			"hot app-thread CPU", "hot capture CPU", "pkts steered/offloaded"},
+	}
+	const (
+		x = 3
+		// 7 Mp/s exceeds one x=3 thread (3.3 Mp/s) and also exceeds what
+		// a donor thread can re-steer packet by packet (~6 Mp/s at 165 ns
+		// of poll+steer per packet) — but not WireCAP's chunk-granular
+		// capture thread.
+		rate = 7_000_000
+	)
+	packets := opt.ScalePackets
+
+	type setup struct {
+		name  string
+		build func(sched *vtime.Scheduler, n *nic.NIC, h engines.Handler) (engines.Engine, func() (vtime.Time, vtime.Time, uint64), error)
+	}
+	costs := engines.DefaultCosts()
+	setups := []setup{
+		{"DPDK", func(sched *vtime.Scheduler, n *nic.NIC, h engines.Handler) (engines.Engine, func() (vtime.Time, vtime.Time, uint64), error) {
+			e := engines.NewDPDK(sched, n, costs, h, engines.DPDKConfig{})
+			return e, func() (vtime.Time, vtime.Time, uint64) { return e.QueueBusy(0), 0, e.Steered(0) }, nil
+		}},
+		{"DPDK+app-offload", func(sched *vtime.Scheduler, n *nic.NIC, h engines.Handler) (engines.Engine, func() (vtime.Time, vtime.Time, uint64), error) {
+			e := engines.NewDPDK(sched, n, costs, h, engines.DPDKConfig{AppOffload: true})
+			return e, func() (vtime.Time, vtime.Time, uint64) { return e.QueueBusy(0), 0, e.Steered(0) }, nil
+		}},
+		{"WireCAP-A-(256,100,60%)", func(sched *vtime.Scheduler, n *nic.NIC, h engines.Handler) (engines.Engine, func() (vtime.Time, vtime.Time, uint64), error) {
+			e, err := core.New(sched, n, core.Config{
+				M: 256, R: 100, Mode: core.Advanced, ThresholdPct: 60, Costs: costs,
+			}, h)
+			if err != nil {
+				return nil, nil, err
+			}
+			probe := func() (vtime.Time, vtime.Time, uint64) {
+				var off uint64
+				for q := 0; q < n.RxQueues(); q++ {
+					off += e.QueueStats(q).ChunksOffloaded
+				}
+				return e.AppBusy(0), e.CaptureBusy(0), off * uint64(256)
+			}
+			return e, probe, nil
+		}},
+	}
+	for _, su := range setups {
+		sched := vtime.NewScheduler()
+		n := nic.New(sched, nic.Config{ID: 0, RxQueues: 4, RingSize: 1024, Promiscuous: true})
+		h := app.NewPktHandler(x, costs, 4)
+		eng, probe, err := su.build(sched, n, h)
+		if err != nil {
+			return Table{}, err
+		}
+		src := trace.NewConstantRate(trace.ConstantRateConfig{
+			Packets: packets, Queues: 4, SingleQueue: true,
+			LineRateBps: rate * 84 * 8, Seed: opt.Seed,
+		})
+		st := trace.Drive(sched, n, src, nil)
+		sched.Run()
+		appBusy, capBusy, moved := probe()
+		dur := st.Last.Seconds()
+		capCPU := "-"
+		if capBusy > 0 {
+			capCPU = fmt.Sprintf("%.1f%%", 100*capBusy.Seconds()/dur)
+		}
+		t.Rows = append(t.Rows, []string{
+			su.name,
+			pct(eng.Stats().DropRate(st.Sent)),
+			fmt.Sprintf("%.1f%%", 100*appBusy.Seconds()/dur),
+			capCPU,
+			fmt.Sprintf("%d", moved),
+		})
+	}
+	return t, nil
+}

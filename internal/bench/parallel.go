@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEach runs n independent jobs on up to GOMAXPROCS workers and returns
+// the first error. Every experiment run owns its scheduler, NIC, and
+// engine, so cells of a result table can be computed concurrently; this
+// is what makes the full-scale `-run all` pass tractable on a multicore
+// host.
+func forEach(n int, job func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	take := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := take()
+				if !ok {
+					return
+				}
+				if err := job(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,384 @@
+package bpf
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// This file adds tcpdump's arithmetic expression primitives to the filter
+// language:
+//
+//	relexpr = arith relop arith
+//	relop   = "==" | "=" | "!=" | ">" | "<" | ">=" | "<="
+//	arith   = mul { ("+" | "-") mul }
+//	mul     = atom { ("*" | "/" | "&" | "|") atom }
+//	atom    = NUM | "len" | proto "[" NUM [ ":" size ] "]"
+//	proto   = "ether" | "ip" | "tcp" | "udp" | "icmp"
+//
+// so filters like "ip[8] > 64" (TTL), "tcp[13] & 0x12 == 0x12" (SYN+ACK),
+// or "len - 14 >= 1000" compile to BPF. Accessor offsets are constant
+// expressions, which covers the practical uses; ip[] offsets are relative
+// to the IP header, tcp[]/udp[]/icmp[] offsets are relative to the
+// transport header (found through the IHL, exactly like the port
+// primitives).
+
+// RelOp is a comparison operator.
+type RelOp int
+
+// Comparison operators.
+const (
+	RelEq RelOp = iota
+	RelNe
+	RelGt
+	RelLt
+	RelGe
+	RelLe
+)
+
+func (op RelOp) String() string {
+	switch op {
+	case RelEq:
+		return "=="
+	case RelNe:
+		return "!="
+	case RelGt:
+		return ">"
+	case RelLt:
+		return "<"
+	case RelGe:
+		return ">="
+	case RelLe:
+		return "<="
+	default:
+		return "?"
+	}
+}
+
+// Arith is an arithmetic sub-expression evaluating to a uint32.
+type Arith interface {
+	String() string
+}
+
+// NumArith is an integer literal.
+type NumArith struct{ V uint32 }
+
+// LenArith is the packet length.
+type LenArith struct{}
+
+// AccessArith loads Size bytes at constant offset Off within the named
+// protocol header ("ether", "ip", "tcp", "udp", "icmp").
+type AccessArith struct {
+	Proto string
+	Off   uint32
+	Size  int // 1, 2, or 4
+}
+
+// BinArith combines two sub-expressions with +, -, *, /, &, or |.
+type BinArith struct {
+	Op   byte
+	L, R Arith
+}
+
+func (a *NumArith) String() string { return strconv.FormatUint(uint64(a.V), 10) }
+func (a *LenArith) String() string { return "len" }
+func (a *AccessArith) String() string {
+	if a.Size == 1 {
+		return fmt.Sprintf("%s[%d]", a.Proto, a.Off)
+	}
+	return fmt.Sprintf("%s[%d:%d]", a.Proto, a.Off, a.Size)
+}
+func (a *BinArith) String() string {
+	return fmt.Sprintf("(%s %c %s)", a.L, a.Op, a.R)
+}
+
+// RelExpr is a boolean comparison of two arithmetic expressions.
+type RelExpr struct {
+	Op   RelOp
+	L, R Arith
+}
+
+func (e *RelExpr) String() string {
+	return fmt.Sprintf("%s %s %s", e.L, e.Op, e.R)
+}
+
+// relops maps tokens to operators.
+var relops = map[string]RelOp{
+	"==": RelEq, "=": RelEq, "!=": RelNe,
+	">": RelGt, "<": RelLt, ">=": RelGe, "<=": RelLe,
+}
+
+// startsArith reports whether the parser is looking at an arithmetic
+// relational expression rather than an address/port primitive.
+func (p *parser) startsArith() bool {
+	tok := p.peek()
+	switch tok {
+	case "len":
+		return true
+	case "ether", "ip", "tcp", "udp", "icmp":
+		return p.peekAt(1) == "["
+	}
+	if _, err := strconv.ParseUint(tok, 0, 32); err == nil {
+		// A bare number is a relational left operand only when followed
+		// by a relop or arithmetic operator; otherwise it stays an
+		// address shorthand.
+		next := p.peekAt(1)
+		if _, ok := relops[next]; ok {
+			return true
+		}
+		switch next {
+		case "+", "-", "*", "/", "&", "|":
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) peekAt(n int) string {
+	if p.pos+n < len(p.toks) {
+		return p.toks[p.pos+n]
+	}
+	return ""
+}
+
+// parseRelExpr parses "arith relop arith".
+func (p *parser) parseRelExpr() (Expr, error) {
+	l, err := p.parseArith()
+	if err != nil {
+		return nil, err
+	}
+	opTok := p.next()
+	op, ok := relops[opTok]
+	if !ok {
+		return nil, fmt.Errorf("bpf: expected comparison operator, got %q", opTok)
+	}
+	r, err := p.parseArith()
+	if err != nil {
+		return nil, err
+	}
+	return &RelExpr{Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) parseArith() (Arith, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "+" || p.peek() == "-" {
+		op := p.next()[0]
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinArith{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (Arith, error) {
+	l, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case "*", "/", "&", "|":
+			op := p.next()[0]
+			r, err := p.parseAtom()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinArith{Op: op, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseAtom() (Arith, error) {
+	tok := p.next()
+	switch tok {
+	case "len":
+		return &LenArith{}, nil
+	case "ether", "ip", "tcp", "udp", "icmp":
+		if p.next() != "[" {
+			return nil, fmt.Errorf("bpf: expected [ after %s", tok)
+		}
+		offTok := p.next()
+		off, err := strconv.ParseUint(offTok, 0, 16)
+		if err != nil {
+			return nil, fmt.Errorf("bpf: accessor offset must be a constant, got %q", offTok)
+		}
+		size := 1
+		if p.peek() == ":" {
+			p.next()
+			szTok := p.next()
+			sz, err := strconv.Atoi(szTok)
+			if err != nil || (sz != 1 && sz != 2 && sz != 4) {
+				return nil, fmt.Errorf("bpf: accessor size must be 1, 2, or 4, got %q", szTok)
+			}
+			size = sz
+		}
+		if p.next() != "]" {
+			return nil, fmt.Errorf("bpf: missing ] in %s accessor", tok)
+		}
+		return &AccessArith{Proto: tok, Off: uint32(off), Size: size}, nil
+	case "(":
+		a, err := p.parseArith()
+		if err != nil {
+			return nil, err
+		}
+		if p.next() != ")" {
+			return nil, fmt.Errorf("bpf: missing ) in arithmetic expression")
+		}
+		return a, nil
+	default:
+		v, err := strconv.ParseUint(tok, 0, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bpf: expected number, accessor, or len, got %q", tok)
+		}
+		return &NumArith{V: uint32(v)}, nil
+	}
+}
+
+// --- code generation ---
+
+// relScratch is the scratch slot holding the right operand during a
+// comparison; arithScratchBase upward holds intermediate results of
+// nested binary operators.
+const (
+	relScratch       = ScratchSlots - 1
+	arithScratchBase = 8
+)
+
+// relExpr compiles a comparison: evaluate R, park it in scratch, evaluate
+// L into A, load X, compare.
+func (c *codegen) relExpr(v *RelExpr, lTrue, lFalse int) {
+	// Protocol guards: every accessor constrains the packet shape; a
+	// packet failing a guard fails the whole comparison (like tcpdump).
+	// Guards fall through on success, so emitting them in sequence
+	// composes.
+	c.arithGuards(v.L, lFalse)
+	c.arithGuards(v.R, lFalse)
+	c.arith(v.R, arithScratchBase)
+	c.load(OpSt, relScratch)
+	c.arith(v.L, arithScratchBase)
+	c.load(OpLdxMem, relScratch)
+	switch v.Op {
+	case RelEq:
+		c.jump(OpJeqX, 0, lTrue, lFalse)
+	case RelNe:
+		c.jump(OpJeqX, 0, lFalse, lTrue)
+	case RelGt:
+		c.jump(OpJgtX, 0, lTrue, lFalse)
+	case RelLe:
+		c.jump(OpJgtX, 0, lFalse, lTrue)
+	case RelGe:
+		c.jump(OpJgeX, 0, lTrue, lFalse)
+	case RelLt:
+		c.jump(OpJgeX, 0, lFalse, lTrue)
+	}
+}
+
+// arithGuards emits the protocol checks required by every accessor in a;
+// they fall through on success and jump to lFalse on mismatch.
+func (c *codegen) arithGuards(a Arith, lFalse int) {
+	switch v := a.(type) {
+	case *BinArith:
+		c.arithGuards(v.L, lFalse)
+		c.arithGuards(v.R, lFalse)
+	case *AccessArith:
+		switch v.Proto {
+		case "ether":
+			// No constraint.
+		case "ip":
+			ok := c.newLabel()
+			c.load(OpLdH, offEtherType)
+			c.jump(OpJeqK, 0x0800, ok, lFalse)
+			c.place(ok)
+		case "tcp", "udp", "icmp":
+			var proto uint32
+			switch v.Proto {
+			case "tcp":
+				proto = 6
+			case "udp":
+				proto = 17
+			case "icmp":
+				proto = 1
+			}
+			ok1, ok2, ok3 := c.newLabel(), c.newLabel(), c.newLabel()
+			c.load(OpLdH, offEtherType)
+			c.jump(OpJeqK, 0x0800, ok1, lFalse)
+			c.place(ok1)
+			c.load(OpLdB, offIPv4Proto)
+			c.jump(OpJeqK, proto, ok2, lFalse)
+			c.place(ok2)
+			c.load(OpLdH, offIPv4Frag)
+			c.jump(OpJsetK, 0x1fff, lFalse, ok3)
+			c.place(ok3)
+		}
+	}
+}
+
+// arith evaluates a into the A register, using scratch slots from `slot`
+// upward for intermediates.
+func (c *codegen) arith(a Arith, slot int) {
+	if slot >= relScratch {
+		panic("bpf: arithmetic expression too deep")
+	}
+	switch v := a.(type) {
+	case *NumArith:
+		c.load(OpLdImm, v.V)
+	case *LenArith:
+		c.load(OpLdLen, 0)
+	case *AccessArith:
+		c.access(v)
+	case *BinArith:
+		c.arith(v.L, slot)
+		c.load(OpSt, uint32(slot))
+		c.arith(v.R, slot+1)
+		c.load(OpTax, 0)
+		c.load(OpLdMem, uint32(slot))
+		switch v.Op {
+		case '+':
+			c.load(OpAddX, 0)
+		case '-':
+			c.load(OpSubX, 0)
+		case '*':
+			c.load(OpMulX, 0)
+		case '/':
+			c.load(OpDivX, 0)
+		case '&':
+			c.load(OpAndX, 0)
+		case '|':
+			c.load(OpOrX, 0)
+		default:
+			panic(fmt.Sprintf("bpf: unknown arithmetic operator %c", v.Op))
+		}
+	default:
+		panic(fmt.Sprintf("bpf: unknown arithmetic node %T", a))
+	}
+}
+
+// access emits the load for a header accessor. Guards were emitted by
+// arithGuards, so the protocol shape is already established (loads can
+// still fall off a short packet, which rejects — tcpdump semantics).
+func (c *codegen) access(v *AccessArith) {
+	var absOp, indOp uint16
+	switch v.Size {
+	case 1:
+		absOp, indOp = OpLdB, OpLdIndB
+	case 2:
+		absOp, indOp = OpLdH, OpLdIndH
+	default:
+		absOp, indOp = OpLdW, OpLdIndW
+	}
+	switch v.Proto {
+	case "ether":
+		c.load(absOp, v.Off)
+	case "ip":
+		c.load(absOp, uint32(offIPv4Hdr)+v.Off)
+	default: // tcp, udp, icmp: offset from the transport header via IHL
+		c.load(OpLdxMsh, offIPv4Hdr)
+		c.load(indOp, uint32(offIPv4Hdr)+v.Off)
+	}
+}

@@ -1,0 +1,306 @@
+package bpf
+
+import (
+	"fmt"
+)
+
+// Frame offsets assumed by the code generator (Ethernet II link layer).
+const (
+	offEtherType = 12
+	offIPv4Proto = 23
+	offIPv4Src   = 26
+	offIPv4Dst   = 30
+	offIPv4Frag  = 20
+	offIPv4Hdr   = 14
+	offIPv6Next  = 20
+	offIPv6L4    = 54 // transport header when no extension headers are present
+)
+
+// DefaultSnapLen is the accept value compiled filters return: the whole
+// packet, like tcpdump's default.
+const DefaultSnapLen = 0x40000
+
+// Compile parses and compiles a filter expression into a validated BPF
+// program returning snaplen on match and 0 otherwise. The empty expression
+// compiles to an accept-all program.
+func Compile(expr string, snaplen uint32) (Program, error) {
+	e, err := Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	return CompileExpr(e, snaplen)
+}
+
+// MustCompile is Compile that panics on error, for use with constant
+// filter strings.
+func MustCompile(expr string, snaplen uint32) Program {
+	p, err := Compile(expr, snaplen)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// CompileExpr compiles an already-parsed expression. A nil expression
+// accepts every packet.
+func CompileExpr(e Expr, snaplen uint32) (Program, error) {
+	if snaplen == 0 {
+		snaplen = DefaultSnapLen
+	}
+	if e == nil {
+		return Program{{Op: OpRetK, K: snaplen}}, nil
+	}
+	c := &codegen{labels: map[int]int{}}
+	lTrue, lFalse := c.newLabel(), c.newLabel()
+	c.expr(e, lTrue, lFalse)
+	c.place(lTrue)
+	c.load(OpRetK, snaplen)
+	c.place(lFalse)
+	c.load(OpRetK, 0)
+	prog, err := c.resolve()
+	if err != nil {
+		return nil, err
+	}
+	if err := Validate(prog); err != nil {
+		return nil, fmt.Errorf("bpf: internal error: generated invalid program: %w", err)
+	}
+	return prog, nil
+}
+
+const noLabel = -1
+
+// inst is an instruction whose jump targets may still be symbolic labels.
+type inst struct {
+	ins    Instruction
+	jt, jf int // label ids for conditional jumps, noLabel if literal
+	ja     int // label id for unconditional jumps, noLabel if none
+}
+
+type codegen struct {
+	code      []inst
+	labels    map[int]int // label id -> pc
+	nextLabel int
+}
+
+func (c *codegen) newLabel() int {
+	l := c.nextLabel
+	c.nextLabel++
+	return l
+}
+
+func (c *codegen) place(l int) { c.labels[l] = len(c.code) }
+
+// load emits a plain (non-jump) instruction.
+func (c *codegen) load(op uint16, k uint32) {
+	c.code = append(c.code, inst{ins: Instruction{Op: op, K: k}, jt: noLabel, jf: noLabel, ja: noLabel})
+}
+
+// jump emits a conditional jump to label targets.
+func (c *codegen) jump(op uint16, k uint32, jt, jf int) {
+	c.code = append(c.code, inst{ins: Instruction{Op: op, K: k}, jt: jt, jf: jf, ja: noLabel})
+}
+
+// expr generates code that transfers control to lTrue if e matches and
+// lFalse otherwise.
+func (c *codegen) expr(e Expr, lTrue, lFalse int) {
+	switch v := e.(type) {
+	case *AndExpr:
+		mid := c.newLabel()
+		c.expr(v.L, mid, lFalse)
+		c.place(mid)
+		c.expr(v.R, lTrue, lFalse)
+	case *OrExpr:
+		mid := c.newLabel()
+		c.expr(v.L, lTrue, mid)
+		c.place(mid)
+		c.expr(v.R, lTrue, lFalse)
+	case *NotExpr:
+		c.expr(v.E, lFalse, lTrue)
+	case *ProtoExpr:
+		c.proto(v, lTrue, lFalse)
+	case *HostExpr:
+		c.hostOrNet(v.Dir, v.Addr, 0xffffffff, lTrue, lFalse)
+	case *NetExpr:
+		c.hostOrNet(v.Dir, v.Prefix, v.Mask, lTrue, lFalse)
+	case *PortExpr:
+		c.port(v, lTrue, lFalse)
+	case *LenExpr:
+		c.load(OpLdLen, 0)
+		if v.Greater {
+			c.jump(OpJgeK, v.N, lTrue, lFalse)
+		} else {
+			c.jump(OpJgtK, v.N, lFalse, lTrue)
+		}
+	case *RelExpr:
+		c.relExpr(v, lTrue, lFalse)
+	default:
+		panic(fmt.Sprintf("bpf: unknown expression node %T", e))
+	}
+}
+
+func (c *codegen) proto(v *ProtoExpr, lTrue, lFalse int) {
+	c.load(OpLdH, offEtherType)
+	switch v.Name {
+	case "ip":
+		c.jump(OpJeqK, 0x0800, lTrue, lFalse)
+	case "ip6":
+		c.jump(OpJeqK, 0x86dd, lTrue, lFalse)
+	case "arp":
+		c.jump(OpJeqK, 0x0806, lTrue, lFalse)
+	case "tcp", "udp", "icmp":
+		var proto uint32
+		switch v.Name {
+		case "tcp":
+			proto = 6
+		case "udp":
+			proto = 17
+		case "icmp":
+			proto = 1
+		}
+		v4, notV4 := c.newLabel(), c.newLabel()
+		c.jump(OpJeqK, 0x0800, v4, notV4)
+		c.place(v4)
+		c.load(OpLdB, offIPv4Proto)
+		c.jump(OpJeqK, proto, lTrue, lFalse)
+		c.place(notV4)
+		// A still holds the EtherType here: control reaches notV4 only
+		// through the failed jeq above, skipping the v4 block's load.
+		isV6 := c.newLabel()
+		c.jump(OpJeqK, 0x86dd, isV6, lFalse)
+		c.place(isV6)
+		c.load(OpLdB, offIPv6Next)
+		c.jump(OpJeqK, proto, lTrue, lFalse)
+	default:
+		panic(fmt.Sprintf("bpf: unknown protocol %q", v.Name))
+	}
+}
+
+func (c *codegen) port(v *PortExpr, lTrue, lFalse int) {
+	v4, v6 := c.newLabel(), c.newLabel()
+	c.load(OpLdH, offEtherType)
+	c.jump(OpJeqK, 0x0800, v4, v6)
+
+	// IPv4 branch.
+	c.place(v4)
+	c.load(OpLdB, offIPv4Proto)
+	protoOK, tryUDP := c.newLabel(), c.newLabel()
+	c.jump(OpJeqK, 6, protoOK, tryUDP)
+	c.place(tryUDP)
+	c.jump(OpJeqK, 17, protoOK, lFalse)
+	c.place(protoOK)
+	// Reject fragments with a nonzero offset: ports live in the first one.
+	c.load(OpLdH, offIPv4Frag)
+	noFrag := c.newLabel()
+	c.jump(OpJsetK, 0x1fff, lFalse, noFrag)
+	c.place(noFrag)
+	c.load(OpLdxMsh, offIPv4Hdr)
+	c.portCompare(OpLdIndH, offIPv4Hdr, v.Dir, uint32(v.Port), lTrue, lFalse)
+
+	// IPv6 branch (no extension-header chasing, like tcpdump's fast path).
+	c.place(v6)
+	c.load(OpLdH, offEtherType)
+	isV6 := c.newLabel()
+	c.jump(OpJeqK, 0x86dd, isV6, lFalse)
+	c.place(isV6)
+	c.load(OpLdB, offIPv6Next)
+	protoOK6, tryUDP6 := c.newLabel(), c.newLabel()
+	c.jump(OpJeqK, 6, protoOK6, tryUDP6)
+	c.place(tryUDP6)
+	c.jump(OpJeqK, 17, protoOK6, lFalse)
+	c.place(protoOK6)
+	c.load(OpLdxImm, offIPv6L4-offIPv4Hdr) // X such that [x+14] hits offset 54
+	c.portCompare(OpLdIndH, offIPv4Hdr, v.Dir, uint32(v.Port), lTrue, lFalse)
+}
+
+// portCompare emits the src/dst/either port comparisons using indirect
+// halfword loads at [x + base] (src port) and [x + base + 2] (dst port).
+func (c *codegen) portCompare(ldOp uint16, base uint32, dir Dir, port uint32, lTrue, lFalse int) {
+	switch dir {
+	case DirSrc:
+		c.load(ldOp, base)
+		c.jump(OpJeqK, port, lTrue, lFalse)
+	case DirDst:
+		c.load(ldOp, base+2)
+		c.jump(OpJeqK, port, lTrue, lFalse)
+	default:
+		tryDst := c.newLabel()
+		c.load(ldOp, base)
+		c.jump(OpJeqK, port, lTrue, tryDst)
+		c.place(tryDst)
+		c.load(ldOp, base+2)
+		c.jump(OpJeqK, port, lTrue, lFalse)
+	}
+}
+
+// hostOrNet emits IPv4 address comparisons. mask is 0xffffffff for host.
+func (c *codegen) hostOrNet(dir Dir, prefix, mask uint32, lTrue, lFalse int) {
+	isV4 := c.newLabel()
+	c.load(OpLdH, offEtherType)
+	c.jump(OpJeqK, 0x0800, isV4, lFalse)
+	c.place(isV4)
+	cmp := func(off uint32, jt, jf int) {
+		c.load(OpLdW, off)
+		if mask != 0xffffffff {
+			c.load(OpAndK, mask)
+		}
+		c.jump(OpJeqK, prefix, jt, jf)
+	}
+	switch dir {
+	case DirSrc:
+		cmp(offIPv4Src, lTrue, lFalse)
+	case DirDst:
+		cmp(offIPv4Dst, lTrue, lFalse)
+	default:
+		tryDst := c.newLabel()
+		cmp(offIPv4Src, lTrue, tryDst)
+		c.place(tryDst)
+		cmp(offIPv4Dst, lTrue, lFalse)
+	}
+}
+
+// resolve converts label references into relative jump offsets, inserting
+// nothing: filters large enough to overflow the 8-bit offsets are rejected.
+func (c *codegen) resolve() (Program, error) {
+	prog := make(Program, len(c.code))
+	for pc, ci := range c.code {
+		ins := ci.ins
+		if ci.ja != noLabel {
+			target, ok := c.labels[ci.ja]
+			if !ok {
+				return nil, fmt.Errorf("bpf: unplaced label %d", ci.ja)
+			}
+			rel := target - pc - 1
+			if rel < 0 {
+				return nil, fmt.Errorf("bpf: backward jump generated")
+			}
+			ins.K = uint32(rel)
+		}
+		if ci.jt != noLabel || ci.jf != noLabel {
+			relOf := func(l int) (int, error) {
+				target, ok := c.labels[l]
+				if !ok {
+					return 0, fmt.Errorf("bpf: unplaced label %d", l)
+				}
+				rel := target - pc - 1
+				if rel < 0 {
+					return 0, fmt.Errorf("bpf: backward jump generated")
+				}
+				if rel > 255 {
+					return 0, fmt.Errorf("bpf: filter too complex (jump offset %d > 255)", rel)
+				}
+				return rel, nil
+			}
+			jt, err := relOf(ci.jt)
+			if err != nil {
+				return nil, err
+			}
+			jf, err := relOf(ci.jf)
+			if err != nil {
+				return nil, err
+			}
+			ins.Jt, ins.Jf = uint8(jt), uint8(jf)
+		}
+		prog[pc] = ins
+	}
+	return prog, nil
+}

@@ -1,0 +1,332 @@
+package bpf
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/vtime"
+)
+
+// buildTestUDP returns a UDP frame from 131.225.2.10:4321 to
+// 192.168.1.20:53.
+func buildTestUDP(tb testing.TB) []byte {
+	tb.Helper()
+	b := packet.NewBuilder()
+	buf := make([]byte, packet.MaxFrameLen)
+	return b.Build(buf, packet.FlowKey{
+		Src:     packet.IPv4{131, 225, 2, 10},
+		Dst:     packet.IPv4{192, 168, 1, 20},
+		SrcPort: 4321,
+		DstPort: 53,
+		Proto:   packet.ProtoUDP,
+	}, []byte("query"))
+}
+
+func buildFrame(tb testing.TB, flow packet.FlowKey, payload int) []byte {
+	tb.Helper()
+	b := packet.NewBuilder()
+	buf := make([]byte, packet.MaxFrameLen)
+	return b.Build(buf, flow, make([]byte, payload))
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"and udp",
+		"udp and",
+		"(udp",
+		"udp)",
+		"host",
+		"host 1.2.3",      // partial address is not a host
+		"port notanumber", //
+		"port 99999",
+		"net 1.2.3.4/40",
+		"src tcp", // direction on a protocol
+		"frobnicate 3",
+		"not",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseEmptyMatchesAll(t *testing.T) {
+	e, err := Parse("   ")
+	if err != nil || e != nil {
+		t.Fatalf("Parse(blank) = %v, %v", e, err)
+	}
+	prog, err := CompileExpr(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := mustVM(t, prog)
+	if !vm.Match(buildTestUDP(t)) {
+		t.Fatal("empty filter rejected a packet")
+	}
+}
+
+func TestParsePaperFilter(t *testing.T) {
+	// The exact filter from the paper's pkt_handler: "131.225.2 and UDP".
+	e, err := Parse("131.225.2 and UDP")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	and, ok := e.(*AndExpr)
+	if !ok {
+		t.Fatalf("parsed to %T", e)
+	}
+	net, ok := and.L.(*NetExpr)
+	if !ok {
+		t.Fatalf("left = %T", and.L)
+	}
+	if net.Prefix != 0x83e10200 || net.Mask != 0xffffff00 {
+		t.Fatalf("net = %#x mask %#x", net.Prefix, net.Mask)
+	}
+	proto, ok := and.R.(*ProtoExpr)
+	if !ok || proto.Name != "udp" {
+		t.Fatalf("right = %v", and.R)
+	}
+}
+
+func TestCompileMatchesPaperTraffic(t *testing.T) {
+	prog := MustCompile("131.225.2 and udp", 65535)
+	vm := mustVM(t, prog)
+	if !vm.Match(buildTestUDP(t)) {
+		t.Fatalf("paper filter rejected matching packet:\n%s", Disassemble(prog))
+	}
+	// Same flow over TCP must not match.
+	tcp := buildFrame(t, packet.FlowKey{
+		Src: packet.IPv4{131, 225, 2, 10}, Dst: packet.IPv4{10, 0, 0, 1},
+		SrcPort: 1, DstPort: 2, Proto: packet.ProtoTCP,
+	}, 0)
+	if vm.Match(tcp) {
+		t.Fatal("paper filter accepted TCP")
+	}
+	// UDP from elsewhere must not match.
+	other := buildFrame(t, packet.FlowKey{
+		Src: packet.IPv4{131, 226, 2, 10}, Dst: packet.IPv4{10, 0, 0, 1},
+		SrcPort: 1, DstPort: 2, Proto: packet.ProtoUDP,
+	}, 0)
+	if vm.Match(other) {
+		t.Fatal("paper filter accepted 131.226/16 traffic")
+	}
+	// UDP *to* 131.225.2/24 must match (src-or-dst semantics).
+	toNet := buildFrame(t, packet.FlowKey{
+		Src: packet.IPv4{10, 0, 0, 1}, Dst: packet.IPv4{131, 225, 2, 99},
+		SrcPort: 1, DstPort: 2, Proto: packet.ProtoUDP,
+	}, 0)
+	if !vm.Match(toNet) {
+		t.Fatal("paper filter rejected traffic to the net")
+	}
+}
+
+func TestCompilePrimitives(t *testing.T) {
+	udp := buildTestUDP(t) // 131.225.2.10:4321 -> 192.168.1.20:53 UDP
+	tcp := buildFrame(t, packet.FlowKey{
+		Src: packet.IPv4{1, 2, 3, 4}, Dst: packet.IPv4{5, 6, 7, 8},
+		SrcPort: 8080, DstPort: 443, Proto: packet.ProtoTCP,
+	}, 10)
+	cases := []struct {
+		filter string
+		pkt    []byte
+		want   bool
+	}{
+		{"ip", udp, true},
+		{"ip6", udp, false},
+		{"arp", udp, false},
+		{"udp", udp, true},
+		{"tcp", udp, false},
+		{"tcp", tcp, true},
+		{"icmp", udp, false},
+		{"host 131.225.2.10", udp, true},
+		{"host 131.225.2.11", udp, false},
+		{"src host 131.225.2.10", udp, true},
+		{"dst host 131.225.2.10", udp, false},
+		{"dst host 192.168.1.20", udp, true},
+		{"net 131.225", udp, true},
+		{"net 131.224", udp, false},
+		{"net 131.225.2.0/24", udp, true},
+		{"net 131.225.2.0 mask 255.255.255.0", udp, true},
+		{"src net 192.168.1", udp, false},
+		{"dst net 192.168.1", udp, true},
+		{"port 53", udp, true},
+		{"port 54", udp, false},
+		{"src port 4321", udp, true},
+		{"dst port 4321", udp, false},
+		{"src port 53", udp, false},
+		{"dst port 53", udp, true},
+		{"port 443", tcp, true},
+		{"less 100", udp, true},
+		{"greater 100", udp, false},
+		{"less 10", udp, false},
+		{"not udp", udp, false},
+		{"not tcp", udp, true},
+		{"udp or tcp", udp, true},
+		{"udp and tcp", udp, false},
+		{"(udp or tcp) and host 1.2.3.4", tcp, true},
+		{"udp and not port 53", udp, false},
+		{"udp && port 53 || arp", udp, true},
+		{"! udp", tcp, true},
+	}
+	for _, c := range cases {
+		t.Run(c.filter, func(t *testing.T) {
+			prog, err := Compile(c.filter, 65535)
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			vm := mustVM(t, prog)
+			if got := vm.Match(c.pkt); got != c.want {
+				t.Fatalf("match = %v, want %v\n%s", got, c.want, Disassemble(prog))
+			}
+			// The reference evaluator must agree.
+			e, err := Parse(c.filter)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := Eval(e, c.pkt); got != c.want {
+				t.Fatalf("Eval = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestCompileFragmentRejectedByPortFilter(t *testing.T) {
+	frame := buildTestUDP(t)
+	// Set a nonzero fragment offset: ports are not present in this frame.
+	frame[20] = 0x00
+	frame[21] = 0x10
+	prog := MustCompile("port 53", 65535)
+	if mustVM(t, prog).Match(frame) {
+		t.Fatal("port filter matched a fragment")
+	}
+	e, _ := Parse("port 53")
+	if Eval(e, frame) {
+		t.Fatal("Eval matched a fragment")
+	}
+}
+
+func TestCompileIHLRespected(t *testing.T) {
+	// Build a frame with IP options (IHL=6): the port filter must find
+	// the ports through the x register, not at a fixed offset.
+	base := buildTestUDP(t)
+	frame := make([]byte, len(base)+4)
+	copy(frame, base[:34])            // eth + basic IP header + ... stop at IP end
+	copy(frame[14+24:], base[14+20:]) // shift L4 by 4 bytes
+	frame[14] = 0x46                  // IHL = 6
+	prog := MustCompile("dst port 53", 65535)
+	if !mustVM(t, prog).Match(frame) {
+		t.Fatalf("port filter missed ports behind IP options:\n%s", Disassemble(prog))
+	}
+}
+
+func TestCompileSnaplenReturned(t *testing.T) {
+	prog := MustCompile("udp", 96)
+	vm := mustVM(t, prog)
+	if got := vm.Run(buildTestUDP(t)); got != 96 {
+		t.Fatalf("Run = %d, want 96", got)
+	}
+	prog = MustCompile("", 0)
+	vm = mustVM(t, prog)
+	if got := vm.Run(buildTestUDP(t)); got != DefaultSnapLen {
+		t.Fatalf("default snaplen = %d", got)
+	}
+}
+
+// randomExpr builds a random filter expression tree of bounded depth.
+func randomExpr(r *vtime.Rand, depth int) Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		switch r.Intn(6) {
+		case 0:
+			return &ProtoExpr{Name: []string{"ip", "tcp", "udp", "icmp", "arp", "ip6"}[r.Intn(6)]}
+		case 1:
+			return &HostExpr{Dir: Dir(r.Intn(3)), Addr: randAddr(r)}
+		case 2:
+			bits := 8 * (1 + r.Intn(3))
+			mask := maskBits(bits)
+			return &NetExpr{Dir: Dir(r.Intn(3)), Prefix: randAddr(r) & mask, Mask: mask}
+		case 3:
+			return &PortExpr{Dir: Dir(r.Intn(3)), Port: uint16(1 + r.Intn(1000))}
+		case 4:
+			return &LenExpr{Greater: r.Intn(2) == 0, N: uint32(r.Intn(200))}
+		default:
+			return &ProtoExpr{Name: "udp"}
+		}
+	}
+	switch r.Intn(3) {
+	case 0:
+		return &AndExpr{L: randomExpr(r, depth-1), R: randomExpr(r, depth-1)}
+	case 1:
+		return &OrExpr{L: randomExpr(r, depth-1), R: randomExpr(r, depth-1)}
+	default:
+		return &NotExpr{E: randomExpr(r, depth-1)}
+	}
+}
+
+// randAddr draws addresses from a tiny space so filters actually match
+// sometimes.
+func randAddr(r *vtime.Rand) uint32 {
+	octets := []uint32{10, 131, 192}
+	return octets[r.Intn(3)]<<24 | uint32(r.Intn(3))<<16 | uint32(r.Intn(3))<<8 | uint32(r.Intn(4))
+}
+
+func randFlow(r *vtime.Rand) packet.FlowKey {
+	proto := packet.ProtoUDP
+	if r.Intn(2) == 0 {
+		proto = packet.ProtoTCP
+	}
+	return packet.FlowKey{
+		Src:     packet.IPv4FromUint32(randAddr(r)),
+		Dst:     packet.IPv4FromUint32(randAddr(r)),
+		SrcPort: uint16(1 + r.Intn(1000)),
+		DstPort: uint16(1 + r.Intn(1000)),
+		Proto:   proto,
+	}
+}
+
+// TestCompileDifferential cross-checks the compiled BPF programs against
+// the independent reference evaluator over thousands of random
+// (expression, packet) pairs.
+func TestCompileDifferential(t *testing.T) {
+	r := vtime.NewRand(2014)
+	b := packet.NewBuilder()
+	buf := make([]byte, packet.MaxFrameLen)
+	for i := 0; i < 2000; i++ {
+		e := randomExpr(r, 3)
+		prog, err := CompileExpr(e, 65535)
+		if err != nil {
+			t.Fatalf("CompileExpr(%s): %v", e, err)
+		}
+		vm, err := NewVM(prog)
+		if err != nil {
+			t.Fatalf("NewVM(%s): %v", e, err)
+		}
+		for j := 0; j < 10; j++ {
+			frame := b.Build(buf, randFlow(r), make([]byte, r.Intn(300)))
+			want := Eval(e, frame)
+			if got := vm.Match(frame); got != want {
+				t.Fatalf("divergence on %q:\nVM = %v, Eval = %v\n%s", e, got, want, Disassemble(prog))
+			}
+		}
+	}
+}
+
+// TestCompileParsePrintRoundTrip checks that parsing the String() form of
+// an expression yields an equivalent filter.
+func TestCompileParsePrintRoundTrip(t *testing.T) {
+	r := vtime.NewRand(77)
+	b := packet.NewBuilder()
+	buf := make([]byte, packet.MaxFrameLen)
+	for i := 0; i < 300; i++ {
+		e := randomExpr(r, 3)
+		back, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", e.String(), err)
+		}
+		for j := 0; j < 5; j++ {
+			frame := b.Build(buf, randFlow(r), make([]byte, r.Intn(100)))
+			if Eval(e, frame) != Eval(back, frame) {
+				t.Fatalf("print/parse changed semantics of %q", e.String())
+			}
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package bpf
+
+import "encoding/binary"
+
+// Eval evaluates a parsed expression directly against a raw Ethernet
+// frame, with semantics defined independently of the code generator. It
+// is the reference oracle the differential tests compare the compiled BPF
+// programs against, and a convenient slow path for callers that want
+// filter semantics without compiling. A nil expression matches everything.
+func Eval(e Expr, frame []byte) bool {
+	if e == nil {
+		return true
+	}
+	switch v := e.(type) {
+	case *AndExpr:
+		return Eval(v.L, frame) && Eval(v.R, frame)
+	case *OrExpr:
+		return Eval(v.L, frame) || Eval(v.R, frame)
+	case *NotExpr:
+		return !Eval(v.E, frame)
+	case *ProtoExpr:
+		return evalProto(v, frame)
+	case *HostExpr:
+		return evalAddr(v.Dir, v.Addr, 0xffffffff, frame)
+	case *NetExpr:
+		return evalAddr(v.Dir, v.Prefix, v.Mask, frame)
+	case *PortExpr:
+		return evalPort(v, frame)
+	case *LenExpr:
+		if v.Greater {
+			return uint32(len(frame)) >= v.N
+		}
+		return uint32(len(frame)) <= v.N
+	case *RelExpr:
+		return evalRel(v, frame)
+	default:
+		return false
+	}
+}
+
+func etherType(frame []byte) (uint16, bool) {
+	if len(frame) < 14 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint16(frame[12:14]), true
+}
+
+func evalProto(v *ProtoExpr, frame []byte) bool {
+	et, ok := etherType(frame)
+	if !ok {
+		return false
+	}
+	switch v.Name {
+	case "ip":
+		return et == 0x0800
+	case "ip6":
+		return et == 0x86dd
+	case "arp":
+		return et == 0x0806
+	}
+	var want byte
+	switch v.Name {
+	case "tcp":
+		want = 6
+	case "udp":
+		want = 17
+	case "icmp":
+		want = 1
+	}
+	switch et {
+	case 0x0800:
+		return len(frame) > offIPv4Proto && frame[offIPv4Proto] == want
+	case 0x86dd:
+		return len(frame) > offIPv6Next && frame[offIPv6Next] == want
+	}
+	return false
+}
+
+func evalAddr(dir Dir, prefix, mask uint32, frame []byte) bool {
+	et, ok := etherType(frame)
+	if !ok || et != 0x0800 {
+		return false
+	}
+	srcOK := len(frame) >= offIPv4Src+4
+	dstOK := len(frame) >= offIPv4Dst+4
+	var src, dst uint32
+	if srcOK {
+		src = binary.BigEndian.Uint32(frame[offIPv4Src : offIPv4Src+4])
+	}
+	if dstOK {
+		dst = binary.BigEndian.Uint32(frame[offIPv4Dst : offIPv4Dst+4])
+	}
+	switch dir {
+	case DirSrc:
+		return srcOK && src&mask == prefix
+	case DirDst:
+		return dstOK && dst&mask == prefix
+	default:
+		return (srcOK && src&mask == prefix) || (dstOK && dst&mask == prefix)
+	}
+}
+
+func evalPort(v *PortExpr, frame []byte) bool {
+	et, ok := etherType(frame)
+	if !ok {
+		return false
+	}
+	var l4 int
+	switch et {
+	case 0x0800:
+		if len(frame) <= offIPv4Proto {
+			return false
+		}
+		proto := frame[offIPv4Proto]
+		if proto != 6 && proto != 17 {
+			return false
+		}
+		if len(frame) < offIPv4Frag+2 {
+			return false
+		}
+		if binary.BigEndian.Uint16(frame[offIPv4Frag:offIPv4Frag+2])&0x1fff != 0 {
+			return false
+		}
+		ihl := int(frame[offIPv4Hdr]&0xf) * 4
+		l4 = offIPv4Hdr + ihl
+	case 0x86dd:
+		if len(frame) <= offIPv6Next {
+			return false
+		}
+		proto := frame[offIPv6Next]
+		if proto != 6 && proto != 17 {
+			return false
+		}
+		l4 = offIPv6L4
+	default:
+		return false
+	}
+	srcOK := len(frame) >= l4+2
+	dstOK := len(frame) >= l4+4
+	var src, dst uint16
+	if srcOK {
+		src = binary.BigEndian.Uint16(frame[l4 : l4+2])
+	}
+	if dstOK {
+		dst = binary.BigEndian.Uint16(frame[l4+2 : l4+4])
+	}
+	switch v.Dir {
+	case DirSrc:
+		return srcOK && src == v.Port
+	case DirDst:
+		return dstOK && dst == v.Port
+	default:
+		return (srcOK && src == v.Port) || (dstOK && dst == v.Port)
+	}
+}
+
+// Eval support for arithmetic relational expressions. Semantics mirror
+// the compiled programs exactly: a failed protocol guard, an out-of-bounds
+// load, or a zero divisor rejects the packet.
+
+func evalRel(v *RelExpr, frame []byte) bool {
+	l, ok := evalArith(v.L, frame)
+	if !ok {
+		return false
+	}
+	r, ok := evalArith(v.R, frame)
+	if !ok {
+		return false
+	}
+	switch v.Op {
+	case RelEq:
+		return l == r
+	case RelNe:
+		return l != r
+	case RelGt:
+		return l > r
+	case RelLt:
+		return l < r
+	case RelGe:
+		return l >= r
+	case RelLe:
+		return l <= r
+	default:
+		return false
+	}
+}
+
+func evalArith(a Arith, frame []byte) (uint32, bool) {
+	switch v := a.(type) {
+	case *NumArith:
+		return v.V, true
+	case *LenArith:
+		return uint32(len(frame)), true
+	case *AccessArith:
+		return evalAccess(v, frame)
+	case *BinArith:
+		l, ok := evalArith(v.L, frame)
+		if !ok {
+			return 0, false
+		}
+		r, ok := evalArith(v.R, frame)
+		if !ok {
+			return 0, false
+		}
+		switch v.Op {
+		case '+':
+			return l + r, true
+		case '-':
+			return l - r, true
+		case '*':
+			return l * r, true
+		case '/':
+			if r == 0 {
+				return 0, false
+			}
+			return l / r, true
+		case '&':
+			return l & r, true
+		case '|':
+			return l | r, true
+		}
+		return 0, false
+	default:
+		return 0, false
+	}
+}
+
+func evalAccess(v *AccessArith, frame []byte) (uint32, bool) {
+	base := 0
+	switch v.Proto {
+	case "ether":
+		base = 0
+	case "ip":
+		et, ok := etherType(frame)
+		if !ok || et != 0x0800 {
+			return 0, false
+		}
+		base = offIPv4Hdr
+	case "tcp", "udp", "icmp":
+		et, ok := etherType(frame)
+		if !ok || et != 0x0800 {
+			return 0, false
+		}
+		var want byte
+		switch v.Proto {
+		case "tcp":
+			want = 6
+		case "udp":
+			want = 17
+		case "icmp":
+			want = 1
+		}
+		if len(frame) <= offIPv4Proto || frame[offIPv4Proto] != want {
+			return 0, false
+		}
+		if len(frame) < offIPv4Frag+2 {
+			return 0, false
+		}
+		if binary.BigEndian.Uint16(frame[offIPv4Frag:offIPv4Frag+2])&0x1fff != 0 {
+			return 0, false
+		}
+		if len(frame) <= offIPv4Hdr {
+			return 0, false
+		}
+		base = offIPv4Hdr + int(frame[offIPv4Hdr]&0xf)*4
+	default:
+		return 0, false
+	}
+	off := base + int(v.Off)
+	if off+v.Size > len(frame) || off < 0 {
+		return 0, false
+	}
+	switch v.Size {
+	case 1:
+		return uint32(frame[off]), true
+	case 2:
+		return uint32(binary.BigEndian.Uint16(frame[off : off+2])), true
+	default:
+		return binary.BigEndian.Uint32(frame[off : off+4]), true
+	}
+}

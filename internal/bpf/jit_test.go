@@ -1,0 +1,105 @@
+package bpf
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/vtime"
+)
+
+func TestJITMatchesInterpreterOnFilters(t *testing.T) {
+	// Differential: compiled filters agree with the interpreter across
+	// random expressions and packets.
+	r := vtime.NewRand(99)
+	b := packet.NewBuilder()
+	buf := make([]byte, packet.MaxFrameLen)
+	for i := 0; i < 500; i++ {
+		e := randomExpr(r, 3)
+		prog, err := CompileExpr(e, 65535)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm, err := NewVM(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn, err := JITCompile(prog)
+		if err != nil {
+			t.Fatalf("JITCompile(%s): %v", e, err)
+		}
+		for j := 0; j < 8; j++ {
+			frame := b.Build(buf, randFlow(r), make([]byte, r.Intn(300)))
+			if got, want := fn.Run(frame), vm.Run(frame); got != want {
+				t.Fatalf("JIT %d != VM %d on %q\n%s", got, want, e, Disassemble(prog))
+			}
+		}
+	}
+}
+
+func TestJITMatchesInterpreterOnRawPrograms(t *testing.T) {
+	// Exercise scratch memory, ALU-with-X, and edge instructions the
+	// filter compiler never emits.
+	progs := []Program{
+		{
+			{Op: OpLdLen}, {Op: OpSt, K: 3}, {Op: OpLdImm, K: 7},
+			{Op: OpLdxMem, K: 3}, {Op: OpAddX}, {Op: OpRetA},
+		},
+		{
+			{Op: OpLdImm, K: 100}, {Op: OpLdxImm, K: 7},
+			{Op: OpDivX}, {Op: OpMulX}, {Op: OpNeg}, {Op: OpRetA},
+		},
+		{
+			{Op: OpLdImm, K: 0xF0F0}, {Op: OpLdxImm, K: 0x0FF0},
+			{Op: OpXorX}, {Op: OpTax}, {Op: OpTxa}, {Op: OpRetA},
+		},
+		{
+			{Op: OpLdxImm, K: 0}, {Op: OpLdImm, K: 5}, {Op: OpModX}, {Op: OpRetK, K: 9},
+		},
+		{
+			{Op: OpLdB, K: 0}, {Op: OpLshX}, {Op: OpRshK, K: 33}, {Op: OpRetA},
+		},
+		{
+			{Op: OpJa, K: 2}, {Op: OpRetK, K: 1}, {Op: OpRetK, K: 2}, {Op: OpRetK, K: 3},
+		},
+	}
+	pkts := [][]byte{nil, {1}, {1, 2, 3, 4, 5, 6, 7, 8}, make([]byte, 100)}
+	for i, p := range progs {
+		vm, err := NewVM(p)
+		if err != nil {
+			t.Fatalf("prog %d: %v", i, err)
+		}
+		fn, err := JITCompile(p)
+		if err != nil {
+			t.Fatalf("prog %d: %v", i, err)
+		}
+		for j, pkt := range pkts {
+			if got, want := fn.Run(pkt), vm.Run(pkt); got != want {
+				t.Fatalf("prog %d pkt %d: JIT %d != VM %d", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestJITRejectsInvalid(t *testing.T) {
+	if _, err := JITCompile(Program{}); err == nil {
+		t.Fatal("empty program compiled")
+	}
+	if _, err := JITCompile(Program{{Op: 0xffff}, {Op: OpRetK}}); err == nil {
+		t.Fatal("bad opcode compiled")
+	}
+}
+
+func BenchmarkJITAcceptUDP(b *testing.B) {
+	prog := MustCompile("udp and net 131.225.2", 65535)
+	fn, err := JITCompile(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkt := buildTestUDP(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !fn.Match(pkt) {
+			b.Fatal("filter rejected matching packet")
+		}
+	}
+}

@@ -1,0 +1,410 @@
+package bpf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements the filter-expression language: a tcpdump-like
+// surface syntax parsed into an expression tree that compile.go turns into
+// BPF instructions.
+//
+// Grammar (case-insensitive keywords):
+//
+//	expr      = term { ("or" | "||") term }
+//	term      = factor { ("and" | "&&") factor }
+//	factor    = ("not" | "!") factor | "(" expr ")" | primitive
+//	primitive = [dir] "host" ADDR
+//	          | [dir] "net" NET [ "/" NUM | "mask" ADDR ]
+//	          | [dir] "port" NUM
+//	          | "ip" | "ip6" | "arp" | "tcp" | "udp" | "icmp"
+//	          | "less" NUM | "greater" NUM
+//	          | ADDR            (shorthand for "host ADDR")
+//	          | PARTIAL-ADDR    (shorthand for "net PARTIAL-ADDR")
+//	dir       = "src" | "dst"
+//
+// The paper's filter "131.225.2 and udp" parses as
+// net 131.225.2.0/24 AND udp.
+
+// Dir qualifies an address/port primitive's direction.
+type Dir int
+
+// Direction qualifiers.
+const (
+	DirEither Dir = iota
+	DirSrc
+	DirDst
+)
+
+func (d Dir) String() string {
+	switch d {
+	case DirSrc:
+		return "src"
+	case DirDst:
+		return "dst"
+	default:
+		return "src or dst"
+	}
+}
+
+// Expr is a node of the parsed filter expression.
+type Expr interface {
+	String() string
+}
+
+// AndExpr matches when both operands match.
+type AndExpr struct{ L, R Expr }
+
+// OrExpr matches when either operand matches.
+type OrExpr struct{ L, R Expr }
+
+// NotExpr inverts its operand.
+type NotExpr struct{ E Expr }
+
+// ProtoExpr matches a protocol keyword (ip, ip6, arp, tcp, udp, icmp).
+type ProtoExpr struct{ Name string }
+
+// HostExpr matches an IPv4 host address.
+type HostExpr struct {
+	Dir  Dir
+	Addr uint32
+}
+
+// NetExpr matches an IPv4 prefix.
+type NetExpr struct {
+	Dir    Dir
+	Prefix uint32 // already masked
+	Mask   uint32
+}
+
+// PortExpr matches a TCP/UDP port.
+type PortExpr struct {
+	Dir  Dir
+	Port uint16
+}
+
+// LenExpr compares the frame length: "less" matches len <= N,
+// "greater" matches len >= N (tcpdump semantics).
+type LenExpr struct {
+	Greater bool
+	N       uint32
+}
+
+func (e *AndExpr) String() string   { return "(" + e.L.String() + " and " + e.R.String() + ")" }
+func (e *OrExpr) String() string    { return "(" + e.L.String() + " or " + e.R.String() + ")" }
+func (e *NotExpr) String() string   { return "(not " + e.E.String() + ")" }
+func (e *ProtoExpr) String() string { return e.Name }
+
+// dirPrefix renders a direction qualifier in re-parseable form: the
+// default (either) direction prints as nothing.
+func dirPrefix(d Dir) string {
+	switch d {
+	case DirSrc:
+		return "src "
+	case DirDst:
+		return "dst "
+	default:
+		return ""
+	}
+}
+
+func (e *HostExpr) String() string {
+	return fmt.Sprintf("%shost %s", dirPrefix(e.Dir), ipString(e.Addr))
+}
+func (e *NetExpr) String() string {
+	return fmt.Sprintf("%snet %s mask %s", dirPrefix(e.Dir), ipString(e.Prefix), ipString(e.Mask))
+}
+func (e *PortExpr) String() string { return fmt.Sprintf("%sport %d", dirPrefix(e.Dir), e.Port) }
+func (e *LenExpr) String() string {
+	if e.Greater {
+		return fmt.Sprintf("greater %d", e.N)
+	}
+	return fmt.Sprintf("less %d", e.N)
+}
+
+func ipString(v uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// parser is a recursive-descent parser over whitespace/paren tokens.
+type parser struct {
+	toks []string
+	pos  int
+}
+
+// Parse parses a filter expression. An empty expression is valid and
+// matches every packet (it parses to nil).
+func Parse(src string) (Expr, error) {
+	toks := tokenize(src)
+	if len(toks) == 0 {
+		return nil, nil
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("bpf: trailing tokens at %q", strings.Join(p.toks[p.pos:], " "))
+	}
+	return e, nil
+}
+
+// tokenize lexes the expression: words (which may contain dots and, for
+// CIDR prefixes, slashes), parentheses, brackets, and the arithmetic /
+// comparison operators, including the two-character forms &&, ||, !=, >=,
+// <=, ==. Division therefore needs surrounding whitespace ("len / 2"), so
+// that "10.0.0.0/8" stays one token.
+func tokenize(src string) []string {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		ch := src[i]
+		switch {
+		case ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r':
+			i++
+		case ch == '(' || ch == ')' || ch == '[' || ch == ']' ||
+			ch == '+' || ch == '-' || ch == '*' || ch == ':':
+			toks = append(toks, string(ch))
+			i++
+		case ch == '&' || ch == '|':
+			if i+1 < len(src) && src[i+1] == ch {
+				toks = append(toks, string(ch)+string(ch))
+				i += 2
+			} else {
+				toks = append(toks, string(ch))
+				i++
+			}
+		case ch == '!' || ch == '<' || ch == '>' || ch == '=':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, string(ch)+"=")
+				i += 2
+			} else {
+				toks = append(toks, string(ch))
+				i++
+			}
+		default:
+			j := i
+			for j < len(src) && !strings.ContainsRune(" \t\n\r()[]+-*:&|!<>=", rune(src[j])) {
+				j++
+			}
+			toks = append(toks, strings.ToLower(src[i:j]))
+			i = j
+		}
+	}
+	return toks
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	if t != "" {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "or" || p.peek() == "||" {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &OrExpr{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "and" || p.peek() == "&&" {
+		p.next()
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		l = &AndExpr{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	if p.startsArith() {
+		return p.parseRelExpr()
+	}
+	switch tok := p.peek(); tok {
+	case "":
+		return nil, fmt.Errorf("bpf: unexpected end of expression")
+	case "not", "!":
+		p.next()
+		e, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e}, nil
+	case "(":
+		// "(" is ambiguous: it can open a boolean group ("(tcp or udp)")
+		// or an arithmetic group ("(ip[0] & 0xf) * 4 == 20"). Try the
+		// boolean parse first and backtrack to a relational expression if
+		// it fails.
+		save := p.pos
+		p.next()
+		e, err := p.parseOr()
+		if err == nil && p.peek() == ")" {
+			p.next()
+			return e, nil
+		}
+		p.pos = save
+		return p.parseRelExpr()
+	default:
+		return p.parsePrimitive()
+	}
+}
+
+func (p *parser) parsePrimitive() (Expr, error) {
+	dir := DirEither
+	switch p.peek() {
+	case "src":
+		dir = DirSrc
+		p.next()
+	case "dst":
+		dir = DirDst
+		p.next()
+	}
+
+	tok := p.next()
+	switch tok {
+	case "host":
+		addr, bits, err := parseAddr(p.next())
+		if err != nil {
+			return nil, err
+		}
+		if bits != 32 {
+			return nil, fmt.Errorf("bpf: host requires a full IPv4 address")
+		}
+		return &HostExpr{Dir: dir, Addr: addr}, nil
+	case "net":
+		return p.parseNet(dir, p.next())
+	case "port":
+		n, err := strconv.ParseUint(p.next(), 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("bpf: bad port: %w", err)
+		}
+		return &PortExpr{Dir: dir, Port: uint16(n)}, nil
+	case "ip", "ip6", "arp", "tcp", "udp", "icmp":
+		if dir != DirEither {
+			return nil, fmt.Errorf("bpf: %s does not take a direction qualifier", tok)
+		}
+		proto := &ProtoExpr{Name: tok}
+		// tcpdump-style protocol qualification: "tcp port 80",
+		// "udp src port 53", "ip host 1.2.3.4" are conjunctions of the
+		// protocol and the qualified primitive.
+		switch p.peek() {
+		case "port", "host", "net", "src", "dst":
+			prim, err := p.parsePrimitive()
+			if err != nil {
+				return nil, err
+			}
+			return &AndExpr{L: proto, R: prim}, nil
+		}
+		return proto, nil
+	case "less", "greater":
+		if dir != DirEither {
+			return nil, fmt.Errorf("bpf: %s does not take a direction qualifier", tok)
+		}
+		n, err := strconv.ParseUint(p.next(), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bpf: bad length: %w", err)
+		}
+		return &LenExpr{Greater: tok == "greater", N: uint32(n)}, nil
+	default:
+		// Bare address: full address => host, partial => net.
+		addr, bits, err := parseAddr(tok)
+		if err != nil {
+			return nil, fmt.Errorf("bpf: unknown primitive %q", tok)
+		}
+		if bits == 32 {
+			return &HostExpr{Dir: dir, Addr: addr}, nil
+		}
+		mask := maskBits(bits)
+		return &NetExpr{Dir: dir, Prefix: addr & mask, Mask: mask}, nil
+	}
+}
+
+func (p *parser) parseNet(dir Dir, tok string) (Expr, error) {
+	if tok == "" {
+		return nil, fmt.Errorf("bpf: net requires an address")
+	}
+	var maskLen = -1
+	if i := strings.IndexByte(tok, '/'); i >= 0 {
+		n, err := strconv.Atoi(tok[i+1:])
+		if err != nil || n < 0 || n > 32 {
+			return nil, fmt.Errorf("bpf: bad prefix length %q", tok[i+1:])
+		}
+		maskLen = n
+		tok = tok[:i]
+	}
+	addr, bits, err := parseAddr(tok)
+	if err != nil {
+		return nil, err
+	}
+	mask := maskBits(bits)
+	if maskLen >= 0 {
+		mask = maskBits(maskLen)
+	}
+	if p.peek() == "mask" {
+		p.next()
+		m, mbits, err := parseAddr(p.next())
+		if err != nil || mbits != 32 {
+			return nil, fmt.Errorf("bpf: bad netmask")
+		}
+		mask = m
+	}
+	return &NetExpr{Dir: dir, Prefix: addr & mask, Mask: mask}, nil
+}
+
+// parseAddr parses a full or partial dotted-quad address, returning the
+// address left-aligned in 32 bits and the number of significant bits
+// (8 per supplied octet).
+func parseAddr(s string) (addr uint32, bits int, err error) {
+	if s == "" {
+		return 0, 0, fmt.Errorf("bpf: missing address")
+	}
+	parts := strings.Split(s, ".")
+	if len(parts) > 4 {
+		return 0, 0, fmt.Errorf("bpf: bad address %q", s)
+	}
+	for i, part := range parts {
+		v, err := strconv.ParseUint(part, 10, 8)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bpf: bad address %q", s)
+		}
+		addr |= uint32(v) << (24 - 8*i)
+	}
+	return addr, len(parts) * 8, nil
+}
+
+func maskBits(n int) uint32 {
+	if n <= 0 {
+		return 0
+	}
+	if n >= 32 {
+		return 0xffffffff
+	}
+	return ^uint32(0) << (32 - n)
+}

@@ -1,0 +1,626 @@
+// Package core implements WireCAP, the paper's packet capture engine: the
+// ring-buffer-pool mechanism for lossless zero-copy capture under
+// short-term bursts (§3.2.1), the buddy-group-based offloading mechanism
+// for long-term load imbalance (§3.2.2), capture threads with work-queue
+// pairs, the partial-chunk timeout flush, and zero-copy forwarding through
+// transmit rings.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/engines"
+	"repro/internal/mem"
+	"repro/internal/nic"
+	"repro/internal/vtime"
+)
+
+// Mode selects WireCAP's operating mode.
+type Mode int
+
+// Operating modes (paper §3.2.2a).
+const (
+	// Basic handles each receive queue independently: the ring buffer
+	// pool absorbs short-term bursts, but long-term overload eventually
+	// exhausts it.
+	Basic Mode = iota
+	// Advanced adds buddy-group-based offloading: a busy queue's capture
+	// thread places chunks on an idle buddy's capture queue.
+	Advanced
+)
+
+func (m Mode) String() string {
+	if m == Advanced {
+		return "advanced"
+	}
+	return "basic"
+}
+
+// OffloadPolicy selects the offload target within a buddy group; the
+// paper uses the least-loaded queue, the alternatives exist for the
+// ablation study.
+type OffloadPolicy int
+
+// Offload target policies.
+const (
+	// OffloadShortest picks the buddy with the shortest capture queue.
+	OffloadShortest OffloadPolicy = iota
+	// OffloadRoundRobin rotates through the buddies.
+	OffloadRoundRobin
+	// OffloadRandom picks a buddy uniformly at random.
+	OffloadRandom
+)
+
+// Config parameterizes the engine. The paper's naming convention
+// WireCAP-B-(M, R) and WireCAP-A-(M, R, T) maps onto M, R, Mode, and
+// ThresholdPct.
+type Config struct {
+	// M is the descriptor segment size: cells per packet buffer chunk.
+	M int
+	// R is the ring buffer pool size in chunks; buffering capacity per
+	// queue is R*M packets. R must exceed RingSize/M so the ring can be
+	// fully armed with chunks to spare (§3.2.1).
+	R int
+	// Mode is Basic or Advanced.
+	Mode Mode
+	// ThresholdPct is T: offloading starts when a capture queue holds
+	// more than ThresholdPct% of R chunks. Only meaningful in Advanced
+	// mode. Default 60.
+	ThresholdPct int
+	// Policy picks the offload target. Default OffloadShortest.
+	Policy OffloadPolicy
+	// BuddyGroups partitions queue indices into buddy groups; offloading
+	// never crosses groups (one group per application, §3.2.1). nil means
+	// all queues form one group.
+	BuddyGroups [][]int
+	// FlushTimeout bounds how long a partially filled chunk may hold
+	// packets before they are copied out and delivered (the capture
+	// operation's timeout, §3.2.1). Zero disables flushing.
+	FlushTimeout vtime.Time
+	// SharedCaptureCore runs all capture threads on one core instead of
+	// one core each ("the system can dedicate one or several cores to run
+	// all capture threads").
+	SharedCaptureCore bool
+	// ThreadsPerQueue runs several application threads against each
+	// queue's work-queue pair — the paper's §5e alternative paradigm
+	// ("multiple threads of a packet-processing application can access a
+	// single NIC receive queue"). Default 1. The synchronization overhead
+	// the paper notes is charged per fetch.
+	ThreadsPerQueue int
+	// Costs is the operation cost model.
+	Costs engines.CostModel
+	// Seed drives the random offload policy.
+	Seed uint64
+}
+
+// DefaultFlushTimeout keeps delivery latency bounded at a fraction of the
+// 10 ms profiling bin.
+const DefaultFlushTimeout = 2 * vtime.Millisecond
+
+// QueueStats extends the common engine stats with WireCAP-specific
+// counters.
+type QueueStats struct {
+	engines.QueueStats
+	ChunksCaptured  uint64 // full-chunk zero-copy captures
+	ChunksOffloaded uint64 // chunks placed on a buddy's capture queue
+	ChunksFlushed   uint64 // partial chunks delivered by timeout copy
+	FlushedPackets  uint64 // packets delivered through flush copies
+	PoolExhausted   uint64 // arm attempts that found no free chunk
+}
+
+// Engine is the WireCAP capture engine bound to one NIC.
+type Engine struct {
+	sched *vtime.Scheduler
+	n     *nic.NIC
+	cfg   Config
+	rnd   *vtime.Rand
+
+	queues  []*wqueue
+	rrState int // round-robin offload pointer
+	closed  bool
+
+	sharedCapture *vtime.Server
+}
+
+// cellRef locates the pool cell a descriptor is armed with.
+type cellRef struct {
+	chunk *mem.Chunk
+	cell  int
+}
+
+// handedChunk is a captured chunk as seen by the user-space library:
+// metadata plus the (mapped) chunk reference.
+type handedChunk struct {
+	meta  mem.Meta
+	chunk *mem.Chunk
+	next  int // packets dispatched so far, relative to Base
+	// outstanding counts dispatched packets whose done callback has not
+	// run yet (e.g. sitting in a TX ring); the chunk recycles only when
+	// the whole chunk is dispatched and outstanding returns to zero.
+	outstanding int
+	dispatched  bool
+	owner       *wqueue // queue whose pool owns the chunk
+}
+
+type wqueue struct {
+	e     *Engine
+	queue int
+	ring  *nic.RxRing
+	pool  *mem.Pool
+
+	// Kernel-side arming state.
+	armChunk *mem.Chunk
+	armCell  int
+	cells    []cellRef // per-descriptor cell assignment
+	starved  []int     // descriptor indices waiting for cells, in use order
+
+	// Frontier flush timer.
+	flushTimer  vtime.EventID
+	flushArmed  bool
+	flushTarget *mem.Chunk
+
+	// Capture thread.
+	capSv *vtime.Server
+
+	// User-space work-queue pair.
+	captureQ []*handedChunk
+	recycleQ []*handedChunk
+	cur      *handedChunk
+
+	threads []*engines.Thread
+	buddies []*wqueue
+
+	stats QueueStats
+}
+
+// New builds a WireCAP engine on every receive queue of n, delivering to
+// h. It maps each queue's pool (Open) and fully arms each ring.
+func New(sched *vtime.Scheduler, n *nic.NIC, cfg Config, h engines.Handler) (*Engine, error) {
+	if cfg.M <= 0 || cfg.R <= 0 {
+		return nil, fmt.Errorf("core: invalid geometry M=%d R=%d", cfg.M, cfg.R)
+	}
+	if cfg.R*cfg.M < n.RingSize() {
+		return nil, fmt.Errorf("core: pool capacity R*M=%d cannot arm a %d-descriptor ring",
+			cfg.R*cfg.M, n.RingSize())
+	}
+	if cfg.ThresholdPct == 0 {
+		cfg.ThresholdPct = 60
+	}
+	if cfg.ThresholdPct < 1 || cfg.ThresholdPct > 100 {
+		return nil, fmt.Errorf("core: threshold %d%% out of range", cfg.ThresholdPct)
+	}
+	if cfg.FlushTimeout == 0 {
+		cfg.FlushTimeout = DefaultFlushTimeout
+	}
+	if cfg.ThreadsPerQueue <= 0 {
+		cfg.ThreadsPerQueue = 1
+	}
+	e := &Engine{sched: sched, n: n, cfg: cfg, rnd: vtime.NewRand(cfg.Seed + 3)}
+	if cfg.SharedCaptureCore {
+		e.sharedCapture = vtime.NewServer(sched, nil)
+	}
+	for qi := 0; qi < n.RxQueues(); qi++ {
+		q := &wqueue{e: e, queue: qi, ring: n.Rx(qi)}
+		q.pool = mem.NewPool(n.ID(), qi, cfg.M, cfg.R)
+		if err := q.pool.Map(); err != nil {
+			return nil, err
+		}
+		if cfg.SharedCaptureCore {
+			q.capSv = e.sharedCapture
+		} else {
+			q.capSv = vtime.NewServer(sched, nil)
+		}
+		for i := 0; i < cfg.ThreadsPerQueue; i++ {
+			q.threads = append(q.threads, engines.NewThread(sched, nil, qi, h, q.fetch))
+		}
+		e.queues = append(e.queues, q)
+	}
+	// Buddy groups.
+	groups := cfg.BuddyGroups
+	if groups == nil {
+		all := make([]int, n.RxQueues())
+		for i := range all {
+			all[i] = i
+		}
+		groups = [][]int{all}
+	}
+	seen := make(map[int]bool)
+	for _, g := range groups {
+		for _, qi := range g {
+			if qi < 0 || qi >= len(e.queues) {
+				return nil, fmt.Errorf("core: buddy group names queue %d of %d", qi, len(e.queues))
+			}
+			if seen[qi] {
+				return nil, fmt.Errorf("core: queue %d in two buddy groups", qi)
+			}
+			seen[qi] = true
+		}
+		for _, qi := range g {
+			for _, b := range g {
+				e.queues[qi].buddies = append(e.queues[qi].buddies, e.queues[b])
+			}
+		}
+	}
+	// Arm every ring and register DMA callbacks; charge the engine's
+	// extra per-packet bus footprint (chunk metadata I/O).
+	for _, q := range e.queues {
+		for i := 0; i < q.ring.Size(); i++ {
+			if !q.arm(i) {
+				return nil, fmt.Errorf("core: queue %d: pool exhausted arming descriptor %d", q.queue, i)
+			}
+		}
+		q.ring.SetBusOverhead(wirecapBusOverhead)
+		q := q
+		q.ring.OnRx(func(i int) { q.onRx(i) })
+	}
+	e.applyPagePenalty()
+	return e, nil
+}
+
+// wirecapBusOverhead is the extra bus traffic per packet for WireCAP's
+// ring-buffer-pool bookkeeping (chunk metadata, extra descriptor I/O),
+// versus the baseline already included in the bus's per-transfer overhead.
+// It is what makes WireCAP lose to DNA at queues/NIC=1 in Figure 14 when
+// the bus saturates.
+const wirecapBusOverhead = 10
+
+// pagePenaltyPerGB models TLB pressure from very large pool footprints:
+// bytes of extra memory traffic per packet for each GB of pool memory
+// beyond 1 GB (paper §4: "a big-memory application typically pays a high
+// cost for page-based virtual memory").
+const pagePenaltyPerGB = 24
+
+func (e *Engine) applyPagePenalty() {
+	total := 0
+	for _, q := range e.queues {
+		total += q.pool.MemoryBytes()
+	}
+	const gb = 1 << 30
+	if total <= gb {
+		return
+	}
+	penalty := (total - gb) * pagePenaltyPerGB / gb
+	for _, q := range e.queues {
+		q.ring.SetBusOverhead(wirecapBusOverhead + penalty)
+	}
+}
+
+// Name implements engines.Engine; it follows the paper's naming scheme.
+func (e *Engine) Name() string {
+	if e.cfg.Mode == Advanced {
+		return fmt.Sprintf("WireCAP-A-(%d,%d,%d%%)", e.cfg.M, e.cfg.R, e.cfg.ThresholdPct)
+	}
+	return fmt.Sprintf("WireCAP-B-(%d,%d)", e.cfg.M, e.cfg.R)
+}
+
+// arm readies descriptor i with the next pool cell. It returns false, and
+// leaves the descriptor empty, when no cell is available (pool exhausted).
+func (q *wqueue) arm(i int) bool {
+	if q.armChunk == nil || q.armCell == q.armChunk.Cells() {
+		c, err := q.pool.AllocFree()
+		if err != nil {
+			q.stats.PoolExhausted++
+			q.ring.Invalidate(i)
+			q.starved = append(q.starved, i)
+			return false
+		}
+		q.armChunk = c
+		q.armCell = 0
+	}
+	cell := q.armCell
+	q.armCell++
+	q.ring.Refill(i, q.armChunk.Cell(cell))
+	q.cellOf(i).chunk = q.armChunk
+	q.cellOf(i).cell = cell
+	return true
+}
+
+// cellRefs is allocated lazily per queue.
+func (q *wqueue) cellOf(i int) *cellRef {
+	if q.cells == nil {
+		q.cells = make([]cellRef, q.ring.Size())
+	}
+	return &q.cells[i]
+}
+
+// onRx runs after DMA fills descriptor i.
+func (q *wqueue) onRx(i int) {
+	ref := *q.cellOf(i)
+	d := q.ring.Desc(i)
+	ref.chunk.SetPacket(ref.cell, d.Len, d.TS)
+	if ref.chunk.Full() {
+		if q.flushArmed && q.flushTarget == ref.chunk {
+			q.e.sched.Cancel(q.flushTimer)
+			q.flushArmed = false
+		}
+		q.scheduleCapture(ref.chunk)
+	} else if q.e.cfg.FlushTimeout > 0 && ref.chunk.PendingCount() == 1 {
+		// First pending packet in the frontier chunk: bound its delay.
+		q.armFlush(ref.chunk)
+	}
+	// Re-arm the descriptor immediately: the packet's bytes live in the
+	// pool cell, not the descriptor.
+	if len(q.starved) > 0 {
+		// Keep strict use-order arming: this descriptor queues behind the
+		// ones already starving.
+		q.starved = append(q.starved, i)
+		q.ring.Invalidate(i)
+		q.rearmStarved()
+		return
+	}
+	q.arm(i)
+}
+
+func (q *wqueue) rearmStarved() {
+	for len(q.starved) > 0 {
+		i := q.starved[0]
+		// arm re-appends to starved on failure; avoid duplicating.
+		if q.armChunk == nil || q.armCell == q.armChunk.Cells() {
+			c, err := q.pool.AllocFree()
+			if err != nil {
+				q.stats.PoolExhausted++
+				return
+			}
+			q.armChunk = c
+			q.armCell = 0
+		}
+		q.starved = q.starved[1:]
+		cell := q.armCell
+		q.armCell++
+		q.ring.Refill(i, q.armChunk.Cell(cell))
+		q.cellOf(i).chunk = q.armChunk
+		q.cellOf(i).cell = cell
+	}
+}
+
+// armFlush schedules the partial-chunk timeout for the frontier chunk.
+func (q *wqueue) armFlush(c *mem.Chunk) {
+	if q.flushArmed {
+		q.e.sched.Cancel(q.flushTimer)
+	}
+	q.flushArmed = true
+	q.flushTarget = c
+	q.flushTimer = q.e.sched.After(q.e.cfg.FlushTimeout, func() {
+		q.flushArmed = false
+		q.flush(c)
+	})
+}
+
+// scheduleCapture runs the chunk-granular capture ioctl on the capture
+// thread: the full chunk moves to a user-space capture queue by metadata
+// only.
+func (q *wqueue) scheduleCapture(c *mem.Chunk) {
+	q.capSv.ChargeAndCall(q.e.cfg.Costs.ChunkOp, func() {
+		meta, err := q.pool.Capture(c)
+		if err != nil {
+			panic(fmt.Sprintf("core: capture of full chunk failed: %v", err))
+		}
+		q.stats.ChunksCaptured++
+		h := &handedChunk{meta: meta, chunk: c, owner: q}
+		target := q.chooseTarget()
+		if target != q {
+			q.stats.ChunksOffloaded++
+		}
+		target.captureQ = append(target.captureQ, h)
+		target.kick()
+	})
+}
+
+// kick wakes every application thread serving this queue's work-queue
+// pair.
+func (q *wqueue) kick() {
+	for _, th := range q.threads {
+		th.Kick()
+	}
+}
+
+// chooseTarget implements the advanced-mode offloading decision (§3.2.2a
+// steps 1.b-1.d).
+func (q *wqueue) chooseTarget() *wqueue {
+	if q.e.cfg.Mode != Advanced || len(q.buddies) <= 1 {
+		return q
+	}
+	threshold := q.e.cfg.ThresholdPct * q.pool.R() / 100
+	if len(q.captureQ) <= threshold {
+		return q
+	}
+	switch q.e.cfg.Policy {
+	case OffloadRoundRobin:
+		q.e.rrState++
+		return q.buddies[q.e.rrState%len(q.buddies)]
+	case OffloadRandom:
+		return q.buddies[q.e.rnd.Intn(len(q.buddies))]
+	default:
+		best := q
+		for _, b := range q.buddies {
+			if len(b.captureQ) < len(best.captureQ) {
+				best = b
+			}
+		}
+		return best
+	}
+}
+
+// flush delivers a partially filled frontier chunk by copying its pending
+// packets into a free chunk (§3.2.1 capture operation step 3).
+func (q *wqueue) flush(c *mem.Chunk) {
+	if c.State() != mem.StateAttached || c.PendingCount() == 0 || c.Full() {
+		return
+	}
+	f, err := q.pool.AllocFree()
+	if err != nil {
+		// No free chunk to copy into; retry after another timeout so the
+		// packets are not held indefinitely.
+		q.armFlush(c)
+		return
+	}
+	k := c.PendingCount()
+	var cost vtime.Time = q.e.cfg.Costs.ChunkOp
+	base := c.Base()
+	for i := 0; i < k; i++ {
+		data, _ := c.Packet(base + i)
+		cost += q.e.cfg.Costs.CopyCost(len(data))
+	}
+	q.capSv.ChargeAndCall(cost, func() {
+		// Validate again at execution time: the chunk may have filled and
+		// been captured while the copy op waited.
+		if c.State() != mem.StateAttached || c.PendingCount() == 0 {
+			// Nothing to do; return f unused.
+			fm, err := q.pool.Capture(f)
+			if err == nil {
+				_ = q.pool.Recycle(fm)
+			}
+			return
+		}
+		k := c.PendingCount()
+		base := c.Base()
+		for i := 0; i < k; i++ {
+			data, ts := c.Packet(base + i)
+			copy(f.Cell(i), data)
+			f.SetPacket(i, len(data), ts)
+		}
+		c.SetBase(c.Count())
+		meta, err := q.pool.Capture(f)
+		if err != nil {
+			panic(fmt.Sprintf("core: flush capture failed: %v", err))
+		}
+		q.stats.ChunksFlushed++
+		q.stats.FlushedPackets += uint64(k)
+		h := &handedChunk{meta: meta, chunk: f, owner: q}
+		target := q.chooseTarget()
+		if target != q {
+			q.stats.ChunksOffloaded++
+		}
+		target.captureQ = append(target.captureQ, h)
+		target.kick()
+	})
+}
+
+// fetch is the user-space library path the application thread pulls
+// packets through: chunks come off the capture queue, packets are handed
+// out zero-copy, and exhausted chunks go to the recycle queue.
+func (q *wqueue) fetch() ([]byte, vtime.Time, func(), bool) {
+	for {
+		if q.cur == nil {
+			if len(q.captureQ) == 0 {
+				return nil, 0, nil, false
+			}
+			q.cur = q.captureQ[0]
+			copy(q.captureQ, q.captureQ[1:])
+			q.captureQ = q.captureQ[:len(q.captureQ)-1]
+		}
+		h := q.cur
+		if h.next >= h.meta.PktCount {
+			h.dispatched = true
+			if h.outstanding == 0 {
+				q.enqueueRecycle(h)
+			}
+			q.cur = nil
+			continue
+		}
+		idx := h.chunk.Base() + h.next
+		h.next++
+		h.outstanding++
+		q.stats.Delivered++
+		data, ts := h.chunk.Packet(idx)
+		release := func() {
+			h.outstanding--
+			if h.dispatched && h.outstanding == 0 {
+				q.enqueueRecycle(h)
+			}
+		}
+		return data, ts, release, true
+	}
+}
+
+// enqueueRecycle places a fully consumed chunk on this queue's recycle
+// queue and kicks the capture thread to run the recycle ioctl.
+func (q *wqueue) enqueueRecycle(h *handedChunk) {
+	q.recycleQ = append(q.recycleQ, h)
+	q.capSv.ChargeAndCall(q.e.cfg.Costs.ChunkOp, func() {
+		hh := q.recycleQ[0]
+		copy(q.recycleQ, q.recycleQ[1:])
+		q.recycleQ = q.recycleQ[:len(q.recycleQ)-1]
+		owner := hh.owner
+		if err := owner.pool.Recycle(hh.meta); err != nil {
+			panic(fmt.Sprintf("core: recycle failed: %v", err))
+		}
+		owner.rearmStarved()
+	})
+}
+
+// Stats implements engines.Engine.
+func (e *Engine) Stats() engines.Stats {
+	s := engines.Stats{Engine: e.Name()}
+	for _, q := range e.queues {
+		qs := q.stats.QueueStats
+		rs := q.ring.Stats()
+		qs.Received = rs.Received
+		qs.CaptureDrops = rs.Drops()
+		s.PerQueue = append(s.PerQueue, qs)
+	}
+	return s
+}
+
+// QueueStats returns the extended per-queue counters.
+func (e *Engine) QueueStats(q int) QueueStats {
+	qs := e.queues[q].stats
+	rs := e.queues[q].ring.Stats()
+	qs.Received = rs.Received
+	qs.CaptureDrops = rs.Drops()
+	return qs
+}
+
+// Pool exposes queue q's ring buffer pool (tests and the public library
+// use it).
+func (e *Engine) Pool(q int) *mem.Pool { return e.queues[q].pool }
+
+// AppBusy returns the cumulative CPU time of queue q's application
+// threads.
+func (e *Engine) AppBusy(q int) vtime.Time {
+	var total vtime.Time
+	for _, th := range e.queues[q].threads {
+		total += th.Busy()
+	}
+	return total
+}
+
+// CaptureBusy returns the cumulative CPU time of queue q's capture
+// thread.
+func (e *Engine) CaptureBusy(q int) vtime.Time { return e.queues[q].capSv.Charged() }
+
+// CaptureQueueLen returns the user-space capture queue length of queue q.
+func (e *Engine) CaptureQueueLen(q int) int { return len(e.queues[q].captureQ) }
+
+// Mode returns the configured operating mode.
+func (e *Engine) Mode() Mode { return e.cfg.Mode }
+
+// Close implements the paper's Close operation (§3.2.1): it stops
+// capture on every queue — cancelling pending flush timers, detaching
+// every descriptor so the NIC stops receiving into the pools — and
+// unmaps the ring buffer pools from the process. Packets already handed
+// to the application remain valid until recycled. Close is idempotent.
+func (e *Engine) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	var firstErr error
+	for _, q := range e.queues {
+		if q.flushArmed {
+			e.sched.Cancel(q.flushTimer)
+			q.flushArmed = false
+		}
+		q.ring.OnRx(nil)
+		for i := 0; i < q.ring.Size(); i++ {
+			q.ring.Invalidate(i)
+		}
+		if err := q.pool.Unmap(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Closed reports whether Close has run.
+func (e *Engine) Closed() bool { return e.closed }

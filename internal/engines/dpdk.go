@@ -1,0 +1,275 @@
+package engines
+
+import (
+	"repro/internal/nic"
+	"repro/internal/vtime"
+)
+
+// DPDK models an Intel-DPDK-style packet I/O framework (paper §6): packet
+// buffer pools (mempools) allocated in user space, descriptors re-armed
+// from the mempool so buffering capacity is the mempool size rather than
+// the ring size, run-to-completion polling by the application thread
+// itself, and zero-copy mbuf hand-off.
+//
+// DPDK "does not provide an offloading mechanism as WireCAP. To avoid
+// packet drops, a DPDK-based application must implement an offloading
+// mechanism in the application layer." The AppOffload option models
+// exactly that: the application thread re-steers packet references to the
+// least-loaded peer's software ring (rte_ring style), paying per-packet
+// steering and synchronization costs — versus WireCAP's chunk-granular
+// engine-level offload, which amortizes those costs over M packets. The
+// future-work comparison the paper calls for lives in
+// bench.ExtensionDPDK.
+type DPDK struct {
+	sched  *vtime.Scheduler
+	n      *nic.NIC
+	costs  CostModel
+	h      Handler
+	queues []*dpdkQueue
+
+	appOffload   bool
+	thresholdPct int
+}
+
+// DPDKConfig tunes the engine.
+type DPDKConfig struct {
+	// MempoolSize is the per-queue mbuf count (buffering capacity).
+	// Default 25,600, matching WireCAP-B-(256,100).
+	MempoolSize int
+	// AppOffload enables application-layer software steering to peer
+	// threads' software rings.
+	AppOffload bool
+	// ThresholdPct is the software-steering trigger, as a percentage of
+	// MempoolSize of outstanding work. Default 60.
+	ThresholdPct int
+	// SteerCost is charged to the donor thread per re-steered packet
+	// (hashing + rte_ring multi-producer enqueue). Default 150 ns.
+	SteerCost vtime.Time
+	// SyncCost is charged to the receiver per dequeued packet. Default
+	// 100 ns.
+	SyncCost vtime.Time
+	// PollCost is the rx_burst cost per polled packet. Default 15 ns.
+	PollCost vtime.Time
+}
+
+type dpdkMbuf struct {
+	data  []byte
+	n     int
+	ts    vtime.Time
+	owner *dpdkQueue // mempool the buffer returns to when freed
+}
+
+type dpdkQueue struct {
+	e     *DPDK
+	queue int
+	ring  *nic.RxRing
+	sv    *vtime.Server
+
+	// mempool accounting: free mbufs available for re-arming.
+	free    int
+	mbufs   [][]byte // spare buffers for re-arming
+	starved []int    // descriptors awaiting mbufs
+
+	// rxq holds mbufs pulled off the hardware ring by rx_burst, awaiting
+	// processing or steering; swq is the software ring peers steer
+	// packets into.
+	rxq []dpdkMbuf
+	swq []dpdkMbuf
+
+	tail     int
+	consumed uint64 // packets polled off the hardware ring so far
+	steered  uint64 // packets re-steered to peers (app offloading)
+	active   bool
+	stats    QueueStats
+
+	steerCost, syncCost, pollCost vtime.Time
+	threshold                     int
+}
+
+// NewDPDK builds the engine on every queue of n.
+func NewDPDK(sched *vtime.Scheduler, n *nic.NIC, costs CostModel, h Handler, cfg DPDKConfig) *DPDK {
+	if cfg.MempoolSize <= 0 {
+		cfg.MempoolSize = 25600
+	}
+	if cfg.ThresholdPct <= 0 {
+		cfg.ThresholdPct = 60
+	}
+	if cfg.SteerCost == 0 {
+		cfg.SteerCost = 150 * vtime.Nanosecond
+	}
+	if cfg.SyncCost == 0 {
+		cfg.SyncCost = 100 * vtime.Nanosecond
+	}
+	if cfg.PollCost == 0 {
+		cfg.PollCost = 15 * vtime.Nanosecond
+	}
+	e := &DPDK{
+		sched: sched, n: n, costs: costs, h: h,
+		appOffload: cfg.AppOffload, thresholdPct: cfg.ThresholdPct,
+	}
+	for qi := 0; qi < n.RxQueues(); qi++ {
+		q := &dpdkQueue{
+			e: e, queue: qi, ring: n.Rx(qi),
+			sv:        vtime.NewServer(sched, nil),
+			steerCost: cfg.SteerCost, syncCost: cfg.SyncCost, pollCost: cfg.PollCost,
+			threshold: cfg.ThresholdPct * cfg.MempoolSize / 100,
+		}
+		armPrivate(q.ring)
+		// The ring's descriptors hold ring-size mbufs; the rest of the
+		// mempool is spare.
+		q.free = cfg.MempoolSize - q.ring.Size()
+		if q.free < 0 {
+			q.free = 0
+		}
+		q.ring.OnRx(func(int) { q.kick() })
+		e.queues = append(e.queues, q)
+	}
+	return e
+}
+
+// Name implements Engine.
+func (e *DPDK) Name() string {
+	if e.appOffload {
+		return "DPDK+app-offload"
+	}
+	return "DPDK"
+}
+
+func (q *dpdkQueue) kick() {
+	if q.active {
+		return
+	}
+	q.active = true
+	q.step()
+}
+
+// backlog is the thread's outstanding work: pulled-but-unprocessed mbufs,
+// its software ring, and anything still sitting in the hardware ring.
+func (q *dpdkQueue) backlog() int {
+	ringBacklog := int(q.ring.Stats().Received - q.consumed)
+	return ringBacklog + len(q.rxq) + len(q.swq)
+}
+
+// pullBurst is rx_burst: it moves every used descriptor into the local
+// rxq (bounded by mbuf supply), re-arming descriptors from the mempool as
+// it goes, and charges the per-packet poll cost. This is what decouples
+// the hardware ring from the processing rate — DPDK's buffering capacity
+// is the mempool, not the ring.
+func (q *dpdkQueue) pullBurst() {
+	pulled := 0
+	for {
+		d := q.ring.Desc(q.tail)
+		if d.State != nic.DescUsed {
+			break
+		}
+		idx := q.tail
+		q.tail = (q.tail + 1) % q.ring.Size()
+		q.consumed++
+		q.rxq = append(q.rxq, dpdkMbuf{data: d.Buf, n: d.Len, ts: d.TS, owner: q})
+		q.rearm(idx)
+		pulled++
+	}
+	if pulled > 0 {
+		q.sv.Charge(vtime.Time(pulled) * q.pollCost)
+	}
+}
+
+// step is the worker loop: pull a burst, steer if overloaded, then
+// process one packet (peers' steered work first, rte_ring style).
+func (q *dpdkQueue) step() {
+	q.pullBurst()
+	// Application-layer offloading: above the backlog threshold, steer a
+	// packet to the least-loaded peer's software ring, paying the
+	// per-packet steering cost instead of the processing cost.
+	if q.e.appOffload && len(q.rxq) > 0 && q.backlog() > q.threshold {
+		target := q
+		for _, p := range q.e.queues {
+			if p.backlog() < target.backlog() {
+				target = p
+			}
+		}
+		if target != q {
+			m := q.rxq[0]
+			copy(q.rxq, q.rxq[1:])
+			q.rxq = q.rxq[:len(q.rxq)-1]
+			q.steered++
+			q.sv.ChargeAndCall(q.steerCost, func() {
+				target.swq = append(target.swq, m)
+				target.kick()
+				q.step()
+			})
+			return
+		}
+	}
+	var m dpdkMbuf
+	var sync vtime.Time
+	switch {
+	case len(q.swq) > 0:
+		m = q.swq[0]
+		copy(q.swq, q.swq[1:])
+		q.swq = q.swq[:len(q.swq)-1]
+		sync = q.syncCost
+	case len(q.rxq) > 0:
+		m = q.rxq[0]
+		copy(q.rxq, q.rxq[1:])
+		q.rxq = q.rxq[:len(q.rxq)-1]
+	default:
+		q.active = false
+		return
+	}
+	q.stats.Delivered++
+	cost := sync + q.e.h.Cost(q.queue, m.data[:m.n])
+	q.sv.ChargeAndCall(cost, func() {
+		q.e.h.Handle(q.queue, m.data[:m.n], m.ts, func() { m.owner.freeMbuf(m.data) })
+		q.step()
+	})
+}
+
+// rearm gives descriptor idx a fresh mbuf from the mempool.
+func (q *dpdkQueue) rearm(idx int) {
+	if n := len(q.mbufs); n > 0 {
+		buf := q.mbufs[n-1]
+		q.mbufs = q.mbufs[:n-1]
+		q.ring.Refill(idx, buf)
+		return
+	}
+	if q.free > 0 {
+		q.free--
+		q.ring.Refill(idx, make([]byte, 2048))
+		return
+	}
+	q.ring.Invalidate(idx)
+	q.starved = append(q.starved, idx)
+}
+
+// freeMbuf returns a consumed buffer to the mempool, re-arming a starved
+// descriptor if one is waiting.
+func (q *dpdkQueue) freeMbuf(buf []byte) {
+	if len(q.starved) > 0 {
+		idx := q.starved[0]
+		q.starved = q.starved[1:]
+		q.ring.Refill(idx, buf[:cap(buf)])
+		return
+	}
+	q.mbufs = append(q.mbufs, buf[:cap(buf)])
+}
+
+// QueueBusy returns the cumulative CPU time queue q's thread has
+// consumed (processing + steering + sync).
+func (e *DPDK) QueueBusy(q int) vtime.Time { return e.queues[q].sv.Charged() }
+
+// Steered returns how many packets queue q's thread re-steered to peers.
+func (e *DPDK) Steered(q int) uint64 { return e.queues[q].steered }
+
+// Stats implements Engine.
+func (e *DPDK) Stats() Stats {
+	s := Stats{Engine: e.Name()}
+	for _, q := range e.queues {
+		qs := q.stats
+		rs := q.ring.Stats()
+		qs.Received = rs.Received
+		qs.CaptureDrops = rs.Drops()
+		s.PerQueue = append(s.PerQueue, qs)
+	}
+	return s
+}

@@ -1,0 +1,282 @@
+package engines
+
+import (
+	"testing"
+
+	"repro/internal/nic"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// testHandler is a fixed-cost packet consumer with optional deferred
+// completion (to exercise forwarding-style buffer retention).
+type testHandler struct {
+	cost      vtime.Time
+	processed uint64
+	bytes     uint64
+	deferred  []func() // done callbacks held when deferDone is set
+	deferDone bool
+}
+
+func (h *testHandler) Cost(int, []byte) vtime.Time { return h.cost }
+
+func (h *testHandler) Handle(q int, data []byte, ts vtime.Time, done func()) {
+	h.processed++
+	h.bytes += uint64(len(data))
+	if h.deferDone {
+		h.deferred = append(h.deferred, done)
+		return
+	}
+	done()
+}
+
+// runConstant drives P 60-byte packets at wire rate into a 1-queue NIC
+// captured by the engine mk builds, and returns the engine and handler.
+func runConstant(t *testing.T, p uint64, cost vtime.Time,
+	mk func(*vtime.Scheduler, *nic.NIC, Handler) Engine) (Engine, *testHandler, *trace.DriveStats) {
+	t.Helper()
+	sched := vtime.NewScheduler()
+	n := nic.New(sched, nic.Config{ID: 0, RxQueues: 1, RingSize: 1024, Promiscuous: true})
+	h := &testHandler{cost: cost}
+	e := mk(sched, n, h)
+	src := trace.NewConstantRate(trace.ConstantRateConfig{Packets: p})
+	st := trace.Drive(sched, n, src, nil)
+	sched.Run()
+	return e, h, st
+}
+
+func TestDNACapturesWireRateNoLoad(t *testing.T) {
+	// x=0 equivalent: processing far faster than the wire.
+	e, h, st := runConstant(t, 20000, 10*vtime.Nanosecond,
+		func(s *vtime.Scheduler, n *nic.NIC, h Handler) Engine { return NewDNA(s, n, DefaultCosts(), h) })
+	if st.Sent != 20000 || h.processed != 20000 {
+		t.Fatalf("sent %d processed %d", st.Sent, h.processed)
+	}
+	if drops := e.Stats().Totals().TotalDrops(); drops != 0 {
+		t.Fatalf("drops = %d", drops)
+	}
+}
+
+func TestNETMAPCapturesWireRateNoLoad(t *testing.T) {
+	e, h, _ := runConstant(t, 20000, 10*vtime.Nanosecond,
+		func(s *vtime.Scheduler, n *nic.NIC, h Handler) Engine { return NewNETMAP(s, n, DefaultCosts(), h) })
+	if h.processed != 20000 {
+		t.Fatalf("processed %d", h.processed)
+	}
+	if drops := e.Stats().Totals().TotalDrops(); drops != 0 {
+		t.Fatalf("drops = %d", drops)
+	}
+}
+
+func TestTypeIILimitedBuffering(t *testing.T) {
+	// Heavy load: the consumer is far slower than the wire, so only about
+	// ring-size packets survive a burst. P = 5000 against a 1,024 ring.
+	cost := 25744 * vtime.Nanosecond // x=300 handler
+	e, h, st := runConstant(t, 5000, cost,
+		func(s *vtime.Scheduler, n *nic.NIC, h Handler) Engine { return NewDNA(s, n, DefaultCosts(), h) })
+	stats := e.Stats().Totals()
+	if stats.CaptureDrops == 0 {
+		t.Fatal("no capture drops despite overload burst")
+	}
+	if stats.DeliveryDrops != 0 {
+		t.Fatal("Type-II engine reported delivery drops")
+	}
+	// Everything that reached host memory must be processed, eventually.
+	if h.processed != stats.Received {
+		t.Fatalf("processed %d != received %d", h.processed, stats.Received)
+	}
+	if got := stats.Received + stats.CaptureDrops; got != st.Sent {
+		t.Fatalf("conservation: received %d + drops %d != sent %d",
+			stats.Received, stats.CaptureDrops, st.Sent)
+	}
+	// DNA's surviving share of a burst is roughly ring + rate-share.
+	if stats.Received < 1024 {
+		t.Fatalf("received %d < ring size", stats.Received)
+	}
+}
+
+func TestNETMAPWorseThanDNAUnderBursts(t *testing.T) {
+	// The batch-release behaviour must cost NETMAP more drops than DNA on
+	// the same bursty overload (paper Table 1, queue 3).
+	cost := 25744 * vtime.Nanosecond
+	run := func(mk func(*vtime.Scheduler, *nic.NIC, Handler) Engine) uint64 {
+		e, _, _ := runConstant(t, 20000, cost, mk)
+		return e.Stats().Totals().CaptureDrops
+	}
+	dna := run(func(s *vtime.Scheduler, n *nic.NIC, h Handler) Engine { return NewDNA(s, n, DefaultCosts(), h) })
+	nm := run(func(s *vtime.Scheduler, n *nic.NIC, h Handler) Engine { return NewNETMAP(s, n, DefaultCosts(), h) })
+	if nm < dna {
+		t.Fatalf("NETMAP drops %d < DNA drops %d", nm, dna)
+	}
+}
+
+func TestPFRingCopyLimitsCaptureRate(t *testing.T) {
+	// Even with a fast consumer, the per-packet kernel copy (~90 ns for
+	// 60 B) cannot keep up with the 67.2 ns wire interval: capture drops.
+	e, _, st := runConstant(t, 50000, 10*vtime.Nanosecond,
+		func(s *vtime.Scheduler, n *nic.NIC, h Handler) Engine {
+			return NewPFRing(s, n, DefaultCosts(), h, 10240)
+		})
+	stats := e.Stats().Totals()
+	rate := float64(stats.CaptureDrops) / float64(st.Sent)
+	if rate < 0.10 || rate > 0.50 {
+		t.Fatalf("PF_RING capture drop rate = %.2f, want 0.10..0.50", rate)
+	}
+}
+
+func TestPFRingDeliveryDropsUnderHeavyLoad(t *testing.T) {
+	// Slow consumer at sub-copy-rate arrivals: the kernel captures
+	// everything, the pf_ring overflows: delivery drops, no capture
+	// drops. Offer 100k packets at 200 kp/s against a 38.8 kp/s consumer.
+	sched := vtime.NewScheduler()
+	n := nic.New(sched, nic.Config{ID: 0, RxQueues: 1, RingSize: 1024, Promiscuous: true})
+	h := &testHandler{cost: 25744 * vtime.Nanosecond}
+	e := NewPFRing(sched, n, DefaultCosts(), h, 10240)
+	src := trace.NewConstantRate(trace.ConstantRateConfig{
+		Packets:     100000,
+		LineRateBps: 200000 * 84 * 8, // 200 kp/s of 64-byte frames
+	})
+	st := trace.Drive(sched, n, src, nil)
+	sched.Run()
+	stats := e.Stats().Totals()
+	if stats.DeliveryDrops == 0 {
+		t.Fatalf("no delivery drops: %+v", stats)
+	}
+	if stats.CaptureDrops > st.Sent/100 {
+		t.Fatalf("unexpected capture drops %d", stats.CaptureDrops)
+	}
+	if stats.Received+stats.CaptureDrops != st.Sent {
+		t.Fatal("conservation violated")
+	}
+	if h.processed+stats.DeliveryDrops != stats.Received {
+		t.Fatalf("processed %d + delivery drops %d != received %d",
+			h.processed, stats.DeliveryDrops, stats.Received)
+	}
+}
+
+func TestPFRingLivelockSlowsApplication(t *testing.T) {
+	// With kernel polling on the app core, the app's effective rate under
+	// copy pressure must fall below its nominal rate.
+	sched := vtime.NewScheduler()
+	n := nic.New(sched, nic.Config{ID: 0, RxQueues: 1, RingSize: 1024, Promiscuous: true})
+	h := &testHandler{cost: 25744 * vtime.Nanosecond}
+	NewPFRing(sched, n, DefaultCosts(), h, 10240)
+	// Wire-rate input for 0.1 s: kernel copies consume > 100% of a core.
+	src := trace.NewConstantRate(trace.ConstantRateConfig{Packets: 1488000 / 10})
+	trace.Drive(sched, n, src, nil)
+	sched.RunUntil(100 * vtime.Millisecond)
+	nominal := uint64(100 * vtime.Millisecond / (25744 * vtime.Nanosecond))
+	if h.processed >= nominal*95/100 {
+		t.Fatalf("no livelock: processed %d of nominal %d in window", h.processed, nominal)
+	}
+	sched.Run() // drain to completion for cleanliness
+}
+
+func TestRawSocketFarSlowerThanPFRing(t *testing.T) {
+	cost := vtime.Nanosecond // infinitely fast app isolates engine cost
+	run := func(mk func(*vtime.Scheduler, *nic.NIC, Handler) Engine) float64 {
+		e, _, st := runConstant(t, 30000, cost, mk)
+		return e.Stats().DropRate(st.Sent)
+	}
+	pf := run(func(s *vtime.Scheduler, n *nic.NIC, h Handler) Engine {
+		return NewPFRing(s, n, DefaultCosts(), h, 10240)
+	})
+	raw := run(func(s *vtime.Scheduler, n *nic.NIC, h Handler) Engine {
+		return NewRawSocket(s, n, DefaultCosts(), h)
+	})
+	if raw <= pf {
+		t.Fatalf("PF_PACKET drop rate %.2f <= PF_RING %.2f", raw, pf)
+	}
+	if raw < 0.9 {
+		t.Fatalf("PF_PACKET drop rate %.2f unexpectedly low at wire rate", raw)
+	}
+}
+
+func TestPSIOECapturesLightLoad(t *testing.T) {
+	e, h, st := runConstant(t, 20000, 10*vtime.Nanosecond,
+		func(s *vtime.Scheduler, n *nic.NIC, h Handler) Engine { return NewPSIOE(s, n, DefaultCosts(), h) })
+	stats := e.Stats().Totals()
+	// The user-space copy costs ~90 ns/packet at wire rate: PSIOE cannot
+	// quite keep up with 64-byte wire speed either.
+	if h.processed == 0 {
+		t.Fatal("nothing processed")
+	}
+	if stats.Received+stats.CaptureDrops != st.Sent {
+		t.Fatal("conservation violated")
+	}
+}
+
+func TestPSIOELimitedBufferingUnderHeavyLoad(t *testing.T) {
+	cost := 25744 * vtime.Nanosecond
+	e, h, st := runConstant(t, 20000, cost,
+		func(s *vtime.Scheduler, n *nic.NIC, h Handler) Engine { return NewPSIOE(s, n, DefaultCosts(), h) })
+	stats := e.Stats().Totals()
+	if stats.CaptureDrops == 0 {
+		t.Fatal("no capture drops despite heavy load burst")
+	}
+	// PSIOE buffers ring + user buffer: the burst survivors are bounded.
+	maxSurvivors := uint64(1024 + PSIOEBufferSlots + 4096)
+	if h.processed > maxSurvivors {
+		t.Fatalf("processed %d exceeds buffering bound %d", h.processed, maxSurvivors)
+	}
+	if stats.Received+stats.CaptureDrops != st.Sent {
+		t.Fatal("conservation violated")
+	}
+}
+
+func TestDeferredDoneHoldsTypeIIDescriptors(t *testing.T) {
+	// When the handler defers done (forwarding), DNA must not reuse the
+	// descriptor until done is called: with every done deferred, at most
+	// ring-size packets are ever delivered.
+	sched := vtime.NewScheduler()
+	n := nic.New(sched, nic.Config{ID: 0, RxQueues: 1, RingSize: 64, Promiscuous: true})
+	h := &testHandler{cost: 10 * vtime.Nanosecond, deferDone: true}
+	e := NewDNA(sched, n, DefaultCosts(), h)
+	src := trace.NewConstantRate(trace.ConstantRateConfig{Packets: 1000})
+	trace.Drive(sched, n, src, nil)
+	sched.Run()
+	if h.processed > 64 {
+		t.Fatalf("delivered %d > ring size with all buffers held", h.processed)
+	}
+	// Releasing the buffers lets capture resume on new traffic.
+	for _, done := range h.deferred {
+		done()
+	}
+	h.deferred = nil
+	src2 := trace.NewConstantRate(trace.ConstantRateConfig{Packets: 32, Start: sched.Now()})
+	trace.Drive(sched, n, src2, nil)
+	sched.Run()
+	if h.processed < 64+32 {
+		t.Fatalf("capture did not resume after release: %d", h.processed)
+	}
+	_ = e
+}
+
+func TestHandlerCostCalibration(t *testing.T) {
+	m := DefaultCosts()
+	c := m.HandlerCost(300)
+	rate := 1 / c.Seconds()
+	if rate < 38500 || rate > 39200 {
+		t.Fatalf("x=300 rate = %.0f p/s, want ~38,844", rate)
+	}
+	if m.HandlerCost(0) > 67*vtime.Nanosecond {
+		t.Fatalf("x=0 cost %v cannot keep wire rate", m.HandlerCost(0))
+	}
+}
+
+func TestStatsTotalsAndDropRate(t *testing.T) {
+	s := Stats{PerQueue: []QueueStats{
+		{Received: 10, CaptureDrops: 2, DeliveryDrops: 1, Delivered: 9},
+		{Received: 5, CaptureDrops: 3, DeliveryDrops: 0, Delivered: 5},
+	}}
+	tot := s.Totals()
+	if tot.Received != 15 || tot.TotalDrops() != 6 || tot.Delivered != 14 {
+		t.Fatalf("totals = %+v", tot)
+	}
+	if got := s.DropRate(20); got != 0.3 {
+		t.Fatalf("DropRate = %v", got)
+	}
+	if got := s.DropRate(0); got != 0 {
+		t.Fatalf("DropRate(0) = %v", got)
+	}
+}

@@ -1,0 +1,195 @@
+package engines
+
+import (
+	"repro/internal/nic"
+	"repro/internal/vtime"
+)
+
+// PFRing is the Type-I engine (paper §2.1): Linux NAPI polling in kernel
+// context copies each received packet from its ring buffer into an
+// intermediate per-queue buffer (the pf_ring), immediately refilling the
+// descriptor, and the application consumes from the memory-mapped pf_ring.
+//
+// Two pathologies follow, both reproduced here:
+//
+//   - One copy per packet bounds the capture rate below 64-byte wire rate
+//     (capture drops even with an infinitely fast application).
+//   - NAPI runs on the application's core, so at high packet rates the
+//     kernel steals CPU from the application even for packets that are
+//     later discarded at a full pf_ring — receive livelock. The modeled
+//     application core is slowed by the kernel's measured utilization.
+type PFRing struct {
+	name  string
+	sched *vtime.Scheduler
+	n     *nic.NIC
+	costs CostModel
+	// kernelExtra is added to every per-packet kernel copy: zero for
+	// PF_RING, the protocol-stack cost for the PF_PACKET variant.
+	kernelExtra vtime.Time
+	queues      []*pfringQueue
+}
+
+// pfringSlot is one entry of the intermediate buffer: the copy target.
+type pfringSlot struct {
+	data []byte
+	n    int
+	ts   vtime.Time
+}
+
+type pfringQueue struct {
+	e    *PFRing
+	ring *nic.RxRing
+
+	core     *vtime.Core // shared by the app thread and kernel polling
+	kernelSv *vtime.Server
+	thread   *Thread
+
+	// pf_ring: a fixed-capacity FIFO of copied packets.
+	fifo     []pfringSlot
+	head     int // next slot the application reads
+	used     int // slots holding packets not yet fetched
+	held     int // slots fetched by the application, not yet released
+	capacity int
+
+	ktail   int // next descriptor the kernel will copy
+	kactive bool
+
+	// kernel utilization tracking for the livelock model.
+	kernelWork vtime.Time // work charged since the last utilization tick
+	tickArmed  bool
+
+	stats QueueStats
+}
+
+// PFRingBufferSlots is the default pf_ring capacity; the paper sets it to
+// 10,240.
+const PFRingBufferSlots = 10240
+
+// NewPFRing builds a PF_RING-like engine on every queue of n.
+func NewPFRing(sched *vtime.Scheduler, n *nic.NIC, costs CostModel, h Handler, slots int) *PFRing {
+	if slots <= 0 {
+		slots = PFRingBufferSlots
+	}
+	return newTypeI("PF_RING", sched, n, costs, h, slots, 0)
+}
+
+// RawSocketBufferSlots approximates the default PF_PACKET socket buffer in
+// 2 KB slots.
+const RawSocketBufferSlots = 4096
+
+// NewRawSocket builds a PF_PACKET-like engine: the Type-I structure plus
+// the full protocol-stack cost on every packet. It exists as the
+// "standard OS services" baseline the paper dismisses as far too slow for
+// high-speed capture (§2.1, citing [9]).
+func NewRawSocket(sched *vtime.Scheduler, n *nic.NIC, costs CostModel, h Handler) *PFRing {
+	return newTypeI("PF_PACKET", sched, n, costs, h, RawSocketBufferSlots, costs.KernelStackPerPkt)
+}
+
+func newTypeI(name string, sched *vtime.Scheduler, n *nic.NIC, costs CostModel, h Handler, slots int, kernelExtra vtime.Time) *PFRing {
+	e := &PFRing{name: name, sched: sched, n: n, costs: costs, kernelExtra: kernelExtra}
+	for qi := 0; qi < n.RxQueues(); qi++ {
+		q := &pfringQueue{e: e, ring: n.Rx(qi), capacity: slots, core: vtime.NewCore()}
+		armPrivate(q.ring)
+		q.fifo = make([]pfringSlot, slots)
+		for i := range q.fifo {
+			q.fifo[i].data = make([]byte, 2048)
+		}
+		q.kernelSv = vtime.NewServer(sched, nil)
+		q.thread = NewThread(sched, q.core, qi, h, q.fetch)
+		q.ring.OnRx(func(int) { q.kickKernel() })
+		e.queues = append(e.queues, q)
+	}
+	return e
+}
+
+// Name implements Engine.
+func (e *PFRing) Name() string { return e.name }
+
+// utilizationTick measures kernel CPU consumption over 1 ms windows and
+// slows the application core accordingly: the fluid livelock model.
+const utilizationWindow = vtime.Millisecond
+
+func (q *pfringQueue) scheduleUtilizationTick() {
+	q.tickArmed = true
+	q.e.sched.After(utilizationWindow, func() {
+		share := float64(q.kernelWork) / float64(utilizationWindow)
+		q.kernelWork = 0
+		q.core.SetKernelShare(share)
+		if share == 0 && !q.kactive {
+			// Idle: stop ticking so the event queue can drain; the next
+			// kickKernel re-arms the tick.
+			q.tickArmed = false
+			return
+		}
+		q.scheduleUtilizationTick()
+	})
+}
+
+// kickKernel starts the NAPI copy loop if it is idle.
+func (q *pfringQueue) kickKernel() {
+	if !q.tickArmed {
+		q.scheduleUtilizationTick()
+	}
+	if q.kactive {
+		return
+	}
+	q.kactive = true
+	q.kernelStep()
+}
+
+func (q *pfringQueue) kernelStep() {
+	d := q.ring.Desc(q.ktail)
+	if d.State != nic.DescUsed {
+		q.kactive = false
+		return
+	}
+	idx := q.ktail
+	q.ktail = (q.ktail + 1) % q.ring.Size()
+	cost := q.e.costs.CopyCost(d.Len) + q.e.kernelExtra
+	q.kernelWork += cost
+	q.kernelSv.ChargeAndCall(cost, func() {
+		dd := q.ring.Desc(idx)
+		if q.used+q.held < q.capacity {
+			slot := &q.fifo[(q.head+q.used)%q.capacity]
+			copy(slot.data, dd.Buf[:dd.Len])
+			slot.n = dd.Len
+			slot.ts = dd.TS
+			q.used++
+			q.thread.Kick()
+		} else {
+			// pf_ring overflow: the copy work was spent, the packet is
+			// lost anyway — the livelock signature.
+			q.stats.DeliveryDrops++
+		}
+		q.ring.Refill(idx, dd.Buf)
+		q.kernelStep()
+	})
+}
+
+// fetch pops the next packet from the pf_ring FIFO. The slot stays owned
+// by the application (held) until the release callback runs, so the
+// kernel cannot overwrite a packet that is still being processed.
+func (q *pfringQueue) fetch() ([]byte, vtime.Time, func(), bool) {
+	if q.used == 0 {
+		return nil, 0, nil, false
+	}
+	slot := &q.fifo[q.head]
+	q.head = (q.head + 1) % q.capacity
+	q.used--
+	q.held++
+	q.stats.Delivered++
+	return slot.data[:slot.n], slot.ts, func() { q.held-- }, true
+}
+
+// Stats implements Engine.
+func (e *PFRing) Stats() Stats {
+	s := Stats{Engine: e.Name()}
+	for _, q := range e.queues {
+		qs := q.stats
+		rs := q.ring.Stats()
+		qs.Received = rs.Received
+		qs.CaptureDrops = rs.Drops()
+		s.PerQueue = append(s.PerQueue, qs)
+	}
+	return s
+}

@@ -1,0 +1,129 @@
+package engines
+
+import (
+	"repro/internal/nic"
+	"repro/internal/vtime"
+)
+
+// PSIOE models the PacketShader I/O engine (paper §6): the application's
+// own user-space thread copies batches of packets from the receive ring
+// into a consecutive user-level buffer, releasing the descriptors, and
+// then processes the batch. The copy competes for the same core as
+// processing — cooperatively rather than by preemption — and the user
+// buffer is small, so PSIOE "provides only a limited buffering capability
+// ... not suitable for a heavy-load application".
+type PSIOE struct {
+	sched  *vtime.Scheduler
+	n      *nic.NIC
+	costs  CostModel
+	h      Handler
+	queues []*psioeQueue
+}
+
+// PSIOEBatch is the copy batch size (PacketShader fetches packets in
+// chunks of 64).
+const PSIOEBatch = 64
+
+// PSIOEBufferSlots is the user-buffer capacity in packets.
+const PSIOEBufferSlots = 4096
+
+type psioeQueue struct {
+	e      *PSIOE
+	queue  int
+	ring   *nic.RxRing
+	sv     *vtime.Server
+	ubuf   []pfringSlot
+	head   int
+	used   int // slots holding packets not yet dispatched
+	held   int // slots dispatched to the handler, not yet released
+	tail   int // next ring descriptor to copy from
+	active bool
+	stats  QueueStats
+}
+
+// NewPSIOE builds a PSIOE-like engine on every queue of n.
+func NewPSIOE(sched *vtime.Scheduler, n *nic.NIC, costs CostModel, h Handler) *PSIOE {
+	e := &PSIOE{sched: sched, n: n, costs: costs, h: h}
+	for qi := 0; qi < n.RxQueues(); qi++ {
+		q := &psioeQueue{e: e, queue: qi, ring: n.Rx(qi), sv: vtime.NewServer(sched, nil)}
+		armPrivate(q.ring)
+		q.ubuf = make([]pfringSlot, PSIOEBufferSlots)
+		for i := range q.ubuf {
+			q.ubuf[i].data = make([]byte, 2048)
+		}
+		q.ring.OnRx(func(int) { q.kick() })
+		e.queues = append(e.queues, q)
+	}
+	return e
+}
+
+// Name implements Engine.
+func (e *PSIOE) Name() string { return "PSIOE" }
+
+func (q *psioeQueue) kick() {
+	if q.active {
+		return
+	}
+	q.active = true
+	q.step()
+}
+
+// step is the worker loop: process from the user buffer if it has data,
+// otherwise copy a batch in from the ring, otherwise block.
+func (q *psioeQueue) step() {
+	if q.used > 0 {
+		slot := &q.ubuf[q.head]
+		q.head = (q.head + 1) % len(q.ubuf)
+		q.used--
+		q.held++
+		q.stats.Delivered++
+		data, ts := slot.data[:slot.n], slot.ts
+		cost := q.e.h.Cost(q.queue, data)
+		q.sv.ChargeAndCall(cost, func() {
+			q.e.h.Handle(q.queue, data, ts, func() { q.held-- })
+			q.step()
+		})
+		return
+	}
+	// Copy a batch from the ring into the user buffer.
+	var idxs []int
+	var copyCost vtime.Time
+	for len(idxs) < PSIOEBatch && q.used+q.held+len(idxs) < len(q.ubuf) {
+		d := q.ring.Desc(q.tail)
+		if d.State != nic.DescUsed {
+			break
+		}
+		idxs = append(idxs, q.tail)
+		q.tail = (q.tail + 1) % q.ring.Size()
+		copyCost += q.e.costs.CopyCost(d.Len)
+	}
+	if len(idxs) == 0 {
+		q.active = false
+		return
+	}
+	q.sv.ChargeAndCall(copyCost, func() {
+		for _, idx := range idxs {
+			d := q.ring.Desc(idx)
+			slot := &q.ubuf[(q.head+q.used)%len(q.ubuf)]
+			copy(slot.data, d.Buf[:d.Len])
+			slot.n = d.Len
+			slot.ts = d.TS
+			q.used++
+			q.ring.Refill(idx, d.Buf)
+		}
+		q.step()
+	})
+}
+
+// Stats implements Engine.
+func (e *PSIOE) Stats() Stats {
+	s := Stats{Engine: e.Name()}
+	for _, q := range e.queues {
+		qs := q.stats
+		rs := q.ring.Stats()
+		qs.Received = rs.Received
+		qs.CaptureDrops = rs.Drops()
+		s.PerQueue = append(s.PerQueue, qs)
+	}
+	return s
+}

@@ -1,0 +1,91 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestBaseMarksDeliveredPackets(t *testing.T) {
+	p := newMappedPool(t, 8, 2)
+	c, _ := p.AllocFree()
+	for i := 0; i < 5; i++ {
+		c.SetPacket(i, 10, 0)
+	}
+	if c.PendingCount() != 5 {
+		t.Fatalf("pending = %d", c.PendingCount())
+	}
+	c.SetBase(5)
+	if c.PendingCount() != 0 || c.Base() != 5 || c.Count() != 5 {
+		t.Fatalf("after SetBase: base %d count %d pending %d", c.Base(), c.Count(), c.PendingCount())
+	}
+	// The chunk keeps filling after a flush.
+	for i := 5; i < 8; i++ {
+		c.SetPacket(i, 10, 0)
+	}
+	if c.PendingCount() != 3 || !c.Full() {
+		t.Fatalf("pending %d full %v", c.PendingCount(), c.Full())
+	}
+	// Capture metadata reflects only undelivered packets.
+	meta, err := p.Capture(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.PktCount != 3 {
+		t.Fatalf("meta.PktCount = %d, want 3", meta.PktCount)
+	}
+	// Recycle validation uses count-base too, and resets base.
+	if err := p.Recycle(meta); err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := p.AllocFree()
+	if c2.Base() != 0 && c.Base() != 0 {
+		t.Fatal("base not reset on recycle")
+	}
+}
+
+func TestSetBaseBoundsPanics(t *testing.T) {
+	p := NewPool(0, 0, 4, 1)
+	c, _ := p.AllocFree()
+	c.SetPacket(0, 1, 0)
+	for _, k := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetBase(%d) did not panic", k)
+				}
+			}()
+			c.SetBase(k)
+		}()
+	}
+}
+
+func TestRecycleCountValidatesPending(t *testing.T) {
+	p := newMappedPool(t, 4, 1)
+	c, _ := p.AllocFree()
+	c.SetPacket(0, 1, 0)
+	c.SetPacket(1, 1, 0)
+	c.SetBase(1)
+	meta, err := p.Capture(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forged count equal to raw count (2) instead of pending (1).
+	bad := meta
+	bad.PktCount = 2
+	if err := p.Recycle(bad); !errors.Is(err, ErrBadPktCount) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := p.Recycle(meta); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvariantsCatchBadBase(t *testing.T) {
+	p := newMappedPool(t, 4, 1)
+	c, _ := p.AllocFree()
+	c.SetPacket(0, 1, 0)
+	c.base = 3 // corrupt directly, bypassing SetBase
+	if err := p.CheckInvariants(); err == nil {
+		t.Fatal("invariant check missed base > count")
+	}
+}

@@ -1,0 +1,431 @@
+// Package mem simulates the host-memory side of packet capture: fixed-size
+// packet-buffer cells, chunks of cells occupying (simulated) physically
+// contiguous memory, ring buffer pools with the free/attached/captured
+// chunk life cycle from the WireCAP paper (§3.2.1), and the three address
+// spaces — DMA, kernel, process — a chunk is visible in.
+//
+// "Zero-copy" in the simulation means a chunk changes hands by metadata
+// only; the cell bytes stay put. The cost model in internal/core charges
+// virtual time accordingly.
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/vtime"
+)
+
+// CellSize is the size of one packet-buffer cell. The paper's
+// implementation uses 2 KB cells (§5a).
+const CellSize = 2048
+
+// ChunkState is the life-cycle state of a packet buffer chunk.
+type ChunkState int
+
+// Chunk states (paper §3.2.1).
+const (
+	// StateFree: maintained in the kernel, available for (re)use.
+	StateFree ChunkState = iota
+	// StateAttached: attached to a descriptor segment, receiving packets.
+	StateAttached
+	// StateCaptured: filled and handed to user space.
+	StateCaptured
+)
+
+func (s ChunkState) String() string {
+	switch s {
+	case StateFree:
+		return "free"
+	case StateAttached:
+		return "attached"
+	case StateCaptured:
+		return "captured"
+	default:
+		return fmt.Sprintf("ChunkState(%d)", int(s))
+	}
+}
+
+// ChunkID globally identifies a packet buffer chunk as the paper's
+// {nic_id, ring_id, chunk_id} tuple.
+type ChunkID struct {
+	NIC, Ring, Chunk int
+}
+
+func (id ChunkID) String() string {
+	return fmt.Sprintf("{nic %d, ring %d, chunk %d}", id.NIC, id.Ring, id.Chunk)
+}
+
+// Addr is a simulated memory address. Distinct address spaces use distinct
+// high bits so confusing them is detectable.
+type Addr uint64
+
+// Address-space tags.
+const (
+	dmaSpace    Addr = 0x1 << 60
+	kernelSpace Addr = 0x2 << 60
+	procSpace   Addr = 0x3 << 60
+	spaceMask   Addr = 0xf << 60
+)
+
+// Space returns a human-readable name of the address's space.
+func (a Addr) Space() string {
+	switch a & spaceMask {
+	case dmaSpace:
+		return "dma"
+	case kernelSpace:
+		return "kernel"
+	case procSpace:
+		return "process"
+	default:
+		return "invalid"
+	}
+}
+
+// Chunk is a group of M packet-buffer cells occupying simulated physically
+// contiguous memory. A chunk is created by a Pool and never freed; only
+// its state changes.
+type Chunk struct {
+	id    ChunkID
+	state ChunkState
+	pool  *Pool
+
+	// cells[i] is the i-th packet buffer; lens[i] the valid bytes in it;
+	// stamps[i] the packet's arrival (capture) timestamp.
+	cells  [][]byte
+	lens   []int
+	stamps []vtime.Time
+
+	// count is the number of cells filled so far; base is the index of
+	// the first undelivered packet. Normally base is 0; a timeout flush
+	// (which copies the partial contents out to a free chunk) advances
+	// base so the already-delivered packets are not delivered twice when
+	// the chunk eventually fills. The metadata pkt_count field is
+	// count - base.
+	count int
+	base  int
+
+	// refs counts outstanding zero-copy references (packets attached to a
+	// transmit ring). A chunk with refs > 0 cannot be recycled yet.
+	refs int
+
+	memBase Addr // DMA base address; kernel/process addresses derive from it
+}
+
+// ID returns the chunk's global identity.
+func (c *Chunk) ID() ChunkID { return c.id }
+
+// State returns the chunk's current life-cycle state.
+func (c *Chunk) State() ChunkState { return c.state }
+
+// Cells returns the number of cells (M).
+func (c *Chunk) Cells() int { return len(c.cells) }
+
+// Count returns the number of cells filled in the chunk.
+func (c *Chunk) Count() int { return c.count }
+
+// Base returns the index of the first undelivered packet.
+func (c *Chunk) Base() int { return c.base }
+
+// SetBase marks packets before k as already delivered (by a timeout
+// flush copy). k must not exceed the filled count.
+func (c *Chunk) SetBase(k int) {
+	if k < 0 || k > c.count {
+		panic(fmt.Sprintf("mem: SetBase(%d) with count %d in %v", k, c.count, c.id))
+	}
+	c.base = k
+}
+
+// PendingCount returns the number of undelivered packets (count - base).
+func (c *Chunk) PendingCount() int { return c.count - c.base }
+
+// Cell returns the i-th cell's full buffer.
+func (c *Chunk) Cell(i int) []byte { return c.cells[i] }
+
+// Packet returns the valid bytes and timestamp of the i-th stored packet.
+func (c *Chunk) Packet(i int) ([]byte, vtime.Time) {
+	return c.cells[i][:c.lens[i]], c.stamps[i]
+}
+
+// SetPacket records that cell i now holds n valid bytes received at ts.
+// The NIC's DMA engine calls it; the bytes themselves were written through
+// the cell slice. Cells must be filled in order.
+func (c *Chunk) SetPacket(i, n int, ts vtime.Time) {
+	if i != c.count {
+		panic(fmt.Sprintf("mem: out-of-order cell fill %d (count %d) in %v", i, c.count, c.id))
+	}
+	c.lens[i] = n
+	c.stamps[i] = ts
+	c.count++
+}
+
+// Full reports whether every cell holds a packet.
+func (c *Chunk) Full() bool { return c.count == len(c.cells) }
+
+// Retain adds a zero-copy reference (a packet handed to a TX ring).
+func (c *Chunk) Retain() { c.refs++ }
+
+// Release drops a zero-copy reference and reports whether none remain.
+func (c *Chunk) Release() bool {
+	if c.refs <= 0 {
+		panic(fmt.Sprintf("mem: Release of chunk %v with no references", c.id))
+	}
+	c.refs--
+	return c.refs == 0
+}
+
+// Refs returns the outstanding zero-copy reference count.
+func (c *Chunk) Refs() int { return c.refs }
+
+// DMAAddr returns the address the NIC uses for cell i.
+func (c *Chunk) DMAAddr(i int) Addr { return dmaSpace | (c.memBase + Addr(i*CellSize)) }
+
+// KernelAddr returns the address the kernel driver uses for cell i.
+func (c *Chunk) KernelAddr(i int) Addr { return kernelSpace | (c.memBase + Addr(i*CellSize)) }
+
+// ProcAddr returns the address a user process sees for cell i. It is only
+// valid while the owning pool is mapped.
+func (c *Chunk) ProcAddr(i int) Addr { return procSpace | (c.memBase + Addr(i*CellSize)) }
+
+// Meta is the metadata descriptor passed between kernel and user space for
+// a captured chunk: {ChunkID, process address, packet count}. Passing Meta
+// instead of bytes is what makes capture and recycle zero-copy.
+type Meta struct {
+	ID       ChunkID
+	ProcAddr Addr
+	PktCount int
+}
+
+// Recycle validation errors. The kernel strictly validates metadata coming
+// back from user space (paper §3.2.2c); a misbehaving application must not
+// corrupt kernel state.
+var (
+	ErrUnknownChunk  = errors.New("mem: recycle of unknown chunk")
+	ErrNotCaptured   = errors.New("mem: recycle of chunk not in captured state")
+	ErrBadProcAddr   = errors.New("mem: recycle metadata process address mismatch")
+	ErrBadPktCount   = errors.New("mem: recycle metadata packet count mismatch")
+	ErrStillRef      = errors.New("mem: recycle of chunk with outstanding references")
+	ErrNotMapped     = errors.New("mem: pool not mapped into process space")
+	ErrAlreadyMapped = errors.New("mem: pool already mapped")
+	ErrNoFreeChunk   = errors.New("mem: no free chunk in pool")
+)
+
+// PoolStats counts pool-level events.
+type PoolStats struct {
+	Allocated        uint64 // free -> attached transitions
+	Captured         uint64 // attached -> captured transitions
+	Recycled         uint64 // captured -> free transitions
+	RecycleRejected  uint64 // recycle attempts failing validation
+	AllocFailures    uint64 // AllocFree calls that found the pool empty
+	LowWatermarkFree int    // fewest simultaneously free chunks observed
+}
+
+// Pool is a ring buffer pool: R chunks of M cells each, allocated in the
+// kernel for one receive ring and optionally mapped into one process's
+// address space.
+type Pool struct {
+	nicID, ringID int
+	m, r          int
+	chunks        []*Chunk
+	free          []*Chunk
+	mapped        bool
+	stats         PoolStats
+}
+
+// nextBase allocates globally unique simulated physical addresses. It is
+// atomic so independent simulations may be built from concurrent
+// goroutines (the experiment harness runs scenarios in parallel).
+var nextBase atomic.Uint64
+
+// NewPool allocates a pool of r chunks with m cells each for the given
+// receive ring.
+func NewPool(nicID, ringID, m, r int) *Pool {
+	if m <= 0 || r <= 0 {
+		panic(fmt.Sprintf("mem: invalid pool geometry M=%d R=%d", m, r))
+	}
+	p := &Pool{nicID: nicID, ringID: ringID, m: m, r: r}
+	p.chunks = make([]*Chunk, r)
+	p.free = make([]*Chunk, 0, r)
+	for i := 0; i < r; i++ {
+		backing := make([]byte, m*CellSize)
+		c := &Chunk{
+			id:      ChunkID{NIC: nicID, Ring: ringID, Chunk: i},
+			pool:    p,
+			cells:   make([][]byte, m),
+			lens:    make([]int, m),
+			stamps:  make([]vtime.Time, m),
+			memBase: Addr(nextBase.Add(uint64(m*CellSize))) - Addr(m*CellSize),
+		}
+		for j := 0; j < m; j++ {
+			c.cells[j] = backing[j*CellSize : (j+1)*CellSize : (j+1)*CellSize]
+		}
+		p.chunks[i] = c
+		p.free = append(p.free, c)
+	}
+	p.stats.LowWatermarkFree = r
+	return p
+}
+
+// M returns the cells-per-chunk geometry parameter.
+func (p *Pool) M() int { return p.m }
+
+// R returns the chunks-per-pool geometry parameter.
+func (p *Pool) R() int { return p.r }
+
+// Capacity returns the total packet capacity R*M.
+func (p *Pool) Capacity() int { return p.m * p.r }
+
+// MemoryBytes returns the kernel memory the pool occupies (R*M*CellSize),
+// the quantity the paper's §5a discusses.
+func (p *Pool) MemoryBytes() int { return p.m * p.r * CellSize }
+
+// FreeCount returns the number of chunks currently free.
+func (p *Pool) FreeCount() int { return len(p.free) }
+
+// Stats returns a copy of the pool's counters.
+func (p *Pool) Stats() PoolStats { return p.stats }
+
+// Map simulates mmap()ing the pool into an application's process space
+// (the Open operation does this). Chunk process addresses are valid only
+// while mapped.
+func (p *Pool) Map() error {
+	if p.mapped {
+		return ErrAlreadyMapped
+	}
+	p.mapped = true
+	return nil
+}
+
+// Unmap reverses Map (the Close operation).
+func (p *Pool) Unmap() error {
+	if !p.mapped {
+		return ErrNotMapped
+	}
+	p.mapped = false
+	return nil
+}
+
+// Mapped reports whether the pool is mapped into a process.
+func (p *Pool) Mapped() bool { return p.mapped }
+
+// AllocFree takes a free chunk and attaches it (free -> attached). The
+// caller ties its cells to a descriptor segment.
+func (p *Pool) AllocFree() (*Chunk, error) {
+	if len(p.free) == 0 {
+		p.stats.AllocFailures++
+		return nil, ErrNoFreeChunk
+	}
+	c := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	c.state = StateAttached
+	c.count = 0
+	c.base = 0
+	p.stats.Allocated++
+	if n := len(p.free); n < p.stats.LowWatermarkFree {
+		p.stats.LowWatermarkFree = n
+	}
+	return c, nil
+}
+
+// Capture transitions an attached chunk to captured and returns the
+// metadata handed to user space. It fails if the pool is not mapped: user
+// space could not address the chunk.
+func (p *Pool) Capture(c *Chunk) (Meta, error) {
+	if !p.mapped {
+		return Meta{}, ErrNotMapped
+	}
+	if c.state != StateAttached {
+		return Meta{}, fmt.Errorf("mem: capture of %v in state %v", c.id, c.state)
+	}
+	c.state = StateCaptured
+	p.stats.Captured++
+	return Meta{ID: c.id, ProcAddr: c.ProcAddr(0), PktCount: c.count - c.base}, nil
+}
+
+// Recycle validates user-supplied metadata and returns the chunk to the
+// free list (captured -> free). Validation is strict: unknown IDs, wrong
+// state, forged addresses, wrong counts, and chunks with outstanding
+// transmit references are all rejected without touching kernel state.
+func (p *Pool) Recycle(m Meta) error {
+	if m.ID.NIC != p.nicID || m.ID.Ring != p.ringID ||
+		m.ID.Chunk < 0 || m.ID.Chunk >= len(p.chunks) {
+		p.stats.RecycleRejected++
+		return fmt.Errorf("%w: %v", ErrUnknownChunk, m.ID)
+	}
+	c := p.chunks[m.ID.Chunk]
+	if c.state != StateCaptured {
+		p.stats.RecycleRejected++
+		return fmt.Errorf("%w: %v is %v", ErrNotCaptured, m.ID, c.state)
+	}
+	if m.ProcAddr != c.ProcAddr(0) {
+		p.stats.RecycleRejected++
+		return fmt.Errorf("%w: %v", ErrBadProcAddr, m.ID)
+	}
+	if m.PktCount != c.count-c.base {
+		p.stats.RecycleRejected++
+		return fmt.Errorf("%w: %v: meta %d, chunk %d", ErrBadPktCount, m.ID, m.PktCount, c.count-c.base)
+	}
+	if c.refs > 0 {
+		p.stats.RecycleRejected++
+		return fmt.Errorf("%w: %v has %d refs", ErrStillRef, m.ID, c.refs)
+	}
+	c.state = StateFree
+	c.count = 0
+	c.base = 0
+	p.free = append(p.free, c)
+	p.stats.Recycled++
+	return nil
+}
+
+// Lookup returns the chunk for an ID, for kernel-side use (the user-space
+// side only ever sees Meta).
+func (p *Pool) Lookup(id ChunkID) (*Chunk, bool) {
+	if id.NIC != p.nicID || id.Ring != p.ringID || id.Chunk < 0 || id.Chunk >= len(p.chunks) {
+		return nil, false
+	}
+	return p.chunks[id.Chunk], true
+}
+
+// CheckInvariants verifies the pool's conservation invariant: every chunk
+// is in exactly one state, free chunks are exactly the free list, and no
+// free or attached chunk holds references. Property tests call it after
+// random operation sequences.
+func (p *Pool) CheckInvariants() error {
+	onFree := make(map[ChunkID]bool, len(p.free))
+	for _, c := range p.free {
+		if onFree[c.id] {
+			return fmt.Errorf("mem: chunk %v on free list twice", c.id)
+		}
+		onFree[c.id] = true
+	}
+	freeCount := 0
+	for _, c := range p.chunks {
+		switch c.state {
+		case StateFree:
+			freeCount++
+			if !onFree[c.id] {
+				return fmt.Errorf("mem: free chunk %v not on free list", c.id)
+			}
+			if c.refs != 0 {
+				return fmt.Errorf("mem: free chunk %v has %d refs", c.id, c.refs)
+			}
+		case StateAttached, StateCaptured:
+			if onFree[c.id] {
+				return fmt.Errorf("mem: %v chunk %v on free list", c.state, c.id)
+			}
+		default:
+			return fmt.Errorf("mem: chunk %v in invalid state %d", c.id, c.state)
+		}
+		if c.count < 0 || c.count > p.m {
+			return fmt.Errorf("mem: chunk %v count %d out of range", c.id, c.count)
+		}
+		if c.base < 0 || c.base > c.count {
+			return fmt.Errorf("mem: chunk %v base %d out of range (count %d)", c.id, c.base, c.count)
+		}
+	}
+	if freeCount != len(p.free) {
+		return fmt.Errorf("mem: %d free chunks but free list has %d", freeCount, len(p.free))
+	}
+	return nil
+}

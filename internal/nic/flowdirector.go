@@ -1,0 +1,68 @@
+package nic
+
+import "repro/internal/packet"
+
+// FlowDirector models Intel's Flow Director (paper §6): a perfect-match
+// flow table in the NIC that steers each flow to the queue recorded for
+// it. "The flow table is established and updated by traffic in both the
+// forward and reverse directions" — transmitting from a queue installs an
+// entry steering the reverse flow back to it. The paper notes it is
+// "typically not used in a packet capture environment because the traffic
+// is unidirectional": with nothing transmitted, every lookup misses and
+// falls back — which the tests demonstrate.
+type FlowDirector struct {
+	table    map[packet.FlowKey]int
+	order    []packet.FlowKey // FIFO for capacity eviction
+	capacity int
+	fallback Steering
+
+	hits, misses uint64
+}
+
+// FlowDirectorEntries is the 82599's perfect-filter budget.
+const FlowDirectorEntries = 8192
+
+// NewFlowDirector builds a director over n queues that falls back to the
+// given steering (nil means RSS) on table misses.
+func NewFlowDirector(n int, fallback Steering) *FlowDirector {
+	if fallback == nil {
+		fallback = NewRSS(n)
+	}
+	return &FlowDirector{
+		table:    make(map[packet.FlowKey]int),
+		capacity: FlowDirectorEntries,
+		fallback: fallback,
+	}
+}
+
+// Learn records that the given flow was transmitted from queue q: the
+// reverse flow will be steered to q. The oldest entry is evicted at
+// capacity.
+func (f *FlowDirector) Learn(flow packet.FlowKey, q int) {
+	key := flow.Reverse()
+	if _, ok := f.table[key]; !ok {
+		if len(f.order) >= f.capacity {
+			oldest := f.order[0]
+			f.order = f.order[1:]
+			delete(f.table, oldest)
+		}
+		f.order = append(f.order, key)
+	}
+	f.table[key] = q
+}
+
+// Queue implements Steering.
+func (f *FlowDirector) Queue(d *packet.Decoded) (int, bool) {
+	if q, ok := f.table[d.Flow]; ok {
+		f.hits++
+		return q, true
+	}
+	f.misses++
+	return f.fallback.Queue(d)
+}
+
+// Stats returns table hits and misses.
+func (f *FlowDirector) Stats() (hits, misses uint64) { return f.hits, f.misses }
+
+// Len returns the number of installed entries.
+func (f *FlowDirector) Len() int { return len(f.table) }

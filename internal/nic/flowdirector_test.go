@@ -1,0 +1,114 @@
+package nic
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/vtime"
+)
+
+func decodeFrame(t *testing.T, flow packet.FlowKey) *packet.Decoded {
+	t.Helper()
+	b := packet.NewBuilder()
+	buf := make([]byte, packet.MaxFrameLen)
+	frame := b.Build(buf, flow, nil)
+	d := &packet.Decoded{}
+	if err := packet.Decode(frame, d); err != nil {
+		t.Fatal(err)
+	}
+	// Copy the frame so d stays valid after buf is reused.
+	own := make([]byte, len(frame))
+	copy(own, frame)
+	if err := packet.Decode(own, d); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFlowDirectorLearnsReverseFlow(t *testing.T) {
+	fd := NewFlowDirector(4, nil)
+	out := packet.FlowKey{
+		Src: packet.IPv4{10, 0, 0, 1}, Dst: packet.IPv4{10, 0, 0, 2},
+		SrcPort: 100, DstPort: 200, Proto: packet.ProtoTCP,
+	}
+	fd.Learn(out, 3) // transmitted from queue 3
+	// The response flow (reverse) must land on queue 3.
+	resp := decodeFrame(t, out.Reverse())
+	q, ok := fd.Queue(resp)
+	if !ok || q != 3 {
+		t.Fatalf("reverse flow -> queue %d ok %v, want 3", q, ok)
+	}
+	if hits, _ := fd.Stats(); hits != 1 {
+		t.Fatalf("hits = %d", hits)
+	}
+}
+
+func TestFlowDirectorUnidirectionalTrafficAlwaysMisses(t *testing.T) {
+	// The paper's point: in a capture environment nothing is transmitted,
+	// so Flow Director degenerates to its fallback.
+	fd := NewFlowDirector(6, nil)
+	rss := NewRSS(6)
+	r := vtime.NewRand(12)
+	for i := 0; i < 200; i++ {
+		flow := packet.FlowKey{
+			Src: packet.IPv4FromUint32(r.Uint32()), Dst: packet.IPv4FromUint32(r.Uint32()),
+			SrcPort: uint16(1 + r.Intn(60000)), DstPort: uint16(1 + r.Intn(60000)),
+			Proto: packet.ProtoUDP,
+		}
+		d := decodeFrame(t, flow)
+		fq, _ := fd.Queue(d)
+		rq, _ := rss.Queue(d)
+		if fq != rq {
+			t.Fatalf("miss did not fall back to RSS: %d vs %d", fq, rq)
+		}
+	}
+	hits, misses := fd.Stats()
+	if hits != 0 || misses != 200 {
+		t.Fatalf("hits %d misses %d", hits, misses)
+	}
+}
+
+func TestFlowDirectorCapacityEviction(t *testing.T) {
+	fd := NewFlowDirector(2, nil)
+	fd.capacity = 3
+	mk := func(i int) packet.FlowKey {
+		return packet.FlowKey{
+			Src: packet.IPv4{10, 0, 0, byte(i)}, Dst: packet.IPv4{10, 0, 1, 1},
+			SrcPort: uint16(i), DstPort: 80, Proto: packet.ProtoTCP,
+		}
+	}
+	for i := 1; i <= 4; i++ {
+		fd.Learn(mk(i), i%2)
+	}
+	if fd.Len() != 3 {
+		t.Fatalf("table size %d, want 3", fd.Len())
+	}
+	// The first entry was evicted: its reverse flow now misses.
+	d := decodeFrame(t, mk(1).Reverse())
+	fd.Queue(d)
+	if hits, _ := fd.Stats(); hits != 0 {
+		t.Fatal("evicted entry still hit")
+	}
+	// A surviving entry hits.
+	d4 := decodeFrame(t, mk(4).Reverse())
+	if q, _ := fd.Queue(d4); q != 0 {
+		t.Fatalf("entry 4 -> queue %d, want 0", q)
+	}
+}
+
+func TestFlowDirectorRelearnMovesFlow(t *testing.T) {
+	fd := NewFlowDirector(4, nil)
+	out := packet.FlowKey{
+		Src: packet.IPv4{1, 1, 1, 1}, Dst: packet.IPv4{2, 2, 2, 2},
+		SrcPort: 10, DstPort: 20, Proto: packet.ProtoUDP,
+	}
+	fd.Learn(out, 1)
+	fd.Learn(out, 2) // flow migrated to queue 2
+	if fd.Len() != 1 {
+		t.Fatalf("table size %d", fd.Len())
+	}
+	d := decodeFrame(t, out.Reverse())
+	if q, _ := fd.Queue(d); q != 2 {
+		t.Fatalf("queue %d, want 2", q)
+	}
+}

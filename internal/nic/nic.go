@@ -1,0 +1,224 @@
+// Package nic simulates a commodity multi-queue NIC of the Intel 82599
+// class: receive descriptor rings, RSS traffic steering, DMA into host
+// memory across a shared bus, promiscuous mode, and transmit rings. It
+// implements exactly the receive state machine the WireCAP paper's §2.1
+// describes, so the capture engines built on top of it exhibit the same
+// drop behaviours as their real counterparts.
+package nic
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/packet"
+	"repro/internal/vtime"
+)
+
+// MaxRingSize is the Intel 82599 receive-descriptor budget per port; with
+// n queues configured, each ring gets at most MaxRingSize/n descriptors
+// (paper §2.1).
+const MaxRingSize = 8192
+
+// Config describes one NIC.
+type Config struct {
+	// ID distinguishes NICs in chunk identities and experiment output.
+	ID int
+	// RxQueues is the number of receive queues (n in the paper).
+	RxQueues int
+	// RingSize is the per-queue receive ring size; the experiments use
+	// 1,024. Capped at MaxRingSize / RxQueues.
+	RingSize int
+	// TxQueues and TxRingSize configure the transmit side; zero TxQueues
+	// means a capture-only NIC.
+	TxQueues   int
+	TxRingSize int
+	// Steering selects the traffic-steering mechanism; nil means RSS
+	// with the default key.
+	Steering Steering
+	// LineRateBps is the wire speed in bits/s; zero means 10 GbE.
+	LineRateBps float64
+	// Bus is the shared host I/O budget; nil means unlimited.
+	Bus *bus.Bus
+	// MAC is the station address; zero means a locally administered
+	// address derived from ID.
+	MAC packet.MAC
+	// Promiscuous captures every frame regardless of destination MAC.
+	// Packet capture puts the NIC in promiscuous mode (paper §1).
+	Promiscuous bool
+}
+
+// LineRate10G is 10 Gb/s in bits per second.
+const LineRate10G = 10e9
+
+// Stats aggregates NIC-level counters.
+type Stats struct {
+	Delivered uint64 // frames offered to the NIC by the wire
+	Filtered  uint64 // frames ignored by the MAC address filter
+	Undecoded uint64 // frames that failed steering classification
+	Rx        []RxStats
+	Tx        []TxStats
+}
+
+// TotalWireDrops sums capture drops across queues.
+func (s Stats) TotalWireDrops() uint64 {
+	var n uint64
+	for _, q := range s.Rx {
+		n += q.Drops()
+	}
+	return n
+}
+
+// TotalReceived sums received packets across queues.
+func (s Stats) TotalReceived() uint64 {
+	var n uint64
+	for _, q := range s.Rx {
+		n += q.Received
+	}
+	return n
+}
+
+// NIC is a simulated multi-queue network interface card.
+type NIC struct {
+	cfg      Config
+	sched    *vtime.Scheduler
+	rx       []*RxRing
+	tx       []*TxRing
+	bus      *bus.Bus
+	steering Steering
+
+	delivered uint64
+	filtered  uint64
+	undecoded uint64
+
+	dec packet.Decoded // scratch for steering classification
+}
+
+// New builds a NIC.
+func New(sched *vtime.Scheduler, cfg Config) *NIC {
+	if cfg.RxQueues <= 0 {
+		panic("nic: RxQueues must be positive")
+	}
+	if cfg.RingSize <= 0 {
+		panic("nic: RingSize must be positive")
+	}
+	if max := MaxRingSize / cfg.RxQueues; cfg.RingSize > max {
+		cfg.RingSize = max
+	}
+	if cfg.LineRateBps == 0 {
+		cfg.LineRateBps = LineRate10G
+	}
+	if cfg.Bus == nil {
+		cfg.Bus = bus.Unlimited()
+	}
+	if cfg.Steering == nil {
+		cfg.Steering = NewRSS(cfg.RxQueues)
+	}
+	if cfg.MAC == (packet.MAC{}) {
+		cfg.MAC = packet.MAC{0x02, 0x00, 0x00, 0x00, 0x00, byte(cfg.ID + 1)}
+	}
+	n := &NIC{cfg: cfg, sched: sched, bus: cfg.Bus, steering: cfg.Steering}
+	for i := 0; i < cfg.RxQueues; i++ {
+		n.rx = append(n.rx, newRxRing(cfg.ID, i, cfg.RingSize))
+	}
+	bytesPerSec := cfg.LineRateBps / 8
+	txRing := cfg.TxRingSize
+	if txRing <= 0 {
+		txRing = 1024
+	}
+	for i := 0; i < cfg.TxQueues; i++ {
+		n.tx = append(n.tx, newTxRing(i, txRing, sched, bytesPerSec))
+	}
+	return n
+}
+
+// ID returns the NIC's identifier.
+func (n *NIC) ID() int { return n.cfg.ID }
+
+// RxQueues returns the number of receive queues.
+func (n *NIC) RxQueues() int { return len(n.rx) }
+
+// Rx returns receive queue q's ring.
+func (n *NIC) Rx(q int) *RxRing { return n.rx[q] }
+
+// TxQueues returns the number of transmit queues.
+func (n *NIC) TxQueues() int { return len(n.tx) }
+
+// Tx returns transmit queue q's ring.
+func (n *NIC) Tx(q int) *TxRing { return n.tx[q] }
+
+// RingSize returns the per-queue receive ring size actually configured.
+func (n *NIC) RingSize() int { return n.cfg.RingSize }
+
+// LineRateBps returns the configured wire speed.
+func (n *NIC) LineRateBps() float64 { return n.cfg.LineRateBps }
+
+// Deliver offers one frame from the wire at virtual time ts. It applies
+// the MAC filter, classifies the frame onto a receive queue, charges the
+// bus, and DMA-writes into the queue's ring. The return value reports
+// whether the frame reached host memory.
+func (n *NIC) Deliver(frame []byte, ts vtime.Time) bool {
+	n.delivered++
+	if !n.cfg.Promiscuous {
+		var dst packet.MAC
+		if len(frame) < packet.EthernetHeaderLen {
+			n.filtered++
+			return false
+		}
+		copy(dst[:], frame[0:6])
+		if dst != n.cfg.MAC && dst != (packet.MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}) {
+			n.filtered++
+			return false
+		}
+	}
+	q := 0
+	if err := packet.Decode(frame, &n.dec); err == nil {
+		if sq, ok := n.steering.Queue(&n.dec); ok {
+			q = sq
+		} else {
+			n.undecoded++
+		}
+	} else {
+		n.undecoded++
+	}
+	if q < 0 || q >= len(n.rx) {
+		panic(fmt.Sprintf("nic: steering selected queue %d of %d", q, len(n.rx)))
+	}
+	ring := n.rx[q]
+	if !n.bus.TryTransfer(ts, len(frame), ring.busOverhead) {
+		ring.stats.BusDrops++
+		return false
+	}
+	return ring.dmaWrite(frame, ts)
+}
+
+// Stats snapshots all counters.
+func (n *NIC) Stats() Stats {
+	s := Stats{
+		Delivered: n.delivered,
+		Filtered:  n.filtered,
+		Undecoded: n.undecoded,
+	}
+	for _, r := range n.rx {
+		s.Rx = append(s.Rx, r.Stats())
+	}
+	for _, t := range n.tx {
+		s.Tx = append(s.Tx, t.Stats())
+	}
+	return s
+}
+
+// WireInterval returns the minimum inter-frame interval for frames of the
+// given length at the NIC's line rate (14.88 Mp/s for 64-byte frames at
+// 10 GbE).
+func (n *NIC) WireInterval(frameLen int) vtime.Time {
+	return WireInterval(n.cfg.LineRateBps, frameLen)
+}
+
+// WireInterval returns the serialization interval of a frame (including
+// preamble, FCS, and inter-frame gap) at the given line rate.
+func WireInterval(lineRateBps float64, frameLen int) vtime.Time {
+	// frameLen excludes the 4-byte FCS in this simulator's convention;
+	// wireOverhead accounts for preamble+FCS+IFG.
+	bits := float64(frameLen+wireOverhead) * 8
+	return vtime.Time(bits / lineRateBps * float64(vtime.Second))
+}

@@ -1,0 +1,384 @@
+package nic
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/packet"
+	"repro/internal/vtime"
+)
+
+// rssVector is a test vector from the Microsoft RSS specification
+// ("Verifying the RSS Hash Calculation"), IPv4 with TCP ports. The input
+// order is src addr, dst addr, src port, dst port.
+type rssVector struct {
+	srcIP, dstIP     [4]byte
+	srcPort, dstPort uint16
+	withPorts        uint32 // expected hash over the 12-byte input
+	addrsOnly        uint32 // expected hash over the 8-byte input
+}
+
+var rssVectors = []rssVector{
+	{[4]byte{66, 9, 149, 187}, [4]byte{161, 142, 100, 80}, 2794, 1766, 0x51ccc178, 0x323e8fc2},
+	{[4]byte{199, 92, 111, 2}, [4]byte{65, 69, 140, 83}, 14230, 4739, 0xc626b0ea, 0xd718262a},
+	{[4]byte{24, 19, 198, 95}, [4]byte{12, 22, 207, 184}, 12898, 38024, 0x5c2b394a, 0xd2d0a5de},
+	{[4]byte{38, 27, 205, 30}, [4]byte{209, 142, 163, 6}, 48228, 2217, 0xafc7327f, 0x82989176},
+	{[4]byte{153, 39, 163, 191}, [4]byte{202, 188, 127, 2}, 44251, 1303, 0x10e828a2, 0x5d1809c5},
+}
+
+func TestToeplitzMicrosoftVectors(t *testing.T) {
+	for _, v := range rssVectors {
+		var in12 [12]byte
+		copy(in12[0:4], v.srcIP[:])
+		copy(in12[4:8], v.dstIP[:])
+		binary.BigEndian.PutUint16(in12[8:10], v.srcPort)
+		binary.BigEndian.PutUint16(in12[10:12], v.dstPort)
+		if got := Toeplitz(DefaultRSSKey[:], in12[:]); got != v.withPorts {
+			t.Errorf("Toeplitz(ports) = %#08x, want %#08x", got, v.withPorts)
+		}
+		if got := Toeplitz(DefaultRSSKey[:], in12[:8]); got != v.addrsOnly {
+			t.Errorf("Toeplitz(addrs) = %#08x, want %#08x", got, v.addrsOnly)
+		}
+	}
+}
+
+func TestRSSHashUsesPortsOnlyForTCPUDP(t *testing.T) {
+	v := rssVectors[0]
+	flow := packet.FlowKey{
+		Src: packet.IPv4(v.srcIP), Dst: packet.IPv4(v.dstIP),
+		SrcPort: v.srcPort, DstPort: v.dstPort, Proto: packet.ProtoTCP,
+	}
+	if got := RSSHash(DefaultRSSKey[:], flow); got != v.withPorts {
+		t.Fatalf("TCP hash = %#08x", got)
+	}
+	flow.Proto = packet.ProtoUDP
+	if got := RSSHash(DefaultRSSKey[:], flow); got != v.withPorts {
+		t.Fatalf("UDP hash = %#08x", got)
+	}
+	flow.Proto = packet.ProtoICMP
+	if got := RSSHash(DefaultRSSKey[:], flow); got != v.addrsOnly {
+		t.Fatalf("ICMP hash = %#08x", got)
+	}
+}
+
+func TestRSSFlowAffinity(t *testing.T) {
+	// Every packet of one flow must land on one queue; across many flows
+	// all queues should be used.
+	s := NewRSS(6)
+	b := packet.NewBuilder()
+	buf := make([]byte, packet.MaxFrameLen)
+	r := vtime.NewRand(1)
+	queuesSeen := map[int]bool{}
+	for f := 0; f < 200; f++ {
+		flow := packet.FlowKey{
+			Src:     packet.IPv4FromUint32(r.Uint32()),
+			Dst:     packet.IPv4FromUint32(r.Uint32()),
+			SrcPort: uint16(r.Intn(65535) + 1),
+			DstPort: uint16(r.Intn(65535) + 1),
+			Proto:   packet.ProtoUDP,
+		}
+		var first int
+		for i := 0; i < 5; i++ {
+			frame := b.Build(buf, flow, make([]byte, r.Intn(100)))
+			var d packet.Decoded
+			if err := packet.Decode(frame, &d); err != nil {
+				t.Fatal(err)
+			}
+			q, ok := s.Queue(&d)
+			if !ok {
+				t.Fatal("RSS failed to classify an IPv4 frame")
+			}
+			if i == 0 {
+				first = q
+				queuesSeen[q] = true
+			} else if q != first {
+				t.Fatalf("flow %v split across queues %d and %d", flow, first, q)
+			}
+		}
+	}
+	if len(queuesSeen) != 6 {
+		t.Fatalf("200 flows used only %d of 6 queues", len(queuesSeen))
+	}
+}
+
+func TestRoundRobinSteering(t *testing.T) {
+	s := NewRoundRobin(3)
+	var d packet.Decoded
+	for i := 0; i < 9; i++ {
+		q, ok := s.Queue(&d)
+		if !ok || q != i%3 {
+			t.Fatalf("rr packet %d -> queue %d", i, q)
+		}
+	}
+}
+
+func buildUDP(tb testing.TB, flow packet.FlowKey, payload int) []byte {
+	tb.Helper()
+	b := packet.NewBuilder()
+	buf := make([]byte, packet.MaxFrameLen)
+	frame := b.Build(buf, flow, make([]byte, payload))
+	out := make([]byte, len(frame))
+	copy(out, frame)
+	return out
+}
+
+func testFlow() packet.FlowKey {
+	return packet.FlowKey{
+		Src: packet.IPv4{10, 0, 0, 1}, Dst: packet.IPv4{10, 0, 0, 2},
+		SrcPort: 1000, DstPort: 2000, Proto: packet.ProtoUDP,
+	}
+}
+
+// armRing readies every descriptor of queue q with private buffers.
+func armRing(n *NIC, q int) {
+	r := n.Rx(q)
+	for i := 0; i < r.Size(); i++ {
+		r.Refill(i, make([]byte, 2048))
+	}
+}
+
+func newTestNIC(sched *vtime.Scheduler, queues, ring int) *NIC {
+	return New(sched, Config{
+		ID: 0, RxQueues: queues, RingSize: ring, Promiscuous: true,
+	})
+}
+
+func TestDeliverFillsRing(t *testing.T) {
+	sched := vtime.NewScheduler()
+	n := newTestNIC(sched, 1, 8)
+	armRing(n, 0)
+	frame := buildUDP(t, testFlow(), 10)
+	var got []int
+	n.Rx(0).OnRx(func(i int) { got = append(got, i) })
+	for i := 0; i < 3; i++ {
+		if !n.Deliver(frame, vtime.Time(i)) {
+			t.Fatalf("Deliver %d failed", i)
+		}
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("onRx indices = %v", got)
+	}
+	d := n.Rx(0).Desc(1)
+	if d.State != DescUsed || d.Len != len(frame) || d.TS != 1 {
+		t.Fatalf("desc 1 = %+v", d)
+	}
+	st := n.Stats()
+	if st.Rx[0].Received != 3 || st.Rx[0].Drops() != 0 {
+		t.Fatalf("stats = %+v", st.Rx[0])
+	}
+}
+
+func TestDeliverWireDropWhenNoReadyDescriptor(t *testing.T) {
+	sched := vtime.NewScheduler()
+	n := newTestNIC(sched, 1, 4)
+	armRing(n, 0)
+	frame := buildUDP(t, testFlow(), 10)
+	for i := 0; i < 4; i++ {
+		if !n.Deliver(frame, 0) {
+			t.Fatalf("Deliver %d failed", i)
+		}
+	}
+	// Ring full: the used descriptors were never reinitialized.
+	for i := 0; i < 3; i++ {
+		if n.Deliver(frame, 0) {
+			t.Fatal("Deliver succeeded with no ready descriptor")
+		}
+	}
+	st := n.Stats().Rx[0]
+	if st.Received != 4 || st.WireDrops != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Reinitializing one descriptor lets exactly one more packet in.
+	n.Rx(0).Refill(0, make([]byte, 2048))
+	if !n.Deliver(frame, 0) {
+		t.Fatal("Deliver failed after refill")
+	}
+	if n.Deliver(frame, 0) {
+		t.Fatal("Deliver succeeded past the refilled descriptor")
+	}
+}
+
+func TestDescriptorsUsedInOrder(t *testing.T) {
+	// Even if a later descriptor is ready, the ring blocks on the next
+	// in-order descriptor, like hardware.
+	sched := vtime.NewScheduler()
+	n := newTestNIC(sched, 1, 4)
+	r := n.Rx(0)
+	r.Refill(1, make([]byte, 2048)) // only descriptor 1 is ready
+	frame := buildUDP(t, testFlow(), 0)
+	if n.Deliver(frame, 0) {
+		t.Fatal("DMA skipped descriptor 0")
+	}
+	if r.Stats().WireDrops != 1 {
+		t.Fatal("wire drop not counted")
+	}
+}
+
+func TestMACFilterAndPromiscuous(t *testing.T) {
+	sched := vtime.NewScheduler()
+	n := New(sched, Config{ID: 0, RxQueues: 1, RingSize: 4, Promiscuous: false})
+	armRing(n, 0)
+	frame := buildUDP(t, testFlow(), 0) // dst MAC 02:00:00:00:00:02
+	if n.Deliver(frame, 0) {
+		t.Fatal("non-promiscuous NIC accepted a frame for another station")
+	}
+	if n.Stats().Filtered != 1 {
+		t.Fatal("filtered not counted")
+	}
+	// Setting the frame's destination to the NIC's MAC passes the filter.
+	copy(frame[0:6], []byte{0x02, 0x00, 0x00, 0x00, 0x00, 0x01})
+	if !n.Deliver(frame, 0) {
+		t.Fatal("unicast to own MAC rejected")
+	}
+	// Broadcast passes too.
+	copy(frame[0:6], []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	if !n.Deliver(frame, 0) {
+		t.Fatal("broadcast rejected")
+	}
+}
+
+func TestBusDropsCounted(t *testing.T) {
+	sched := vtime.NewScheduler()
+	b := bus.New(bus.Config{BytesPerSec: 1000, BurstBytes: 70})
+	n := New(sched, Config{ID: 0, RxQueues: 1, RingSize: 8, Promiscuous: true, Bus: b})
+	armRing(n, 0)
+	frame := buildUDP(t, testFlow(), 0) // 60 bytes
+	if !n.Deliver(frame, 0) {
+		t.Fatal("first frame rejected")
+	}
+	if n.Deliver(frame, 0) {
+		t.Fatal("second frame accepted beyond bus budget")
+	}
+	st := n.Stats().Rx[0]
+	if st.BusDrops != 1 || st.WireDrops != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRingSizeCappedByHardwareBudget(t *testing.T) {
+	sched := vtime.NewScheduler()
+	n := New(sched, Config{ID: 0, RxQueues: 8, RingSize: 4096, Promiscuous: true})
+	if n.RingSize() != MaxRingSize/8 {
+		t.Fatalf("ring size = %d, want %d", n.RingSize(), MaxRingSize/8)
+	}
+}
+
+func TestSteeringDistributesAcrossQueues(t *testing.T) {
+	sched := vtime.NewScheduler()
+	n := newTestNIC(sched, 4, 128)
+	for q := 0; q < 4; q++ {
+		armRing(n, q)
+	}
+	r := vtime.NewRand(9)
+	for i := 0; i < 400; i++ {
+		flow := packet.FlowKey{
+			Src:     packet.IPv4FromUint32(r.Uint32()),
+			Dst:     packet.IPv4FromUint32(r.Uint32()),
+			SrcPort: uint16(1 + r.Intn(60000)),
+			DstPort: uint16(1 + r.Intn(60000)),
+			Proto:   packet.ProtoUDP,
+		}
+		n.Deliver(buildUDP(t, flow, 0), 0)
+	}
+	st := n.Stats()
+	for q := 0; q < 4; q++ {
+		if st.Rx[q].Received == 0 {
+			t.Fatalf("queue %d received nothing: %+v", q, st.Rx)
+		}
+	}
+	if st.TotalReceived() != 400 {
+		t.Fatalf("total received %d", st.TotalReceived())
+	}
+}
+
+func TestWireInterval(t *testing.T) {
+	// A 64-byte Ethernet packet (60 bytes in simulator convention, which
+	// excludes the FCS) serializes in 67.2 ns at 10 GbE: 14.88 Mp/s.
+	got := WireInterval(LineRate10G, 60)
+	if got < 67 || got > 68 {
+		t.Fatalf("WireInterval(60) = %v, want ~67ns", got)
+	}
+	rate := 1 / got.Seconds()
+	if rate < 14.8e6 || rate > 15.0e6 {
+		t.Fatalf("wire rate = %.0f p/s, want ~14.88M", rate)
+	}
+}
+
+func TestTxRingDrainsAtLineRate(t *testing.T) {
+	sched := vtime.NewScheduler()
+	n := New(sched, Config{ID: 0, RxQueues: 1, RingSize: 4, TxQueues: 1, TxRingSize: 16, Promiscuous: true})
+	frame := buildUDP(t, testFlow(), 0)
+	released := 0
+	for i := 0; i < 10; i++ {
+		ok := n.Tx(0).Attach(TxPacket{Data: frame, Release: func() { released++ }})
+		if !ok {
+			t.Fatalf("Attach %d failed", i)
+		}
+	}
+	sched.Run()
+	st := n.Tx(0).Stats()
+	if st.Sent != 10 || released != 10 {
+		t.Fatalf("sent %d released %d", st.Sent, released)
+	}
+	// 10 packets at 67.2 ns each ~= 672 ns of virtual time.
+	if now := sched.Now(); now < 600 || now > 750 {
+		t.Fatalf("drain took %v", now)
+	}
+}
+
+func TestTxRingFull(t *testing.T) {
+	sched := vtime.NewScheduler()
+	n := New(sched, Config{ID: 0, RxQueues: 1, RingSize: 4, TxQueues: 1, TxRingSize: 2, Promiscuous: true})
+	frame := buildUDP(t, testFlow(), 0)
+	if !n.Tx(0).Attach(TxPacket{Data: frame}) || !n.Tx(0).Attach(TxPacket{Data: frame}) {
+		t.Fatal("attach failed")
+	}
+	if n.Tx(0).Attach(TxPacket{Data: frame}) {
+		t.Fatal("attach succeeded on a full ring")
+	}
+	if n.Tx(0).Stats().RingFull != 1 {
+		t.Fatal("RingFull not counted")
+	}
+	sched.Run()
+	if n.Tx(0).Stats().Sent != 2 {
+		t.Fatal("queued packets not sent")
+	}
+}
+
+func TestReadyCount(t *testing.T) {
+	sched := vtime.NewScheduler()
+	n := newTestNIC(sched, 1, 8)
+	r := n.Rx(0)
+	if r.ReadyCount() != 0 {
+		t.Fatal("new ring has ready descriptors")
+	}
+	armRing(n, 0)
+	if r.ReadyCount() != 8 {
+		t.Fatal("armed ring not fully ready")
+	}
+	n.Deliver(buildUDP(t, testFlow(), 0), 0)
+	if r.ReadyCount() != 7 {
+		t.Fatal("DMA write did not consume a descriptor")
+	}
+	r.Invalidate(5)
+	if r.ReadyCount() != 6 {
+		t.Fatal("Invalidate did not remove readiness")
+	}
+}
+
+func BenchmarkDeliver(b *testing.B) {
+	sched := vtime.NewScheduler()
+	n := newTestNIC(sched, 4, 1024)
+	for q := 0; q < 4; q++ {
+		armRing(n, q)
+		q := q
+		// Instant consume: refill every descriptor as soon as it fills.
+		n.Rx(q).OnRx(func(i int) { n.Rx(q).Refill(i, n.Rx(q).Desc(i).Buf) })
+	}
+	frame := buildUDP(b, testFlow(), 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n.Deliver(frame, vtime.Time(i))
+	}
+}

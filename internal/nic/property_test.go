@@ -1,0 +1,104 @@
+package nic
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/vtime"
+)
+
+// TestRingRandomConsumeConservation drives a ring with random interleaved
+// deliveries and consume/refill patterns (the union of every engine's
+// behaviour) and checks the structural invariants after every step:
+// received + wire drops == offered, and descriptor states partition the
+// ring.
+func TestRingRandomConsumeConservation(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		r := vtime.NewRand(seed)
+		sched := vtime.NewScheduler()
+		n := New(sched, Config{ID: 0, RxQueues: 1, RingSize: 64, Promiscuous: true})
+		ring := n.Rx(0)
+		for i := 0; i < ring.Size(); i++ {
+			ring.Refill(i, make([]byte, 2048))
+		}
+		frame := buildUDP(t, testFlow(), int(seed)*7%100)
+		var offered uint64
+		tail := 0
+		held := []int{} // consumed but not yet refilled
+		for step := 0; step < 5000; step++ {
+			switch r.Intn(3) {
+			case 0, 1: // a packet arrives
+				offered++
+				n.Deliver(frame, vtime.Time(step))
+			case 2: // the engine consumes in order, maybe deferring refill
+				d := ring.Desc(tail)
+				if d.State != DescUsed {
+					continue
+				}
+				if r.Intn(2) == 0 {
+					ring.Refill(tail, d.Buf)
+				} else {
+					held = append(held, tail)
+					ring.Invalidate(tail)
+				}
+				tail = (tail + 1) % ring.Size()
+				// Sometimes release a held descriptor.
+				if len(held) > 0 && r.Intn(3) == 0 {
+					idx := held[0]
+					held = held[1:]
+					ring.Refill(idx, make([]byte, 2048))
+				}
+			}
+			st := ring.Stats()
+			if st.Received+st.WireDrops+st.BusDrops != offered {
+				t.Fatalf("seed %d step %d: conservation violated", seed, step)
+			}
+			// State partition: every descriptor is in exactly one state.
+			counts := map[DescState]int{}
+			for i := 0; i < ring.Size(); i++ {
+				counts[ring.Desc(i).State]++
+			}
+			if counts[DescEmpty]+counts[DescReady]+counts[DescUsed] != ring.Size() {
+				t.Fatalf("seed %d: descriptor states do not partition the ring", seed)
+			}
+		}
+	}
+}
+
+// TestSteeringDeterministicPerFlow fuzzes RSS with random flows: the same
+// decoded packet always steers to the same queue, and the queue is always
+// in range.
+func TestSteeringDeterministicPerFlow(t *testing.T) {
+	r := vtime.NewRand(4)
+	for _, queues := range []int{1, 2, 3, 5, 6, 8, 16} {
+		s := NewRSS(queues)
+		b := packet.NewBuilder()
+		buf := make([]byte, packet.MaxFrameLen)
+		for i := 0; i < 200; i++ {
+			proto := packet.ProtoUDP
+			if r.Intn(2) == 0 {
+				proto = packet.ProtoTCP
+			}
+			flow := packet.FlowKey{
+				Src:     packet.IPv4FromUint32(r.Uint32()),
+				Dst:     packet.IPv4FromUint32(r.Uint32()),
+				SrcPort: uint16(r.Intn(65536)),
+				DstPort: uint16(r.Intn(65536)),
+				Proto:   proto,
+			}
+			frame := b.Build(buf, flow, nil)
+			var d packet.Decoded
+			if err := packet.Decode(frame, &d); err != nil {
+				t.Fatal(err)
+			}
+			q1, ok1 := s.Queue(&d)
+			q2, ok2 := s.Queue(&d)
+			if !ok1 || !ok2 || q1 != q2 {
+				t.Fatalf("steering not deterministic: %d vs %d", q1, q2)
+			}
+			if q1 < 0 || q1 >= queues {
+				t.Fatalf("queue %d out of range [0,%d)", q1, queues)
+			}
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package nic
+
+import (
+	"fmt"
+
+	"repro/internal/vtime"
+)
+
+// DescState is the state of a receive descriptor.
+type DescState uint8
+
+// Descriptor states. A descriptor receives a packet only in DescReady; a
+// filled descriptor is DescUsed until the owning engine reinitializes it.
+// DescEmpty descriptors (no buffer attached) cannot receive and arriving
+// packets drop — the capture-drop mechanism of §2.1.
+const (
+	DescEmpty DescState = iota
+	DescReady
+	DescUsed
+)
+
+func (s DescState) String() string {
+	switch s {
+	case DescEmpty:
+		return "empty"
+	case DescReady:
+		return "ready"
+	case DescUsed:
+		return "used"
+	default:
+		return fmt.Sprintf("DescState(%d)", s)
+	}
+}
+
+// Desc is one receive descriptor: a pointer to a host buffer plus the
+// received length and hardware timestamp after DMA fills it.
+type Desc struct {
+	State DescState
+	Buf   []byte
+	Len   int
+	TS    vtime.Time
+}
+
+// RxStats counts per-queue receive activity.
+type RxStats struct {
+	Received  uint64 // packets DMA'd into host memory
+	Bytes     uint64 // frame bytes received
+	WireDrops uint64 // packets dropped: no ready descriptor
+	BusDrops  uint64 // packets dropped: bus budget exhausted
+}
+
+// Drops returns all packets lost before reaching host memory.
+func (s RxStats) Drops() uint64 { return s.WireDrops + s.BusDrops }
+
+// RxRing is one receive queue's descriptor ring. The NIC's DMA engine
+// fills descriptors strictly in order; the owning capture engine is
+// responsible for returning used descriptors to the ready state (each
+// engine does so differently, which is the heart of the paper).
+type RxRing struct {
+	nicID, id int
+	desc      []Desc
+	fill      int // index the next arriving packet will use
+	stats     RxStats
+
+	// onRx, set by the capture engine, runs after each successful DMA
+	// write with the index of the filled descriptor.
+	onRx func(i int)
+
+	// busOverhead is extra bus traffic charged per received packet beyond
+	// the frame itself: descriptor writebacks, doorbells, and (for
+	// WireCAP) chunk-metadata I/O. Engines set it to model their I/O
+	// footprint in the Figure 14 scalability experiment.
+	busOverhead int
+}
+
+func newRxRing(nicID, id, n int) *RxRing {
+	if n <= 0 {
+		panic(fmt.Sprintf("nic: ring size %d", n))
+	}
+	return &RxRing{nicID: nicID, id: id, desc: make([]Desc, n)}
+}
+
+// ID returns the queue index of this ring.
+func (r *RxRing) ID() int { return r.id }
+
+// Size returns the number of descriptors.
+func (r *RxRing) Size() int { return len(r.desc) }
+
+// Desc returns descriptor i for engine inspection and refill.
+func (r *RxRing) Desc(i int) *Desc { return &r.desc[i] }
+
+// Fill returns the index the next packet will be written to.
+func (r *RxRing) Fill() int { return r.fill }
+
+// Stats returns the ring's counters.
+func (r *RxRing) Stats() RxStats { return r.stats }
+
+// OnRx registers the engine callback invoked after each DMA write.
+func (r *RxRing) OnRx(fn func(i int)) { r.onRx = fn }
+
+// SetBusOverhead sets the engine's extra per-packet bus traffic in bytes.
+func (r *RxRing) SetBusOverhead(bytes int) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	r.busOverhead = bytes
+}
+
+// BusOverhead returns the engine's extra per-packet bus traffic.
+func (r *RxRing) BusOverhead() int { return r.busOverhead }
+
+// Refill arms descriptor i with an empty buffer (-> ready).
+func (r *RxRing) Refill(i int, buf []byte) {
+	if len(buf) == 0 {
+		panic("nic: Refill with empty buffer")
+	}
+	d := &r.desc[i]
+	d.State = DescReady
+	d.Buf = buf
+	d.Len = 0
+}
+
+// Invalidate detaches descriptor i's buffer (-> empty).
+func (r *RxRing) Invalidate(i int) {
+	d := &r.desc[i]
+	d.State = DescEmpty
+	d.Buf = nil
+	d.Len = 0
+}
+
+// ReadyCount returns the number of descriptors able to receive, i.e. the
+// ring's instantaneous buffering headroom.
+func (r *RxRing) ReadyCount() int {
+	n := 0
+	for i := range r.desc {
+		if r.desc[i].State == DescReady {
+			n++
+		}
+	}
+	return n
+}
+
+// dmaWrite delivers one frame into the ring. It returns false (a wire
+// drop) when the next descriptor is not ready — descriptors are consumed
+// strictly in order, like hardware.
+func (r *RxRing) dmaWrite(frame []byte, ts vtime.Time) bool {
+	d := &r.desc[r.fill]
+	if d.State != DescReady {
+		r.stats.WireDrops++
+		return false
+	}
+	if len(frame) > len(d.Buf) {
+		// Oversized for the buffer: hardware would split across
+		// descriptors; the simulator's cells always fit a full frame, so
+		// treat this as a configuration bug.
+		panic(fmt.Sprintf("nic: frame %d bytes exceeds %d-byte ring buffer", len(frame), len(d.Buf)))
+	}
+	copy(d.Buf, frame)
+	d.Len = len(frame)
+	d.TS = ts
+	d.State = DescUsed
+	idx := r.fill
+	r.fill = (r.fill + 1) % len(r.desc)
+	r.stats.Received++
+	r.stats.Bytes += uint64(len(frame))
+	if r.onRx != nil {
+		r.onRx(idx)
+	}
+	return true
+}
+
+// TxPacket is a packet attached to a transmit ring by reference: Data is
+// not copied, and Release (if non-nil) runs once the NIC has serialized
+// the packet onto the wire, returning the underlying buffer to its owner.
+type TxPacket struct {
+	Data    []byte
+	Release func()
+}
+
+// TxStats counts per-queue transmit activity.
+type TxStats struct {
+	Sent     uint64
+	Bytes    uint64
+	RingFull uint64 // attach attempts rejected because the ring was full
+}
+
+// TxRing is one transmit queue. Attached packets drain in FIFO order at
+// the configured line rate.
+type TxRing struct {
+	id    int
+	sched *vtime.Scheduler
+	cap   int
+	queue []TxPacket
+	stats TxStats
+
+	bytesPerSec float64
+	draining    bool
+}
+
+// Ethernet on-wire overhead per frame: preamble (8) + FCS (4) + minimum
+// inter-frame gap (12).
+const wireOverhead = 24
+
+func newTxRing(id, capacity int, sched *vtime.Scheduler, bytesPerSec float64) *TxRing {
+	return &TxRing{id: id, sched: sched, cap: capacity, bytesPerSec: bytesPerSec}
+}
+
+// ID returns the queue index of this ring.
+func (t *TxRing) ID() int { return t.id }
+
+// Stats returns the ring's counters.
+func (t *TxRing) Stats() TxStats { return t.stats }
+
+// Queued returns the number of packets awaiting transmission.
+func (t *TxRing) Queued() int { return len(t.queue) }
+
+// Attach enqueues a packet for transmission by reference (zero-copy). It
+// returns false when the ring is full; the caller keeps ownership then.
+func (t *TxRing) Attach(p TxPacket) bool {
+	if len(t.queue) >= t.cap {
+		t.stats.RingFull++
+		return false
+	}
+	t.queue = append(t.queue, p)
+	if !t.draining {
+		t.draining = true
+		t.sched.After(t.serialization(len(p.Data)), t.drainOne)
+	}
+	return true
+}
+
+func (t *TxRing) serialization(frameLen int) vtime.Time {
+	return vtime.Time(float64(frameLen+wireOverhead) / t.bytesPerSec * float64(vtime.Second))
+}
+
+func (t *TxRing) drainOne() {
+	p := t.queue[0]
+	copy(t.queue, t.queue[1:])
+	t.queue = t.queue[:len(t.queue)-1]
+	t.stats.Sent++
+	t.stats.Bytes += uint64(len(p.Data))
+	if p.Release != nil {
+		p.Release()
+	}
+	if len(t.queue) > 0 {
+		t.sched.After(t.serialization(len(t.queue[0].Data)), t.drainOne)
+	} else {
+		t.draining = false
+	}
+}

@@ -1,0 +1,126 @@
+package nic
+
+import (
+	"encoding/binary"
+
+	"repro/internal/packet"
+)
+
+// Receive-side scaling (RSS) as commodity NICs implement it: the Toeplitz
+// hash over the IP addresses and transport ports selects an entry in an
+// indirection table, which names the receive queue. Because the hash is a
+// pure function of the flow tuple, every packet of a flow lands on the
+// same queue — which preserves application logic but produces exactly the
+// load imbalance the WireCAP paper studies.
+
+// DefaultRSSKey is the 40-byte key from the Microsoft RSS specification,
+// the de-facto default programmed by most drivers.
+var DefaultRSSKey = [40]byte{
+	0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2,
+	0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+	0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4,
+	0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+	0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+}
+
+// Toeplitz computes the Toeplitz hash of data under key. The key must be
+// at least len(data)+4 bytes; DefaultRSSKey covers the 12-byte IPv4
+// 4-tuple input.
+func Toeplitz(key []byte, data []byte) uint32 {
+	if len(key)*8 < len(data)*8+32 {
+		panic("nic: Toeplitz key too short for input")
+	}
+	result := uint32(0)
+	window := binary.BigEndian.Uint32(key[:4])
+	keyBit := 32
+	for _, b := range data {
+		for bit := 7; bit >= 0; bit-- {
+			if b&(1<<uint(bit)) != 0 {
+				result ^= window
+			}
+			next := (key[keyBit/8] >> uint(7-keyBit%8)) & 1
+			window = window<<1 | uint32(next)
+			keyBit++
+		}
+	}
+	return result
+}
+
+// RSSHash computes the RSS hash for a flow: over the 12-byte
+// {src, dst, sport, dport} input for TCP and UDP, and over the 8-byte
+// {src, dst} input otherwise, matching hardware behaviour.
+func RSSHash(key []byte, flow packet.FlowKey) uint32 {
+	var buf [12]byte
+	copy(buf[0:4], flow.Src[:])
+	copy(buf[4:8], flow.Dst[:])
+	if flow.Proto == packet.ProtoTCP || flow.Proto == packet.ProtoUDP {
+		binary.BigEndian.PutUint16(buf[8:10], flow.SrcPort)
+		binary.BigEndian.PutUint16(buf[10:12], flow.DstPort)
+		return Toeplitz(key, buf[:12])
+	}
+	return Toeplitz(key, buf[:8])
+}
+
+// Steering selects a receive queue for an incoming frame.
+type Steering interface {
+	// Queue returns the receive-queue index for the frame. ok is false
+	// when the frame could not be classified (it then goes to queue 0,
+	// as hardware defaults do).
+	Queue(d *packet.Decoded) (q int, ok bool)
+}
+
+// RSSSteering is hardware RSS: Toeplitz hash + indirection table.
+type RSSSteering struct {
+	key   [40]byte
+	table []int // indirection table: hash LSBs -> queue
+}
+
+// IndirectionEntries is the indirection-table size of the Intel 82599
+// (128 entries).
+const IndirectionEntries = 128
+
+// NewRSS returns RSS steering across n queues with the default key and an
+// equal-weight indirection table, as drivers program by default.
+func NewRSS(n int) *RSSSteering {
+	s := &RSSSteering{key: DefaultRSSKey, table: make([]int, IndirectionEntries)}
+	for i := range s.table {
+		s.table[i] = i % n
+	}
+	return s
+}
+
+// SetKey replaces the hash key.
+func (s *RSSSteering) SetKey(key [40]byte) { s.key = key }
+
+// SetTable replaces the indirection table. Entries must name valid queues;
+// the caller owns that contract.
+func (s *RSSSteering) SetTable(table []int) {
+	s.table = make([]int, len(table))
+	copy(s.table, table)
+}
+
+// Queue implements Steering.
+func (s *RSSSteering) Queue(d *packet.Decoded) (int, bool) {
+	if d.IPVersion != 4 && d.IPVersion != 6 {
+		return 0, false
+	}
+	h := RSSHash(s.key[:], d.Flow)
+	return s.table[h%uint32(len(s.table))], true
+}
+
+// RoundRobinSteering distributes packets evenly regardless of flow — the
+// paper's §2.3 "first approach", which balances load but breaks
+// application logic because one flow's packets spray across queues.
+type RoundRobinSteering struct {
+	n, next int
+}
+
+// NewRoundRobin returns round-robin steering across n queues.
+func NewRoundRobin(n int) *RoundRobinSteering { return &RoundRobinSteering{n: n} }
+
+// Queue implements Steering.
+func (s *RoundRobinSteering) Queue(*packet.Decoded) (int, bool) {
+	q := s.next
+	s.next = (s.next + 1) % s.n
+	return q, true
+}

@@ -1,0 +1,157 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Builder constructs valid Ethernet/IPv4/{UDP,TCP} frames. The traffic
+// generators use it to synthesize wire-format packets; tests use it to
+// produce known-good inputs for the decoder and the BPF machine.
+type Builder struct {
+	SrcMAC, DstMAC MAC
+	TTL            uint8
+}
+
+// NewBuilder returns a builder with reasonable defaults (locally
+// administered MACs, TTL 64).
+func NewBuilder() *Builder {
+	return &Builder{
+		SrcMAC: MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x01},
+		DstMAC: MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x02},
+		TTL:    64,
+	}
+}
+
+// FrameLenFor returns the on-wire frame length (without FCS) for a packet
+// of the given flow with payloadLen transport payload bytes, including
+// minimum-frame padding.
+func FrameLenFor(proto uint8, payloadLen int) int {
+	l4 := UDPHeaderLen
+	if proto == ProtoTCP {
+		l4 = TCPHeaderLen
+	}
+	n := EthernetHeaderLen + IPv4HeaderLen + l4 + payloadLen
+	if n < MinFrameLen {
+		n = MinFrameLen
+	}
+	return n
+}
+
+// TCP flag bits.
+const (
+	TCPFin = 0x01
+	TCPSyn = 0x02
+	TCPRst = 0x04
+	TCPPsh = 0x08
+	TCPAck = 0x10
+)
+
+// Build writes a complete frame for the flow with the given payload into
+// buf and returns the frame slice; TCP segments carry PSH|ACK and a zero
+// sequence number (use BuildTCPSeg for stateful sessions). buf must have
+// capacity for the frame (see FrameLenFor); Build panics otherwise, since
+// generators size buffers up front. Checksums (IPv4 header, UDP, TCP) are
+// filled in correctly.
+func (b *Builder) Build(buf []byte, flow FlowKey, payload []byte) []byte {
+	return b.build(buf, flow, payload, 0, TCPPsh|TCPAck)
+}
+
+// BuildTCPSeg writes a TCP segment with an explicit sequence number and
+// flag byte, for generators that model real session life cycles
+// (SYN, data, FIN).
+func (b *Builder) BuildTCPSeg(buf []byte, flow FlowKey, seq uint32, flags uint8, payload []byte) []byte {
+	if flow.Proto != ProtoTCP {
+		panic("packet: BuildTCPSeg requires a TCP flow")
+	}
+	return b.build(buf, flow, payload, seq, flags)
+}
+
+func (b *Builder) build(buf []byte, flow FlowKey, payload []byte, seq uint32, tcpFlags uint8) []byte {
+	switch flow.Proto {
+	case ProtoUDP, ProtoTCP:
+	default:
+		panic(fmt.Sprintf("packet: Build supports TCP and UDP only, got proto %d", flow.Proto))
+	}
+	n := FrameLenFor(flow.Proto, len(payload))
+	if cap(buf) < n {
+		panic(fmt.Sprintf("packet: Build buffer cap %d < frame len %d", cap(buf), n))
+	}
+	frame := buf[:n]
+	for i := range frame {
+		frame[i] = 0
+	}
+
+	// Ethernet.
+	copy(frame[0:6], b.DstMAC[:])
+	copy(frame[6:12], b.SrcMAC[:])
+	binary.BigEndian.PutUint16(frame[12:14], EtherTypeIPv4)
+
+	// IPv4.
+	l4len := UDPHeaderLen
+	if flow.Proto == ProtoTCP {
+		l4len = TCPHeaderLen
+	}
+	ip := frame[EthernetHeaderLen:]
+	totalLen := IPv4HeaderLen + l4len + len(payload)
+	ip[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(ip[2:4], uint16(totalLen))
+	ip[8] = b.TTL
+	ip[9] = flow.Proto
+	copy(ip[12:16], flow.Src[:])
+	copy(ip[16:20], flow.Dst[:])
+	binary.BigEndian.PutUint16(ip[10:12], 0)
+	csum := Checksum(ip[:IPv4HeaderLen])
+	binary.BigEndian.PutUint16(ip[10:12], csum)
+
+	// Transport.
+	l4 := ip[IPv4HeaderLen:]
+	switch flow.Proto {
+	case ProtoUDP:
+		binary.BigEndian.PutUint16(l4[0:2], flow.SrcPort)
+		binary.BigEndian.PutUint16(l4[2:4], flow.DstPort)
+		binary.BigEndian.PutUint16(l4[4:6], uint16(UDPHeaderLen+len(payload)))
+		copy(l4[UDPHeaderLen:], payload)
+		binary.BigEndian.PutUint16(l4[6:8], 0)
+		udpCsum := l4Checksum(flow, l4[:UDPHeaderLen+len(payload)])
+		if udpCsum == 0 {
+			udpCsum = 0xffff // RFC 768: transmitted as all ones
+		}
+		binary.BigEndian.PutUint16(l4[6:8], udpCsum)
+	case ProtoTCP:
+		binary.BigEndian.PutUint16(l4[0:2], flow.SrcPort)
+		binary.BigEndian.PutUint16(l4[2:4], flow.DstPort)
+		binary.BigEndian.PutUint32(l4[4:8], seq)
+		l4[12] = (TCPHeaderLen / 4) << 4
+		l4[13] = tcpFlags
+		binary.BigEndian.PutUint16(l4[14:16], 65535)
+		copy(l4[TCPHeaderLen:], payload)
+		binary.BigEndian.PutUint16(l4[16:18], 0)
+		binary.BigEndian.PutUint16(l4[16:18], l4Checksum(flow, l4[:TCPHeaderLen+len(payload)]))
+	}
+	return frame
+}
+
+// l4Checksum computes the TCP/UDP checksum including the IPv4 pseudo-header.
+func l4Checksum(flow FlowKey, seg []byte) uint16 {
+	var sum uint32
+	addHalf := func(v uint16) { sum += uint32(v) }
+	addHalf(binary.BigEndian.Uint16(flow.Src[0:2]))
+	addHalf(binary.BigEndian.Uint16(flow.Src[2:4]))
+	addHalf(binary.BigEndian.Uint16(flow.Dst[0:2]))
+	addHalf(binary.BigEndian.Uint16(flow.Dst[2:4]))
+	addHalf(uint16(flow.Proto))
+	addHalf(uint16(len(seg)))
+	b := seg
+	for len(b) >= 2 {
+		sum += uint32(b[0])<<8 | uint32(b[1])
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}

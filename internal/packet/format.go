@@ -1,0 +1,74 @@
+package packet
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/vtime"
+)
+
+// Format renders a decoded frame in tcpdump's one-line style:
+//
+//	1.002345678 IP 131.225.2.10.4321 > 192.168.1.20.53: UDP, length 13
+//
+// ts is the capture timestamp; pass a negative value to omit it.
+func Format(ts vtime.Time, d *Decoded) string {
+	var sb strings.Builder
+	if ts >= 0 {
+		fmt.Fprintf(&sb, "%d.%09d ", ts/vtime.Second, ts%vtime.Second)
+	}
+	switch d.IPVersion {
+	case 4:
+		sb.WriteString("IP ")
+	case 6:
+		sb.WriteString("IP6 ")
+	default:
+		fmt.Fprintf(&sb, "%s > %s, ethertype %#04x, length %d",
+			d.SrcMAC, d.DstMAC, d.EtherType, len(d.Frame))
+		return sb.String()
+	}
+	switch d.Flow.Proto {
+	case ProtoTCP:
+		fmt.Fprintf(&sb, "%s.%d > %s.%d: Flags [%s], length %d",
+			d.Flow.Src, d.Flow.SrcPort, d.Flow.Dst, d.Flow.DstPort,
+			tcpFlagString(d.TCPFlags), len(d.Payload()))
+	case ProtoUDP:
+		fmt.Fprintf(&sb, "%s.%d > %s.%d: UDP, length %d",
+			d.Flow.Src, d.Flow.SrcPort, d.Flow.Dst, d.Flow.DstPort, len(d.Payload()))
+	case ProtoICMP:
+		fmt.Fprintf(&sb, "%s > %s: ICMP, length %d",
+			d.Flow.Src, d.Flow.Dst, len(d.Payload()))
+	default:
+		fmt.Fprintf(&sb, "%s > %s: ip-proto-%d, length %d",
+			d.Flow.Src, d.Flow.Dst, d.Flow.Proto, len(d.Payload()))
+	}
+	return sb.String()
+}
+
+// tcpFlagString renders TCP flags the way tcpdump does: S, ., P, F, R, U
+// combinations.
+func tcpFlagString(flags uint8) string {
+	var sb strings.Builder
+	if flags&0x02 != 0 {
+		sb.WriteByte('S')
+	}
+	if flags&0x01 != 0 {
+		sb.WriteByte('F')
+	}
+	if flags&0x04 != 0 {
+		sb.WriteByte('R')
+	}
+	if flags&0x08 != 0 {
+		sb.WriteByte('P')
+	}
+	if flags&0x20 != 0 {
+		sb.WriteByte('U')
+	}
+	if flags&0x10 != 0 {
+		sb.WriteByte('.')
+	}
+	if sb.Len() == 0 {
+		return "none"
+	}
+	return sb.String()
+}

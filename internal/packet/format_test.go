@@ -1,0 +1,66 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+func TestFormatUDP(t *testing.T) {
+	b := NewBuilder()
+	buf := make([]byte, MaxFrameLen)
+	frame := b.Build(buf, testFlow(), []byte("hello"))
+	var d Decoded
+	if err := Decode(frame, &d); err != nil {
+		t.Fatal(err)
+	}
+	got := Format(3*vtime.Second+5, &d)
+	want := "3.000000005 IP 131.225.2.10.4321 > 192.168.1.20.53: UDP, length 5"
+	if got != want {
+		t.Fatalf("Format = %q, want %q", got, want)
+	}
+	// Negative timestamp omits the time column.
+	if got := Format(-1, &d); strings.HasPrefix(got, "3.") || !strings.HasPrefix(got, "IP ") {
+		t.Fatalf("Format(-1) = %q", got)
+	}
+}
+
+func TestFormatTCPFlags(t *testing.T) {
+	b := NewBuilder()
+	buf := make([]byte, MaxFrameLen)
+	flow := testFlow()
+	flow.Proto = ProtoTCP
+	frame := b.Build(buf, flow, []byte("xyz"))
+	var d Decoded
+	if err := Decode(frame, &d); err != nil {
+		t.Fatal(err)
+	}
+	got := Format(-1, &d)
+	if !strings.Contains(got, "Flags [P.]") || !strings.Contains(got, "length 3") {
+		t.Fatalf("Format = %q", got)
+	}
+	// SYN.
+	frame[47] = 0x02
+	Decode(frame, &d)
+	if !strings.Contains(Format(-1, &d), "Flags [S]") {
+		t.Fatalf("SYN = %q", Format(-1, &d))
+	}
+	// No flags.
+	frame[47] = 0
+	Decode(frame, &d)
+	if !strings.Contains(Format(-1, &d), "Flags [none]") {
+		t.Fatalf("none = %q", Format(-1, &d))
+	}
+}
+
+func TestFormatNonIP(t *testing.T) {
+	frame := make([]byte, 60)
+	frame[12], frame[13] = 0x08, 0x06
+	var d Decoded
+	_ = Decode(frame, &d)
+	got := Format(-1, &d)
+	if !strings.Contains(got, "ethertype 0x0806") {
+		t.Fatalf("Format = %q", got)
+	}
+}

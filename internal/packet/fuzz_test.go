@@ -1,0 +1,59 @@
+package packet
+
+import "testing"
+
+// FuzzDecode guards the wire-format decoder against panics on arbitrary
+// frames. Every accepted frame must expose internally consistent offsets.
+func FuzzDecode(f *testing.F) {
+	b := NewBuilder()
+	buf := make([]byte, MaxFrameLen)
+	f.Add(append([]byte(nil), b.Build(buf, FlowKey{
+		Src: IPv4{131, 225, 2, 1}, Dst: IPv4{10, 0, 0, 1},
+		SrcPort: 1, DstPort: 2, Proto: ProtoUDP,
+	}, []byte("x"))...))
+	f.Add([]byte{})
+	f.Add(make([]byte, 14))
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		var d Decoded
+		if err := Decode(frame, &d); err != nil {
+			return
+		}
+		if d.L4Offset < EthernetHeaderLen || d.L4Offset > len(frame) {
+			t.Fatalf("L4Offset %d out of range for %d-byte frame", d.L4Offset, len(frame))
+		}
+		if d.PayloadOffset < d.L4Offset {
+			t.Fatalf("PayloadOffset %d before L4Offset %d", d.PayloadOffset, d.L4Offset)
+		}
+		_ = d.Payload() // must not panic
+	})
+}
+
+// FuzzBuildDecode round-trips arbitrary flows and payload sizes.
+func FuzzBuildDecode(f *testing.F) {
+	f.Add(uint32(0x83E1020A), uint32(0xC0A80101), uint16(53), uint16(4321), true, 10)
+	f.Fuzz(func(t *testing.T, src, dst uint32, sp, dp uint16, isTCP bool, payLen int) {
+		if payLen < 0 || payLen > 1400 {
+			return
+		}
+		flow := FlowKey{
+			Src: IPv4FromUint32(src), Dst: IPv4FromUint32(dst),
+			SrcPort: sp, DstPort: dp, Proto: ProtoUDP,
+		}
+		if isTCP {
+			flow.Proto = ProtoTCP
+		}
+		b := NewBuilder()
+		buf := make([]byte, MaxFrameLen)
+		frame := b.Build(buf, flow, make([]byte, payLen))
+		var d Decoded
+		if err := Decode(frame, &d); err != nil {
+			t.Fatalf("Decode of built frame: %v", err)
+		}
+		if d.Flow != flow {
+			t.Fatalf("flow %v != %v", d.Flow, flow)
+		}
+		if !VerifyIPv4Checksum(&d) {
+			t.Fatal("built frame has bad checksum")
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzPcapReader guards the pcap reader against panics and runaway
+// allocation on corrupt capture files.
+func FuzzPcapReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 0)
+	w.WritePacket(123, make([]byte, 60))
+	w.WritePacket(456, make([]byte, 1514))
+	w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xd4, 0xc3, 0xb2, 0xa1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			_, _, err := r.ReadPacket()
+			if err != nil {
+				if err != io.EOF {
+					return // corrupt tail: error is correct
+				}
+				break
+			}
+		}
+	})
+}
+
+// FuzzPcapngReader does the same for the pcapng block parser.
+func FuzzPcapngReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewNgWriter(&buf, 0)
+	w.WritePacket(123, make([]byte, 61))
+	w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte{0x0A, 0x0D, 0x0D, 0x0A})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewNgReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			_, _, err := r.ReadPacket()
+			if err != nil {
+				break
+			}
+		}
+	})
+}

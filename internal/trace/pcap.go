@@ -1,0 +1,159 @@
+// Package trace provides the traffic side of the reproduction: a pure-Go
+// pcap file reader/writer, synthetic workload generators (the wire-rate
+// generator and a border-router model reproducing the paper's Figure 3
+// load imbalance), and a driver that replays a packet source into a
+// simulated NIC "at the speed exactly as recorded" (§2.2).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/vtime"
+)
+
+// pcap file magic numbers.
+const (
+	magicMicros = 0xa1b2c3d4
+	magicNanos  = 0xa1b23c4d
+)
+
+// LinkTypeEthernet is the only link type the simulator produces.
+const LinkTypeEthernet = 1
+
+// Errors returned by the pcap reader.
+var (
+	ErrBadMagic    = errors.New("trace: not a pcap file")
+	ErrBadLinkType = errors.New("trace: unsupported link type")
+	ErrTruncated   = errors.New("trace: truncated pcap file")
+)
+
+// Writer writes a pcap capture file (nanosecond variant, since virtual
+// time is nanosecond-granular).
+type Writer struct {
+	w       *bufio.Writer
+	snaplen uint32
+	hdr     [16]byte
+	count   uint64
+}
+
+// NewWriter writes a pcap global header and returns a Writer. snaplen 0
+// means 65535.
+func NewWriter(w io.Writer, snaplen uint32) (*Writer, error) {
+	if snaplen == 0 {
+		snaplen = 65535
+	}
+	bw := bufio.NewWriter(w)
+	var gh [24]byte
+	binary.LittleEndian.PutUint32(gh[0:4], magicNanos)
+	binary.LittleEndian.PutUint16(gh[4:6], 2) // major
+	binary.LittleEndian.PutUint16(gh[6:8], 4) // minor
+	binary.LittleEndian.PutUint32(gh[16:20], snaplen)
+	binary.LittleEndian.PutUint32(gh[20:24], LinkTypeEthernet)
+	if _, err := bw.Write(gh[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, snaplen: snaplen}, nil
+}
+
+// WritePacket appends one frame captured at virtual time ts. Frames longer
+// than the snap length are truncated, with the original length recorded.
+func (w *Writer) WritePacket(ts vtime.Time, frame []byte) error {
+	capLen := len(frame)
+	if uint32(capLen) > w.snaplen {
+		capLen = int(w.snaplen)
+	}
+	sec := uint32(ts / vtime.Second)
+	nsec := uint32(ts % vtime.Second)
+	binary.LittleEndian.PutUint32(w.hdr[0:4], sec)
+	binary.LittleEndian.PutUint32(w.hdr[4:8], nsec)
+	binary.LittleEndian.PutUint32(w.hdr[8:12], uint32(capLen))
+	binary.LittleEndian.PutUint32(w.hdr[12:16], uint32(len(frame)))
+	if _, err := w.w.Write(w.hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(frame[:capLen]); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of packets written.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush flushes buffered output; call it before closing the underlying
+// file.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader reads a pcap capture file, accepting both timestamp resolutions
+// and both byte orders.
+type Reader struct {
+	r     *bufio.Reader
+	order binary.ByteOrder
+	nanos bool
+	buf   []byte
+	hdr   [16]byte
+}
+
+// NewReader parses the pcap global header.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var gh [24]byte
+	if _, err := io.ReadFull(br, gh[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	rd := &Reader{r: br}
+	magicLE := binary.LittleEndian.Uint32(gh[0:4])
+	magicBE := binary.BigEndian.Uint32(gh[0:4])
+	switch {
+	case magicLE == magicMicros:
+		rd.order = binary.LittleEndian
+	case magicLE == magicNanos:
+		rd.order, rd.nanos = binary.LittleEndian, true
+	case magicBE == magicMicros:
+		rd.order = binary.BigEndian
+	case magicBE == magicNanos:
+		rd.order, rd.nanos = binary.BigEndian, true
+	default:
+		return nil, ErrBadMagic
+	}
+	if lt := rd.order.Uint32(gh[20:24]); lt != LinkTypeEthernet {
+		return nil, fmt.Errorf("%w: %d", ErrBadLinkType, lt)
+	}
+	return rd, nil
+}
+
+// ReadPacket returns the next frame and its timestamp. The frame buffer is
+// reused across calls. io.EOF signals a clean end of file.
+func (r *Reader) ReadPacket() ([]byte, vtime.Time, error) {
+	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	sec := r.order.Uint32(r.hdr[0:4])
+	sub := r.order.Uint32(r.hdr[4:8])
+	capLen := r.order.Uint32(r.hdr[8:12])
+	if capLen > 256*1024 {
+		return nil, 0, fmt.Errorf("trace: implausible packet length %d", capLen)
+	}
+	if cap(r.buf) < int(capLen) {
+		r.buf = make([]byte, capLen)
+	}
+	r.buf = r.buf[:capLen]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	ts := vtime.Time(sec) * vtime.Second
+	if r.nanos {
+		ts += vtime.Time(sub)
+	} else {
+		ts += vtime.Time(sub) * vtime.Microsecond
+	}
+	return r.buf, ts, nil
+}

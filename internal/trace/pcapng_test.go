@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/vtime"
+)
+
+func TestPcapngRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewNgWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := packet.NewBuilder()
+	scratch := make([]byte, packet.MaxFrameLen)
+	var frames [][]byte
+	var stamps []vtime.Time
+	r := vtime.NewRand(9)
+	for i := 0; i < 200; i++ {
+		flow := packet.FlowKey{
+			Src: packet.IPv4FromUint32(r.Uint32()), Dst: packet.IPv4FromUint32(r.Uint32()),
+			SrcPort: uint16(i + 1), DstPort: 80, Proto: packet.ProtoTCP,
+		}
+		frame := b.Build(scratch, flow, make([]byte, r.Intn(500)))
+		ts := vtime.Time(i)*7777777 + 3
+		if err := w.WritePacket(ts, frame); err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, append([]byte(nil), frame...))
+		stamps = append(stamps, ts)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 200 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+
+	rd, err := NewNgReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		frame, ts, err := rd.ReadPacket()
+		if err == io.EOF {
+			if i != 200 {
+				t.Fatalf("EOF after %d packets", i)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts != stamps[i] {
+			t.Fatalf("packet %d ts %v, want %v", i, ts, stamps[i])
+		}
+		if !bytes.Equal(frame, frames[i]) {
+			t.Fatalf("packet %d data mismatch", i)
+		}
+	}
+}
+
+func TestPcapngRejectsPcap(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 0) // classic pcap
+	w.WritePacket(0, make([]byte, 60))
+	w.Flush()
+	if _, err := NewNgReader(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("classic pcap accepted as pcapng")
+	}
+	if _, err := NewNgReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestPcapngSkipsUnknownBlocks(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewNgWriter(&buf, 0)
+	w.WritePacket(42, make([]byte, 60))
+	w.Flush()
+	// Append an unknown block (custom type 0x0BAD), then another packet
+	// section written by a fresh writer (SHB + IDB + EPB).
+	unknown := make([]byte, 16)
+	binary.LittleEndian.PutUint32(unknown[0:4], 0x0BAD)
+	binary.LittleEndian.PutUint32(unknown[4:8], 16)
+	binary.LittleEndian.PutUint32(unknown[12:16], 16)
+	buf.Write(unknown)
+	w2, _ := NewNgWriter(&buf, 0)
+	w2.WritePacket(43, make([]byte, 61))
+	w2.Flush()
+
+	rd, err := NewNgReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts1, err := rd.ReadPacket()
+	if err != nil || ts1 != 42 {
+		t.Fatalf("first packet: ts %v err %v", ts1, err)
+	}
+	frame2, ts2, err := rd.ReadPacket()
+	if err != nil || ts2 != 43 || len(frame2) != 61 {
+		t.Fatalf("second packet after unknown block + new section: len %d ts %v err %v",
+			len(frame2), ts2, err)
+	}
+	if _, _, err := rd.ReadPacket(); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestPcapngTruncatedBlock(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewNgWriter(&buf, 0)
+	w.WritePacket(0, make([]byte, 60))
+	w.Flush()
+	rd, err := NewNgReader(bytes.NewReader(buf.Bytes()[:buf.Len()-6]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rd.ReadPacket(); err == nil {
+		t.Fatal("truncated EPB read succeeded")
+	}
+}
+
+func TestPcapngMicrosecondDefaultResolution(t *testing.T) {
+	// Hand-build a section whose IDB has no if_tsresol option: timestamps
+	// are in microseconds.
+	var buf bytes.Buffer
+	shb := make([]byte, 28)
+	binary.LittleEndian.PutUint32(shb[0:4], blockSHB)
+	binary.LittleEndian.PutUint32(shb[4:8], 28)
+	binary.LittleEndian.PutUint32(shb[8:12], ngByteOrderMagic)
+	binary.LittleEndian.PutUint16(shb[12:14], 1)
+	binary.LittleEndian.PutUint64(shb[16:24], ^uint64(0))
+	binary.LittleEndian.PutUint32(shb[24:28], 28)
+	buf.Write(shb)
+	idb := make([]byte, 20)
+	binary.LittleEndian.PutUint32(idb[0:4], blockIDB)
+	binary.LittleEndian.PutUint32(idb[4:8], 20)
+	binary.LittleEndian.PutUint16(idb[8:10], LinkTypeEthernet)
+	binary.LittleEndian.PutUint32(idb[16:20], 20)
+	buf.Write(idb)
+	epb := make([]byte, 32+60)
+	binary.LittleEndian.PutUint32(epb[0:4], blockEPB)
+	binary.LittleEndian.PutUint32(epb[4:8], uint32(len(epb)))
+	binary.LittleEndian.PutUint32(epb[12:16], 0)
+	binary.LittleEndian.PutUint32(epb[16:20], 5) // 5 us
+	binary.LittleEndian.PutUint32(epb[20:24], 60)
+	binary.LittleEndian.PutUint32(epb[24:28], 60)
+	binary.LittleEndian.PutUint32(epb[len(epb)-4:], uint32(len(epb)))
+	buf.Write(epb)
+
+	rd, err := NewNgReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts, err := rd.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts != 5*vtime.Microsecond {
+		t.Fatalf("ts = %v, want 5us", ts)
+	}
+}
+
+func TestNgSourceAdapter(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewNgWriter(&buf, 0)
+	w.WritePacket(1, make([]byte, 60))
+	w.WritePacket(2, make([]byte, 60))
+	w.Flush()
+	rd, err := NewNgReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewNgSource(rd)
+	n := 0
+	for {
+		_, _, ok := src.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 || src.Err() != nil {
+		t.Fatalf("n=%d err=%v", n, src.Err())
+	}
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"io"
+
+	"repro/internal/nic"
+	"repro/internal/packet"
+	"repro/internal/vtime"
+)
+
+// Source is a time-ordered stream of frames. The returned frame buffer is
+// only valid until the next call: the NIC's DMA copies it into a ring
+// buffer immediately, just as the wire hands bits to hardware.
+type Source interface {
+	// Next returns the next frame and its arrival time, or ok == false at
+	// the end of the stream. Timestamps must be non-decreasing.
+	Next() (frame []byte, ts vtime.Time, ok bool)
+}
+
+// PcapSource adapts a pcap Reader into a Source.
+type PcapSource struct {
+	r   *Reader
+	err error
+}
+
+// NewPcapSource wraps a pcap reader.
+func NewPcapSource(r *Reader) *PcapSource { return &PcapSource{r: r} }
+
+// Next implements Source.
+func (s *PcapSource) Next() ([]byte, vtime.Time, bool) {
+	frame, ts, err := s.r.ReadPacket()
+	if err != nil {
+		if err != io.EOF {
+			s.err = err
+		}
+		return nil, 0, false
+	}
+	return frame, ts, true
+}
+
+// Err returns the error that ended the stream, if it was not a clean EOF.
+func (s *PcapSource) Err() error { return s.err }
+
+// DriveStats reports what a Drive call offered to the NIC.
+type DriveStats struct {
+	Sent  uint64 // frames offered from the wire
+	Bytes uint64
+	Last  vtime.Time // timestamp of the final frame
+}
+
+// Drive schedules every packet of src for delivery into n at its recorded
+// timestamp — the traffic generator "replaying captured data at the speed
+// exactly as recorded". It must be called before sched.Run; the returned
+// stats are complete only after the scheduler drains. onDone, if non-nil,
+// runs after the last packet has been delivered.
+func Drive(sched *vtime.Scheduler, n *nic.NIC, src Source, onDone func()) *DriveStats {
+	st := &DriveStats{}
+	frame, ts, ok := src.Next()
+	if !ok {
+		if onDone != nil {
+			onDone()
+		}
+		return st
+	}
+	// Each event delivers the pending frame, then pulls the next one.
+	// Frames are copied into a private buffer because Source reuses its
+	// buffer and delivery happens later in virtual time.
+	pending := make([]byte, len(frame))
+	copy(pending, frame)
+	var deliver func()
+	deliver = func() {
+		st.Sent++
+		st.Bytes += uint64(len(pending))
+		st.Last = sched.Now()
+		n.Deliver(pending, sched.Now())
+		next, nts, ok := src.Next()
+		if !ok {
+			if onDone != nil {
+				onDone()
+			}
+			return
+		}
+		if nts < sched.Now() {
+			nts = sched.Now() // clamp non-monotonic input
+		}
+		pending = append(pending[:0], next...)
+		sched.At(nts, deliver)
+	}
+	sched.At(ts, deliver)
+	return st
+}
+
+// FlowForQueue searches for a flow 5-tuple whose RSS hash steers it to
+// receive queue q of a NIC with n queues using the default key and
+// indirection table. The source address is srcNet with its low hostBits
+// randomized; the destination is drawn from 192.168/16. Workload
+// generators use it to construct traffic with controlled per-queue load,
+// the way the paper's captured trace happened to exercise specific queues.
+func FlowForQueue(r *vtime.Rand, n, q int, proto uint8, srcNet uint32, hostBits int) packet.FlowKey {
+	hostMask := uint32(1)<<uint(hostBits) - 1
+	for {
+		f := packet.FlowKey{
+			Src:     packet.IPv4FromUint32(srcNet&^hostMask | uint32(r.Uint32())&hostMask),
+			Dst:     packet.IPv4FromUint32(0xc0a80000 | uint32(r.Intn(1<<16))), // 192.168/16
+			SrcPort: uint16(1024 + r.Intn(60000)),
+			DstPort: uint16(1 + r.Intn(60000)),
+			Proto:   proto,
+		}
+		h := nic.RSSHash(nic.DefaultRSSKey[:], f)
+		if int(h%nic.IndirectionEntries)%n == q {
+			return f
+		}
+	}
+}

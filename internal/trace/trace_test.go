@@ -1,0 +1,415 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"repro/internal/nic"
+	"repro/internal/packet"
+	"repro/internal/vtime"
+)
+
+func TestPcapRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := packet.NewBuilder()
+	scratch := make([]byte, packet.MaxFrameLen)
+	var frames [][]byte
+	var stamps []vtime.Time
+	r := vtime.NewRand(4)
+	for i := 0; i < 100; i++ {
+		flow := packet.FlowKey{
+			Src: packet.IPv4FromUint32(r.Uint32()), Dst: packet.IPv4FromUint32(r.Uint32()),
+			SrcPort: uint16(i + 1), DstPort: 53, Proto: packet.ProtoUDP,
+		}
+		frame := b.Build(scratch, flow, make([]byte, r.Intn(400)))
+		ts := vtime.Time(i) * 123456 * vtime.Nanosecond
+		if err := w.WritePacket(ts, frame); err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, append([]byte(nil), frame...))
+		stamps = append(stamps, ts)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 100 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		frame, ts, err := rd.ReadPacket()
+		if err == io.EOF {
+			if i != 100 {
+				t.Fatalf("EOF after %d packets", i)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts != stamps[i] || !bytes.Equal(frame, frames[i]) {
+			t.Fatalf("packet %d mismatch (ts %v vs %v)", i, ts, stamps[i])
+		}
+	}
+}
+
+func TestPcapSnaplenTruncates(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 100)
+	frame := make([]byte, 500)
+	if err := w.WritePacket(0, frame); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := rd.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("read %d bytes, want 100", len(got))
+	}
+}
+
+func TestPcapReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not a pcap file at all........"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestPcapReaderMicrosecondBigEndian(t *testing.T) {
+	// Hand-build a big-endian microsecond pcap with one 4-byte packet.
+	var buf bytes.Buffer
+	gh := make([]byte, 24)
+	binary.BigEndian.PutUint32(gh[0:4], 0xa1b2c3d4)
+	binary.BigEndian.PutUint16(gh[4:6], 2)
+	binary.BigEndian.PutUint16(gh[6:8], 4)
+	binary.BigEndian.PutUint32(gh[16:20], 65535)
+	binary.BigEndian.PutUint32(gh[20:24], LinkTypeEthernet)
+	buf.Write(gh)
+	ph := make([]byte, 16)
+	binary.BigEndian.PutUint32(ph[0:4], 3)   // 3 s
+	binary.BigEndian.PutUint32(ph[4:8], 500) // 500 us
+	binary.BigEndian.PutUint32(ph[8:12], 4)
+	binary.BigEndian.PutUint32(ph[12:16], 4)
+	buf.Write(ph)
+	buf.Write([]byte{1, 2, 3, 4})
+
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, ts, err := rd.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3*vtime.Second + 500*vtime.Microsecond
+	if ts != want || len(frame) != 4 {
+		t.Fatalf("ts = %v (want %v), len %d", ts, want, len(frame))
+	}
+}
+
+func TestPcapTruncatedPacket(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 0)
+	w.WritePacket(0, make([]byte, 60))
+	w.Flush()
+	data := buf.Bytes()[:buf.Len()-10]
+	rd, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rd.ReadPacket(); err == nil {
+		t.Fatal("truncated packet read succeeded")
+	}
+}
+
+func TestConstantRateTiming(t *testing.T) {
+	src := NewConstantRate(ConstantRateConfig{Packets: 1000})
+	var last vtime.Time = -1
+	count := 0
+	for {
+		frame, ts, ok := src.Next()
+		if !ok {
+			break
+		}
+		if len(frame) != 60 {
+			t.Fatalf("frame len %d", len(frame))
+		}
+		if ts <= last && count > 0 {
+			t.Fatalf("timestamps not increasing at %d", count)
+		}
+		last = ts
+		count++
+	}
+	if count != 1000 {
+		t.Fatalf("emitted %d", count)
+	}
+	// 1000 packets at 67.2 ns spacing: last ts = 999 * 67.2ns ~= 67.1 us.
+	rate := float64(count-1) / last.Seconds()
+	if rate < 14.5e6 || rate > 15.2e6 {
+		t.Fatalf("rate = %.0f p/s, want ~14.88M", rate)
+	}
+}
+
+func TestConstantRateFramesDecodeAndMatchFilter(t *testing.T) {
+	src := NewConstantRate(ConstantRateConfig{Packets: 50})
+	var d packet.Decoded
+	for {
+		frame, _, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := packet.Decode(frame, &d); err != nil {
+			t.Fatal(err)
+		}
+		// All constant-rate sources draw from 131.225.2.0/24.
+		if d.Flow.Src[0] != 131 || d.Flow.Src[1] != 225 || d.Flow.Src[2] != 2 {
+			t.Fatalf("src = %v", d.Flow.Src)
+		}
+	}
+}
+
+func TestConstantRateSpreadsAcrossQueues(t *testing.T) {
+	const queues = 4
+	src := NewConstantRate(ConstantRateConfig{Packets: 400, Queues: queues})
+	counts := make([]int, queues)
+	var d packet.Decoded
+	for {
+		frame, _, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := packet.Decode(frame, &d); err != nil {
+			t.Fatal(err)
+		}
+		h := nic.RSSHash(nic.DefaultRSSKey[:], d.Flow)
+		counts[int(h%nic.IndirectionEntries)%queues]++
+	}
+	for q, c := range counts {
+		if c != 100 {
+			t.Fatalf("queue %d got %d of 400 (want exactly even round-robin): %v", q, c, counts)
+		}
+	}
+}
+
+func TestBorderSourceShape(t *testing.T) {
+	const scale = 0.05
+	src := NewBorder(BorderConfig{Seed: 7, Scale: scale, Duration: 16 * vtime.Second})
+	perQueue := make([]uint64, 6)
+	hotLate, hotEarly := 0.0, 0.0
+	var d packet.Decoded
+	var last vtime.Time = -1
+	var n uint64
+	for {
+		frame, ts, ok := src.Next()
+		if !ok {
+			break
+		}
+		if ts < last {
+			t.Fatalf("timestamps regressed: %v after %v", ts, last)
+		}
+		last = ts
+		if err := packet.Decode(frame, &d); err != nil {
+			t.Fatal(err)
+		}
+		h := nic.RSSHash(nic.DefaultRSSKey[:], d.Flow)
+		q := int(h%nic.IndirectionEntries) % 6
+		perQueue[q]++
+		if q == 0 {
+			// The hot-queue ramp sits at 10/32 of the duration: 5 s here.
+			if ts >= 5*vtime.Second {
+				hotLate++
+			} else {
+				hotEarly++
+			}
+		}
+		n++
+	}
+	if n != src.Emitted() {
+		t.Fatalf("Emitted = %d, saw %d", src.Emitted(), n)
+	}
+	if n == 0 {
+		t.Fatal("no packets emitted")
+	}
+	// Queue 0 must dominate queue 3, which must dominate background.
+	if perQueue[0] <= perQueue[3] {
+		t.Fatalf("hot queue not dominant: %v", perQueue)
+	}
+	if perQueue[3] <= perQueue[1] {
+		t.Fatalf("warm queue not above background: %v", perQueue)
+	}
+	// The hot queue's late rate (per second) must far exceed its early rate.
+	lateRate := hotLate / 11  // 5..16 s
+	earlyRate := hotEarly / 5 // 0..5 s
+	if lateRate < 3*earlyRate {
+		t.Fatalf("hot queue ramp missing: early %.0f/s late %.0f/s", earlyRate, lateRate)
+	}
+}
+
+func TestBorderSourceDeterministic(t *testing.T) {
+	mk := func() []vtime.Time {
+		src := NewBorder(BorderConfig{Seed: 11, Scale: 0.01, Duration: 2 * vtime.Second})
+		var out []vtime.Time
+		for {
+			_, ts, ok := src.Next()
+			if !ok {
+				return out
+			}
+			out = append(out, ts)
+		}
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("timestamp %d differs", i)
+		}
+	}
+}
+
+func TestDriveDeliversEverything(t *testing.T) {
+	sched := vtime.NewScheduler()
+	n := nic.New(sched, nic.Config{ID: 0, RxQueues: 1, RingSize: 1024, Promiscuous: true})
+	ring := n.Rx(0)
+	for i := 0; i < ring.Size(); i++ {
+		ring.Refill(i, make([]byte, 2048))
+	}
+	// Instantly recycle descriptors so nothing drops.
+	ring.OnRx(func(i int) { ring.Refill(i, ring.Desc(i).Buf) })
+
+	src := NewConstantRate(ConstantRateConfig{Packets: 5000})
+	done := false
+	st := Drive(sched, n, src, func() { done = true })
+	sched.Run()
+	if !done {
+		t.Fatal("onDone not called")
+	}
+	if st.Sent != 5000 {
+		t.Fatalf("Sent = %d", st.Sent)
+	}
+	ns := n.Stats()
+	if ns.TotalReceived() != 5000 || ns.TotalWireDrops() != 0 {
+		t.Fatalf("nic received %d dropped %d", ns.TotalReceived(), ns.TotalWireDrops())
+	}
+}
+
+func TestDriveEmptySource(t *testing.T) {
+	sched := vtime.NewScheduler()
+	n := nic.New(sched, nic.Config{ID: 0, RxQueues: 1, RingSize: 8, Promiscuous: true})
+	done := false
+	st := Drive(sched, n, NewConstantRate(ConstantRateConfig{Packets: 0}), func() { done = true })
+	sched.Run()
+	if !done || st.Sent != 0 {
+		t.Fatalf("done=%v sent=%d", done, st.Sent)
+	}
+}
+
+func TestFlowForQueueTargets(t *testing.T) {
+	r := vtime.NewRand(3)
+	for q := 0; q < 6; q++ {
+		for i := 0; i < 20; i++ {
+			f := FlowForQueue(r, 6, q, packet.ProtoUDP, FermilabSubnet2, 8)
+			h := nic.RSSHash(nic.DefaultRSSKey[:], f)
+			if got := int(h%nic.IndirectionEntries) % 6; got != q {
+				t.Fatalf("flow for queue %d hashed to %d", q, got)
+			}
+			if f.Src[0] != 131 || f.Src[1] != 225 || f.Src[2] != 2 {
+				t.Fatalf("src %v outside 131.225.2/24", f.Src)
+			}
+		}
+	}
+}
+
+func TestPcapSourceAdapter(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 0)
+	w.WritePacket(100, make([]byte, 60))
+	w.WritePacket(200, make([]byte, 61))
+	w.Flush()
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewPcapSource(rd)
+	_, ts1, ok := src.Next()
+	if !ok || ts1 != 100 {
+		t.Fatalf("first packet ts %v ok %v", ts1, ok)
+	}
+	frame2, ts2, ok := src.Next()
+	if !ok || ts2 != 200 || len(frame2) != 61 {
+		t.Fatalf("second packet")
+	}
+	if _, _, ok := src.Next(); ok {
+		t.Fatal("source did not end")
+	}
+	if src.Err() != nil {
+		t.Fatalf("Err = %v", src.Err())
+	}
+}
+
+func TestBorderTCPSessionsHaveRealFlags(t *testing.T) {
+	src := NewBorder(BorderConfig{Seed: 3, Scale: 0.05, Duration: 2 * vtime.Second})
+	var syn, fin, data, udp int
+	var d packet.Decoded
+	seqs := map[packet.FlowKey]uint32{}
+	for {
+		frame, _, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := packet.Decode(frame, &d); err != nil {
+			t.Fatal(err)
+		}
+		switch d.Flow.Proto {
+		case packet.ProtoUDP:
+			udp++
+		case packet.ProtoTCP:
+			switch {
+			case d.TCPFlags&packet.TCPSyn != 0:
+				syn++
+				delete(seqs, d.Flow) // new session: sequence space rebased
+			case d.TCPFlags&packet.TCPFin != 0:
+				fin++
+				delete(seqs, d.Flow)
+			default:
+				data++
+				// Sequence numbers advance monotonically within a session.
+				seq := binary.BigEndian.Uint32(frame[d.L4Offset+4 : d.L4Offset+8])
+				if prev, ok := seqs[d.Flow]; ok && seq < prev && prev-seq < 1<<30 {
+					t.Fatalf("sequence went backward for %v: %d after %d", d.Flow, seq, prev)
+				}
+				seqs[d.Flow] = seq
+			}
+		}
+	}
+	if syn == 0 || data == 0 || udp == 0 {
+		t.Fatalf("traffic mix missing kinds: syn %d fin %d data %d udp %d", syn, fin, data, udp)
+	}
+	if fin == 0 {
+		t.Log("no FIN observed (short trace); acceptable but unusual")
+	}
+	// Each flow opens with exactly one SYN per session: SYNs are roughly
+	// bounded by sessions (flows + reopen events), far below data count.
+	if syn > data/4+288 {
+		t.Fatalf("too many SYNs: %d of %d data segments", syn, data)
+	}
+}

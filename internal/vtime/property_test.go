@@ -1,0 +1,95 @@
+package vtime
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestSchedulerAgainstReferenceModel drives the event heap with random
+// schedule/cancel sequences and checks execution order against a simple
+// reference (a sorted list), across many seeds.
+func TestSchedulerAgainstReferenceModel(t *testing.T) {
+	type refEvent struct {
+		at  Time
+		seq int
+		id  EventID
+	}
+	for seed := uint64(0); seed < 20; seed++ {
+		r := NewRand(seed)
+		s := NewScheduler()
+		var ref []refEvent
+		var got []int
+		seq := 0
+		// Schedule a batch of events at random times, cancel a random
+		// subset, interleaved.
+		for i := 0; i < 300; i++ {
+			switch r.Intn(4) {
+			case 0, 1, 2:
+				at := Time(r.Intn(10_000))
+				mySeq := seq
+				seq++
+				id := s.At(at, func() { got = append(got, mySeq) })
+				ref = append(ref, refEvent{at: at, seq: mySeq, id: id})
+			case 3:
+				if len(ref) == 0 {
+					continue
+				}
+				i := r.Intn(len(ref))
+				if s.Cancel(ref[i].id) {
+					ref[i] = ref[len(ref)-1]
+					ref = ref[:len(ref)-1]
+				}
+			}
+		}
+		s.Run()
+		// Reference order: by (at, seq).
+		sort.Slice(ref, func(i, j int) bool {
+			if ref[i].at != ref[j].at {
+				return ref[i].at < ref[j].at
+			}
+			return ref[i].seq < ref[j].seq
+		})
+		if len(got) != len(ref) {
+			t.Fatalf("seed %d: ran %d events, want %d", seed, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i].seq {
+				t.Fatalf("seed %d: event %d = seq %d, want %d", seed, i, got[i], ref[i].seq)
+			}
+		}
+	}
+}
+
+// TestSchedulerNestedSchedulingModel mixes events that schedule further
+// events, checking the clock never goes backward and every event runs.
+func TestSchedulerNestedSchedulingModel(t *testing.T) {
+	r := NewRand(123)
+	s := NewScheduler()
+	ran := 0
+	var lastTime Time = -1
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		s.After(Time(r.Intn(1000)), func() {
+			if s.Now() < lastTime {
+				t.Fatalf("clock went backward: %v after %v", s.Now(), lastTime)
+			}
+			lastTime = s.Now()
+			ran++
+			if depth > 0 {
+				for i := 0; i < r.Intn(3); i++ {
+					spawn(depth - 1)
+				}
+			}
+		})
+	}
+	for i := 0; i < 50; i++ {
+		spawn(4)
+	}
+	s.Run()
+	if ran < 50 {
+		t.Fatalf("ran %d events", ran)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("%d events pending after Run", s.Pending())
+	}
+}

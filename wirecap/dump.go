@@ -1,0 +1,62 @@
+package wirecap
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// Dumper writes captured packets to a pcap file: the pcap_dump analogue.
+// Attach it to one or more handles with Handle.DumpTo; close it after the
+// simulation drains.
+type Dumper struct {
+	f *os.File
+	w *trace.Writer
+}
+
+// NewDumper creates (truncating) a pcap file for captured packets.
+// snaplen 0 means 65,535.
+func NewDumper(path string, snaplen int) (*Dumper, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w, err := trace.NewWriter(f, uint32(snaplen))
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Dumper{f: f, w: w}, nil
+}
+
+// Count returns packets written so far.
+func (d *Dumper) Count() uint64 { return d.w.Count() }
+
+// Close flushes and closes the file.
+func (d *Dumper) Close() error {
+	if err := d.w.Flush(); err != nil {
+		d.f.Close()
+		return err
+	}
+	return d.f.Close()
+}
+
+// DumpTo mirrors every packet that passes this handle's filter into the
+// dumper, in addition to (and before) the Loop callback. Pass nil to stop
+// dumping.
+func (h *Handle) DumpTo(d *Dumper) { h.dumper = d }
+
+// writeDump is called from the delivery path.
+func (h *Handle) writeDump(data []byte, ts vtime.Time) {
+	if err := h.dumper.w.WritePacket(ts, data); err != nil {
+		// A failing dump file must not corrupt capture; drop the dumper
+		// and surface the error through the handle.
+		h.dumpErr = fmt.Errorf("wirecap: dump: %w", err)
+		h.dumper = nil
+	}
+}
+
+// DumpErr returns the error that stopped dumping, if any.
+func (h *Handle) DumpErr() error { return h.dumpErr }

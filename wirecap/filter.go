@@ -1,0 +1,47 @@
+package wirecap
+
+import "repro/internal/bpf"
+
+// Filter is a compiled BPF program usable standalone, the
+// pcap_offline_filter analogue: IDS-style applications compile a rule set
+// once and match captured packets against it in their callbacks.
+type Filter struct {
+	vm   *bpf.VM
+	expr string
+}
+
+// CompileFilter compiles a filter expression ("udp and net 131.225.2",
+// "tcp port 80 or tcp port 443", ...) into an executable program.
+func CompileFilter(expr string) (*Filter, error) {
+	prog, err := bpf.Compile(expr, 65535)
+	if err != nil {
+		return nil, err
+	}
+	vm, err := bpf.NewVM(prog)
+	if err != nil {
+		return nil, err
+	}
+	return &Filter{vm: vm, expr: expr}, nil
+}
+
+// MustCompileFilter is CompileFilter for constant expressions; it panics
+// on error.
+func MustCompileFilter(expr string) *Filter {
+	f, err := CompileFilter(expr)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Match runs the program over a raw Ethernet frame.
+func (f *Filter) Match(frame []byte) bool { return f.vm.Match(frame) }
+
+// String returns the source expression.
+func (f *Filter) String() string { return f.expr }
+
+// Disassemble renders the compiled program in tcpdump -d style.
+func (f *Filter) Disassemble() string {
+	prog, _ := bpf.Compile(f.expr, 65535)
+	return bpf.Disassemble(prog)
+}

@@ -1,0 +1,65 @@
+package wirecap
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/packet"
+)
+
+func udpFrame(t *testing.T, src packet.IPv4, dport uint16) []byte {
+	t.Helper()
+	b := packet.NewBuilder()
+	buf := make([]byte, packet.MaxFrameLen)
+	frame := b.Build(buf, packet.FlowKey{
+		Src: src, Dst: packet.IPv4{10, 0, 0, 1},
+		SrcPort: 40000, DstPort: dport, Proto: packet.ProtoUDP,
+	}, nil)
+	out := make([]byte, len(frame))
+	copy(out, frame)
+	return out
+}
+
+func TestCompileFilterMatch(t *testing.T) {
+	f, err := CompileFilter("udp and net 131.225.2 and dst port 53")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Match(udpFrame(t, packet.IPv4{131, 225, 2, 7}, 53)) {
+		t.Fatal("matching frame rejected")
+	}
+	if f.Match(udpFrame(t, packet.IPv4{131, 225, 3, 7}, 53)) {
+		t.Fatal("wrong subnet accepted")
+	}
+	if f.Match(udpFrame(t, packet.IPv4{131, 225, 2, 7}, 54)) {
+		t.Fatal("wrong port accepted")
+	}
+	if f.String() != "udp and net 131.225.2 and dst port 53" {
+		t.Fatalf("String = %q", f.String())
+	}
+}
+
+func TestCompileFilterError(t *testing.T) {
+	if _, err := CompileFilter("((("); err == nil {
+		t.Fatal("garbage compiled")
+	}
+}
+
+func TestMustCompileFilterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompileFilter did not panic")
+		}
+	}()
+	MustCompileFilter("not a thing at all 12.")
+}
+
+func TestFilterDisassemble(t *testing.T) {
+	f := MustCompileFilter("udp")
+	asm := f.Disassemble()
+	for _, want := range []string{"ldh  [12]", "jeq  #0x800", "ret"} {
+		if !strings.Contains(asm, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, asm)
+		}
+	}
+}

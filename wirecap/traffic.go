@@ -1,0 +1,136 @@
+package wirecap
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// Traffic tracks what a traffic source offered to a NIC. Counters are
+// final once the simulation drains.
+type Traffic struct {
+	st       *trace.DriveStats
+	done     bool
+	markDone func()
+}
+
+// Sent returns the number of frames offered so far.
+func (t *Traffic) Sent() uint64 { return t.st.Sent }
+
+// Done reports whether the source has finished.
+func (t *Traffic) Done() bool { return t.done }
+
+// BorderOptions configures the synthetic border-router workload (the
+// Figure 3 traffic): heavy-tailed bursty flows with one long-term
+// overloaded queue and one bursty queue.
+type BorderOptions struct {
+	// Seconds is the trace duration. Default 32, as in the paper.
+	Seconds float64
+	// Scale multiplies packet rates; 1.0 is paper scale (~4.5M packets).
+	// Default 1.0.
+	Scale float64
+	// Seed selects the reproducible random workload.
+	Seed uint64
+}
+
+// ReplayBorder schedules the border-router workload into n. The traffic
+// plays out as the simulation runs.
+func (s *Sim) ReplayBorder(n *NIC, opt BorderOptions) *Traffic {
+	if opt.Seconds == 0 {
+		opt.Seconds = 32
+	}
+	if opt.Scale == 0 {
+		opt.Scale = 1.0
+	}
+	src := trace.NewBorder(trace.BorderConfig{
+		Queues:   n.Queues(),
+		Duration: vtime.Time(opt.Seconds * float64(vtime.Second)),
+		Scale:    opt.Scale,
+		Seed:     opt.Seed,
+	})
+	return s.drive(n, src)
+}
+
+// RateOptions configures a constant-rate generator.
+type RateOptions struct {
+	// Packets is the number of frames to send.
+	Packets uint64
+	// FrameBytes is the frame length (without FCS); default 60, i.e. the
+	// minimal "64-byte packet".
+	FrameBytes int
+	// PacketsPerSec paces the generator; 0 means full wire rate.
+	PacketsPerSec float64
+	// SingleQueue aims all traffic at receive queue 0 (worst-case
+	// imbalance); otherwise flows spread evenly across queues.
+	SingleQueue bool
+	// Seed selects the flow set.
+	Seed uint64
+}
+
+// SendRate schedules constant-rate traffic into n.
+func (s *Sim) SendRate(n *NIC, opt RateOptions) *Traffic {
+	frameBytes := opt.FrameBytes
+	if frameBytes == 0 {
+		frameBytes = 60
+	}
+	lineRate := n.inner.LineRateBps()
+	if opt.PacketsPerSec > 0 {
+		lineRate = opt.PacketsPerSec * float64(frameBytes+24) * 8
+	}
+	cfg := trace.ConstantRateConfig{
+		Packets:     opt.Packets,
+		FrameLen:    frameBytes,
+		LineRateBps: lineRate,
+		Queues:      n.Queues(),
+		Seed:        opt.Seed,
+		Start:       s.sched.Now(),
+	}
+	if opt.SingleQueue {
+		cfg.SingleQueue = true
+	}
+	return s.drive(n, trace.NewConstantRate(cfg))
+}
+
+// ReplayPcapFile replays a pcap capture file into n at its recorded
+// timing, offset to start at the current virtual time.
+func (s *Sim) ReplayPcapFile(n *NIC, path string) (*Traffic, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	rd, err := trace.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wirecap: %s: %w", path, err)
+	}
+	src := trace.NewPcapSource(rd)
+	t := s.drive(n, &offsetSource{src: src, offset: s.sched.Now()})
+	// The file is closed when the source drains; pcap sources read
+	// incrementally, so keep f open until then.
+	origDone := t.markDone
+	t.markDone = func() {
+		f.Close()
+		origDone()
+	}
+	return t, nil
+}
+
+// offsetSource shifts a source's timestamps by a constant.
+type offsetSource struct {
+	src    trace.Source
+	offset vtime.Time
+}
+
+func (o *offsetSource) Next() ([]byte, vtime.Time, bool) {
+	frame, ts, ok := o.src.Next()
+	return frame, ts + o.offset, ok
+}
+
+func (s *Sim) drive(n *NIC, src trace.Source) *Traffic {
+	t := &Traffic{}
+	t.markDone = func() { t.done = true }
+	t.st = trace.Drive(s.sched, n.inner, src, func() { t.markDone() })
+	return t
+}

@@ -1,0 +1,393 @@
+package wirecap
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+func TestQuickCaptureLoop(t *testing.T) {
+	sim := NewSim()
+	n := sim.NewNIC(NICConfig{Queues: 2})
+	eng, err := sim.NewEngine(n, Options{M: 64, R: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	var lastTS time.Duration
+	for q := 0; q < 2; q++ {
+		eng.Queue(q).Loop(func(p *Packet) {
+			got++
+			if p.Timestamp < lastTS {
+				// Timestamps are per-queue monotone, not global, because
+				// queues process independently; only check sanity.
+			}
+			lastTS = p.Timestamp
+			if len(p.Data) == 0 {
+				t.Error("empty packet data")
+			}
+		})
+	}
+	tr := sim.SendRate(n, RateOptions{Packets: 5000})
+	sim.Run()
+	if !tr.Done() || tr.Sent() != 5000 {
+		t.Fatalf("traffic: done=%v sent=%d", tr.Done(), tr.Sent())
+	}
+	if got != 5000 {
+		t.Fatalf("callback saw %d of 5000", got)
+	}
+	st := eng.Stats()
+	if st.CaptureDrops != 0 || st.Accepted != 5000 {
+		t.Fatalf("stats = %+v", st)
+	}
+	ws := n.WireStats()
+	if ws.Offered != 5000 || ws.Received != 5000 || ws.Dropped != 0 {
+		t.Fatalf("wire stats = %+v", ws)
+	}
+}
+
+func TestFilterOnHandle(t *testing.T) {
+	sim := NewSim()
+	n := sim.NewNIC(NICConfig{Queues: 1})
+	eng, err := sim.NewEngine(n, Options{M: 64, R: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := eng.Queue(0)
+	if err := h.SetFilter("udp and net 131.225.2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetFilter("not a filter ((("); err == nil {
+		t.Fatal("bad filter accepted")
+	}
+	matched := 0
+	h.Loop(func(p *Packet) { matched++ })
+	sim.SendRate(n, RateOptions{Packets: 1000}) // all UDP from 131.225.2/24
+	sim.Run()
+	if matched != 1000 {
+		t.Fatalf("matched %d", matched)
+	}
+	// A filter that matches nothing.
+	if err := h.SetFilter("tcp port 1"); err != nil {
+		t.Fatal(err)
+	}
+	before := matched
+	sim.SendRate(n, RateOptions{Packets: 100})
+	sim.Run()
+	if matched != before {
+		t.Fatal("non-matching filter passed packets")
+	}
+	if eng.Stats().FilterRejected != 100 {
+		t.Fatalf("FilterRejected = %d", eng.Stats().FilterRejected)
+	}
+}
+
+func TestSnapLenTruncatesCallbackData(t *testing.T) {
+	sim := NewSim()
+	n := sim.NewNIC(NICConfig{Queues: 1})
+	eng, _ := sim.NewEngine(n, Options{M: 64, R: 100})
+	h := eng.Queue(0)
+	h.SetSnapLen(40)
+	var seen int
+	h.Loop(func(p *Packet) { seen = len(p.Data) })
+	sim.SendRate(n, RateOptions{Packets: 10, FrameBytes: 200})
+	sim.Run()
+	if seen != 40 {
+		t.Fatalf("callback data len = %d, want 40", seen)
+	}
+}
+
+func TestBreakLoop(t *testing.T) {
+	sim := NewSim()
+	n := sim.NewNIC(NICConfig{Queues: 1})
+	eng, _ := sim.NewEngine(n, Options{M: 64, R: 100})
+	h := eng.Queue(0)
+	count := 0
+	h.Loop(func(p *Packet) {
+		count++
+		if count == 10 {
+			h.BreakLoop()
+		}
+	})
+	sim.SendRate(n, RateOptions{Packets: 1000})
+	sim.Run()
+	if count != 10 {
+		t.Fatalf("callback ran %d times after BreakLoop at 10", count)
+	}
+}
+
+func TestForwardingMiddlebox(t *testing.T) {
+	sim := NewSim()
+	rx := sim.NewNIC(NICConfig{Queues: 1})
+	txNIC := sim.NewNIC(NICConfig{Queues: 1, TxQueues: 1})
+	eng, _ := sim.NewEngine(rx, Options{M: 64, R: 100})
+	tx := txNIC.Tx(0)
+	forwarded := 0
+	eng.Queue(0).Loop(func(p *Packet) {
+		if err := p.Forward(tx); err == nil {
+			forwarded++
+		}
+	})
+	sim.SendRate(rx, RateOptions{Packets: 2000, PacketsPerSec: 1e6})
+	sim.Run()
+	if forwarded != 2000 {
+		t.Fatalf("forwarded %d", forwarded)
+	}
+	if tx.Sent() != 2000 {
+		t.Fatalf("tx sent %d", tx.Sent())
+	}
+	// Double-forward must fail.
+	eng.Queue(0).Loop(func(p *Packet) {
+		if err := p.Forward(tx); err != nil {
+			t.Errorf("first forward: %v", err)
+		}
+		if err := p.Forward(tx); err == nil {
+			t.Error("second forward succeeded")
+		}
+	})
+	sim.SendRate(rx, RateOptions{Packets: 1})
+	sim.Run()
+}
+
+func TestAdvancedModeThroughPublicAPI(t *testing.T) {
+	run := func(advanced bool) (drops uint64, spread int) {
+		sim := NewSim()
+		n := sim.NewNIC(NICConfig{Queues: 4})
+		eng, err := sim.NewEngine(n, Options{M: 256, R: 100, Advanced: advanced})
+		if err != nil {
+			t.Fatal(err)
+		}
+		perQueue := make([]int, 4)
+		for q := 0; q < 4; q++ {
+			q := q
+			h := eng.Queue(q)
+			h.SetProcessingCost(25744 * time.Nanosecond)
+			h.Loop(func(p *Packet) { perQueue[q]++ })
+		}
+		sim.SendRate(n, RateOptions{Packets: 150000, PacketsPerSec: 100000, SingleQueue: true})
+		sim.Run()
+		busy := 0
+		for _, c := range perQueue {
+			if c > 1000 {
+				busy++
+			}
+		}
+		return eng.Stats().CaptureDrops, busy
+	}
+	basicDrops, basicSpread := run(false)
+	advDrops, advSpread := run(true)
+	if basicDrops == 0 || basicSpread != 1 {
+		t.Fatalf("basic: drops %d spread %d", basicDrops, basicSpread)
+	}
+	if advDrops > basicDrops/10 || advSpread < 3 {
+		t.Fatalf("advanced: drops %d (basic %d) spread %d", advDrops, basicDrops, advSpread)
+	}
+}
+
+func TestReplayBorderSmoke(t *testing.T) {
+	sim := NewSim()
+	n := sim.NewNIC(NICConfig{Queues: 6})
+	eng, _ := sim.NewEngine(n, Options{M: 64, R: 100})
+	var got uint64
+	for q := 0; q < 6; q++ {
+		eng.Queue(q).Loop(func(p *Packet) { got++ })
+	}
+	tr := sim.ReplayBorder(n, BorderOptions{Seconds: 1, Scale: 0.05, Seed: 1})
+	sim.Run()
+	if !tr.Done() || tr.Sent() == 0 {
+		t.Fatal("border replay produced nothing")
+	}
+	if got != tr.Sent() {
+		t.Fatalf("callback saw %d of %d", got, tr.Sent())
+	}
+}
+
+func TestReplayPcapFile(t *testing.T) {
+	// Write a small pcap, then replay it through the public API.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.pcap")
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := packet.NewBuilder()
+	scratch := make([]byte, packet.MaxFrameLen)
+	flow := packet.FlowKey{
+		Src: packet.IPv4{131, 225, 2, 9}, Dst: packet.IPv4{10, 0, 0, 1},
+		SrcPort: 5, DstPort: 6, Proto: packet.ProtoUDP,
+	}
+	for i := 0; i < 50; i++ {
+		frame := b.Build(scratch, flow, nil)
+		w.WritePacket(vtime.Time(i)*vtime.Microsecond, frame)
+	}
+	w.Flush()
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sim := NewSim()
+	n := sim.NewNIC(NICConfig{Queues: 1})
+	eng, _ := sim.NewEngine(n, Options{M: 64, R: 100})
+	got := 0
+	eng.Queue(0).Loop(func(p *Packet) { got++ })
+	tr, err := sim.ReplayPcapFile(n, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if !tr.Done() || got != 50 {
+		t.Fatalf("replayed %d of 50 (done %v)", got, tr.Done())
+	}
+
+	if _, err := sim.ReplayPcapFile(n, filepath.Join(dir, "missing.pcap")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunForAdvancesVirtualTime(t *testing.T) {
+	sim := NewSim()
+	if sim.Now() != 0 {
+		t.Fatal("fresh sim not at zero")
+	}
+	sim.RunFor(3 * time.Second)
+	if sim.Now() != 3*time.Second {
+		t.Fatalf("Now = %v", sim.Now())
+	}
+}
+
+func TestEngineName(t *testing.T) {
+	sim := NewSim()
+	n := sim.NewNIC(NICConfig{Queues: 1})
+	eng, _ := sim.NewEngine(n, Options{M: 128, R: 200, Advanced: true, ThresholdPct: 70})
+	if eng.Name() != "WireCAP-A-(128,200,70%)" {
+		t.Fatalf("name = %q", eng.Name())
+	}
+}
+
+func TestBadEngineOptions(t *testing.T) {
+	sim := NewSim()
+	n := sim.NewNIC(NICConfig{Queues: 1})
+	if _, err := sim.NewEngine(n, Options{M: 8, R: 2}); err == nil {
+		t.Fatal("pool smaller than ring accepted")
+	}
+}
+
+func TestDumpToWritesPcap(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dump.pcap")
+	d, err := NewDumper(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSim()
+	n := sim.NewNIC(NICConfig{Queues: 1})
+	eng, _ := sim.NewEngine(n, Options{M: 64, R: 100})
+	h := eng.Queue(0)
+	if err := h.SetFilter("udp"); err != nil {
+		t.Fatal(err)
+	}
+	h.DumpTo(d)
+	h.Loop(func(p *Packet) {})
+	sim.SendRate(n, RateOptions{Packets: 123})
+	sim.Run()
+	if d.Count() != 123 {
+		t.Fatalf("dumped %d of 123", d.Count())
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if h.DumpErr() != nil {
+		t.Fatal(h.DumpErr())
+	}
+	// The file replays back in.
+	sim2 := NewSim()
+	n2 := sim2.NewNIC(NICConfig{Queues: 1})
+	eng2, _ := sim2.NewEngine(n2, Options{M: 64, R: 100})
+	got := 0
+	eng2.Queue(0).Loop(func(p *Packet) { got++ })
+	if _, err := sim2.ReplayPcapFile(n2, path); err != nil {
+		t.Fatal(err)
+	}
+	sim2.Run()
+	if got != 123 {
+		t.Fatalf("replayed %d of 123", got)
+	}
+}
+
+func TestEngineCloseThroughPublicAPI(t *testing.T) {
+	sim := NewSim()
+	n := sim.NewNIC(NICConfig{Queues: 1})
+	eng, _ := sim.NewEngine(n, Options{M: 64, R: 100})
+	got := 0
+	h := eng.Queue(0)
+	h.Loop(func(p *Packet) { got++ })
+	sim.SendRate(n, RateOptions{Packets: 100})
+	sim.Run()
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sim.SendRate(n, RateOptions{Packets: 100})
+	sim.Run()
+	if got != 100 {
+		t.Fatalf("packets after Close reached the callback: %d", got)
+	}
+	if h.Accepted() != 100 {
+		t.Fatalf("Accepted = %d", h.Accepted())
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+}
+
+func TestHandleMiscAccessors(t *testing.T) {
+	sim := NewSim()
+	n := sim.NewNIC(NICConfig{Queues: 1, TxQueues: 1})
+	eng, _ := sim.NewEngine(n, Options{M: 64, R: 100})
+	h := eng.Queue(0)
+	h.SetSnapLen(0) // resets to the default
+	if h.snaplen != 65535 {
+		t.Fatalf("snaplen = %d", h.snaplen)
+	}
+	if err := h.SetFilter(""); err != nil {
+		t.Fatal(err) // empty filter clears
+	}
+	if h.vm != nil {
+		t.Fatal("empty filter left a VM installed")
+	}
+	// Out-of-range TX queue panics.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Tx(5) did not panic")
+		}
+	}()
+	n.Tx(5)
+}
+
+func TestDumperErrors(t *testing.T) {
+	if _, err := NewDumper("/nonexistent-dir/x.pcap", 0); err == nil {
+		t.Fatal("NewDumper into a missing directory succeeded")
+	}
+}
+
+func TestReplayBorderDefaults(t *testing.T) {
+	sim := NewSim()
+	n := sim.NewNIC(NICConfig{Queues: 2})
+	eng, _ := sim.NewEngine(n, Options{M: 64, R: 100})
+	for q := 0; q < 2; q++ {
+		eng.Queue(q).Loop(func(p *Packet) {})
+	}
+	// Zero-valued options pick the paper defaults (32 s, scale 1): cap it
+	// by only running 50 ms of virtual time, then stop.
+	tr := sim.ReplayBorder(n, BorderOptions{Scale: 0.01, Seconds: 0.2})
+	sim.Run()
+	if !tr.Done() || tr.Sent() == 0 {
+		t.Fatalf("done %v sent %d", tr.Done(), tr.Sent())
+	}
+}
