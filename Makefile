@@ -1,0 +1,29 @@
+# Developer checks for the WireCAP reproduction. `make check` is the
+# gate every change should pass; `make race` additionally runs the one
+# package that uses goroutines (internal/bench's parallel experiment
+# runner) under the race detector. `make bench` refreshes
+# BENCH_vtime.json from the scheduler microbenchmarks and the
+# end-to-end RunConstant measurement.
+
+GO ?= go
+
+.PHONY: check vet build test race bench all
+
+all: check
+
+check: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/bench/...
+
+bench:
+	$(GO) run ./cmd/vtime-bench -o BENCH_vtime.json

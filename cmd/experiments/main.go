@@ -4,17 +4,23 @@
 // Usage:
 //
 //	experiments [-run name] [-scale f] [-pmax n] [-seed n]
+//	            [-cpuprofile f] [-memprofile f]
 //
 // Names: fig3, table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, all.
 // At -scale 1 and -pmax 10000000 the workloads match the paper's sizes
 // (several minutes of CPU); the defaults run a faithful-shape, reduced-
 // size pass in tens of seconds.
+//
+// -cpuprofile and -memprofile write pprof profiles of the run, for
+// inspecting where simulator time and memory go (`go tool pprof`).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
 )
@@ -26,11 +32,41 @@ func main() {
 	pkts := flag.Uint64("scalepkts", 1_000_000, "per-NIC packets for fig14")
 	seed := flag.Uint64("seed", 2014, "workload seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	opt := bench.Options{Scale: *scale, PMax: *pmax, ScalePackets: *pkts, Seed: *seed, CSV: *csv}
 	if err := bench.ByName(*run, opt, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // settle live heap before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// digest flattens everything observable about a run into one string, so
+// two runs can be compared bit for bit. It deliberately covers every
+// counter the experiments report: Sent, per-queue engine stats, and the
+// handler's processing record including the delay histogram.
+func digest(r Result) string {
+	h := r.Handler
+	return fmt.Sprintf("sent=%d stats=%+v processed=%d matched=%d bytes=%d txdrop=%d perq=%v delaysum=%d hist=%v fwd=%d",
+		r.Sent, r.Stats, h.Processed, h.Matched, h.Bytes, h.TxDropped,
+		h.PerQueue, h.DelaySum, h.DelayHist, r.Forwarded)
+}
+
+// TestGoldenDeterminism guards the scheduler (and any future rewrite of
+// it): the same seed must produce bit-identical results, run to run, for
+// both the Fig9-style constant-rate setup and the border workload with
+// its flush timers and offloading.
+func TestGoldenDeterminism(t *testing.T) {
+	constant := func() string {
+		res, err := RunConstant(ConstantRun{
+			Spec: WireCAPB(256, 100), Packets: 50_000, X: 300, Seed: 7,
+		})
+		if err != nil {
+			t.Fatalf("RunConstant: %v", err)
+		}
+		return digest(res)
+	}
+	a, b := constant(), constant()
+	if a != b {
+		t.Errorf("constant-rate runs diverged:\n  %s\n  %s", a, b)
+	}
+
+	border := func() string {
+		res, offered, err := RunBorder(BorderRun{
+			Spec: WireCAPA(256, 100, 60), Queues: 4, X: 300,
+			Seconds: 0.5, Seed: 11,
+		})
+		if err != nil {
+			t.Fatalf("RunBorder: %v", err)
+		}
+		return digest(res) + fmt.Sprintf(" offered=%v", offered)
+	}
+	c, d := border(), border()
+	if c != d {
+		t.Errorf("border runs diverged:\n  %s\n  %s", c, d)
+	}
+}

@@ -3,6 +3,7 @@ package bench
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // forEach runs n independent jobs on up to GOMAXPROCS workers and returns
@@ -10,8 +11,15 @@ import (
 // engine, so cells of a result table can be computed concurrently; this
 // is what makes the full-scale `-run all` pass tractable on a multicore
 // host.
+//
+// After any job fails, the shared stop flag is checked between jobs, so
+// already-running workers finish at their current job boundary instead of
+// draining the remaining work.
 func forEach(n int, job func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
+	return forEachWorkers(n, runtime.GOMAXPROCS(0), job)
+}
+
+func forEachWorkers(n, workers int, job func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
@@ -27,32 +35,24 @@ func forEach(n int, job func(i int) error) error {
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
-		next     int
+		stop     atomic.Bool
+		next     atomic.Int64
 	)
-	take := func() (int, bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		if firstErr != nil || next >= n {
-			return 0, false
-		}
-		i := next
-		next++
-		return i, true
-	}
 	fail := func(err error) {
 		mu.Lock()
 		if firstErr == nil {
 			firstErr = err
 		}
 		mu.Unlock()
+		stop.Store(true)
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				i, ok := take()
-				if !ok {
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
 					return
 				}
 				if err := job(i); err != nil {

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	var ran [100]atomic.Bool
+	if err := forEachWorkers(len(ran), 4, func(i int) error {
+		if ran[i].Swap(true) {
+			t.Errorf("job %d ran twice", i)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("forEach: %v", err)
+	}
+	for i := range ran {
+		if !ran[i].Load() {
+			t.Fatalf("job %d never ran", i)
+		}
+	}
+}
+
+func TestForEachSerialStopsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int32
+	err := forEachWorkers(100, 1, func(i int) error {
+		started.Add(1)
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if got := started.Load(); got != 3 {
+		t.Fatalf("started %d jobs, want 3", got)
+	}
+}
+
+// TestForEachStopsWorkersAfterError verifies that once one job fails, the
+// other workers stop at their current job boundary instead of draining the
+// remaining work: with 4 workers and 64 jobs, exactly the 4 in-flight jobs
+// run.
+func TestForEachStopsWorkersAfterError(t *testing.T) {
+	const workers = 4
+	boom := errors.New("boom")
+	var started atomic.Int32
+	var gate sync.WaitGroup
+	gate.Add(workers) // released when every worker holds a job
+	err := forEachWorkers(64, workers, func(i int) error {
+		started.Add(1)
+		gate.Done()
+		gate.Wait()
+		if i == 0 {
+			return boom // fails while the others sleep below
+		}
+		// Give fail() ample time to set the stop flag before these
+		// workers look for their next job.
+		time.Sleep(100 * time.Millisecond)
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if got := started.Load(); got != workers {
+		t.Fatalf("started %d jobs after error, want %d", got, workers)
+	}
+}

@@ -120,6 +120,11 @@ type Engine struct {
 	closed  bool
 
 	sharedCapture *vtime.Server
+
+	// handedFree recycles handedChunk headers (and their release
+	// closures die with them), so steady-state capture allocates only
+	// one small header per chunk hand-off at most.
+	handedFree []*handedChunk
 }
 
 // cellRef locates the pool cell a descriptor is armed with.
@@ -140,6 +145,10 @@ type handedChunk struct {
 	outstanding int
 	dispatched  bool
 	owner       *wqueue // queue whose pool owns the chunk
+	// releaseFn is the per-packet done callback, built once by the
+	// consuming queue when it starts draining the chunk and shared by
+	// every packet in it (each packet's done runs exactly once).
+	releaseFn func()
 }
 
 type wqueue struct {
@@ -154,13 +163,17 @@ type wqueue struct {
 	cells    []cellRef // per-descriptor cell assignment
 	starved  []int     // descriptor indices waiting for cells, in use order
 
-	// Frontier flush timer.
-	flushTimer  vtime.EventID
-	flushArmed  bool
+	// Frontier flush timer, reused for the queue's lifetime.
+	flushTimer  *vtime.Timer
 	flushTarget *mem.Chunk
 
-	// Capture thread.
-	capSv *vtime.Server
+	// Capture thread. capPending holds chunks whose capture ioctl has
+	// been charged but not completed (FIFO, popped by captureFn);
+	// captureFn/recycleFn are bound once so chunk ops allocate nothing.
+	capSv      *vtime.Server
+	capPending []*mem.Chunk
+	captureFn  func()
+	recycleFn  func()
 
 	// User-space work-queue pair.
 	captureQ []*handedChunk
@@ -210,6 +223,9 @@ func New(sched *vtime.Scheduler, n *nic.NIC, cfg Config, h engines.Handler) (*En
 		} else {
 			q.capSv = vtime.NewServer(sched, nil)
 		}
+		q.flushTimer = sched.NewTimer(q.flushTimeout)
+		q.captureFn = q.captureDone
+		q.recycleFn = q.recycleDone
 		for i := 0; i < cfg.ThreadsPerQueue; i++ {
 			q.threads = append(q.threads, engines.NewThread(sched, nil, qi, h, q.fetch))
 		}
@@ -329,9 +345,9 @@ func (q *wqueue) onRx(i int) {
 	d := q.ring.Desc(i)
 	ref.chunk.SetPacket(ref.cell, d.Len, d.TS)
 	if ref.chunk.Full() {
-		if q.flushArmed && q.flushTarget == ref.chunk {
-			q.e.sched.Cancel(q.flushTimer)
-			q.flushArmed = false
+		if q.flushTarget == ref.chunk {
+			q.flushTimer.Stop()
+			q.flushTarget = nil
 		}
 		q.scheduleCapture(ref.chunk)
 	} else if q.e.cfg.FlushTimeout > 0 && ref.chunk.PendingCount() == 1 {
@@ -373,37 +389,64 @@ func (q *wqueue) rearmStarved() {
 	}
 }
 
-// armFlush schedules the partial-chunk timeout for the frontier chunk.
+// armFlush schedules the partial-chunk timeout for the frontier chunk by
+// re-arming the queue's persistent timer.
 func (q *wqueue) armFlush(c *mem.Chunk) {
-	if q.flushArmed {
-		q.e.sched.Cancel(q.flushTimer)
-	}
-	q.flushArmed = true
 	q.flushTarget = c
-	q.flushTimer = q.e.sched.After(q.e.cfg.FlushTimeout, func() {
-		q.flushArmed = false
-		q.flush(c)
-	})
+	q.flushTimer.Schedule(q.e.cfg.FlushTimeout)
+}
+
+// flushTimeout is the flush timer's bound callback.
+func (q *wqueue) flushTimeout() {
+	c := q.flushTarget
+	q.flushTarget = nil
+	q.flush(c)
 }
 
 // scheduleCapture runs the chunk-granular capture ioctl on the capture
 // thread: the full chunk moves to a user-space capture queue by metadata
-// only.
+// only. The chunk joins capPending; captureDone pops in FIFO order, which
+// matches the server's FIFO completion order.
 func (q *wqueue) scheduleCapture(c *mem.Chunk) {
-	q.capSv.ChargeAndCall(q.e.cfg.Costs.ChunkOp, func() {
-		meta, err := q.pool.Capture(c)
-		if err != nil {
-			panic(fmt.Sprintf("core: capture of full chunk failed: %v", err))
-		}
-		q.stats.ChunksCaptured++
-		h := &handedChunk{meta: meta, chunk: c, owner: q}
-		target := q.chooseTarget()
-		if target != q {
-			q.stats.ChunksOffloaded++
-		}
-		target.captureQ = append(target.captureQ, h)
-		target.kick()
-	})
+	q.capPending = append(q.capPending, c)
+	q.capSv.ChargeAndCall(q.e.cfg.Costs.ChunkOp, q.captureFn)
+}
+
+// captureDone commits the capture ioctl charged by scheduleCapture.
+func (q *wqueue) captureDone() {
+	c := q.capPending[0]
+	copy(q.capPending, q.capPending[1:])
+	q.capPending = q.capPending[:len(q.capPending)-1]
+	meta, err := q.pool.Capture(c)
+	if err != nil {
+		panic(fmt.Sprintf("core: capture of full chunk failed: %v", err))
+	}
+	q.stats.ChunksCaptured++
+	h := q.e.newHanded(meta, c, q)
+	target := q.chooseTarget()
+	if target != q {
+		q.stats.ChunksOffloaded++
+	}
+	target.captureQ = append(target.captureQ, h)
+	target.kick()
+}
+
+// newHanded takes a handedChunk header from the free list, or allocates.
+func (e *Engine) newHanded(meta mem.Meta, c *mem.Chunk, owner *wqueue) *handedChunk {
+	if n := len(e.handedFree); n > 0 {
+		h := e.handedFree[n-1]
+		e.handedFree = e.handedFree[:n-1]
+		h.meta, h.chunk, h.owner = meta, c, owner
+		return h
+	}
+	return &handedChunk{meta: meta, chunk: c, owner: owner}
+}
+
+// freeHanded zeroes a recycled header (dropping its release closure) and
+// returns it to the free list.
+func (e *Engine) freeHanded(h *handedChunk) {
+	*h = handedChunk{}
+	e.handedFree = append(e.handedFree, h)
 }
 
 // kick wakes every application thread serving this queue's work-queue
@@ -486,7 +529,7 @@ func (q *wqueue) flush(c *mem.Chunk) {
 		}
 		q.stats.ChunksFlushed++
 		q.stats.FlushedPackets += uint64(k)
-		h := &handedChunk{meta: meta, chunk: f, owner: q}
+		h := q.e.newHanded(meta, f, q)
 		target := q.chooseTarget()
 		if target != q {
 			q.stats.ChunksOffloaded++
@@ -508,6 +551,16 @@ func (q *wqueue) fetch() ([]byte, vtime.Time, func(), bool) {
 			q.cur = q.captureQ[0]
 			copy(q.captureQ, q.captureQ[1:])
 			q.captureQ = q.captureQ[:len(q.captureQ)-1]
+			if h := q.cur; h.releaseFn == nil {
+				// One closure serves every packet of the chunk; it dies
+				// with the header when the chunk recycles.
+				h.releaseFn = func() {
+					h.outstanding--
+					if h.dispatched && h.outstanding == 0 {
+						q.enqueueRecycle(h)
+					}
+				}
+			}
 		}
 		h := q.cur
 		if h.next >= h.meta.PktCount {
@@ -523,13 +576,7 @@ func (q *wqueue) fetch() ([]byte, vtime.Time, func(), bool) {
 		h.outstanding++
 		q.stats.Delivered++
 		data, ts := h.chunk.Packet(idx)
-		release := func() {
-			h.outstanding--
-			if h.dispatched && h.outstanding == 0 {
-				q.enqueueRecycle(h)
-			}
-		}
-		return data, ts, release, true
+		return data, ts, h.releaseFn, true
 	}
 }
 
@@ -537,16 +584,20 @@ func (q *wqueue) fetch() ([]byte, vtime.Time, func(), bool) {
 // queue and kicks the capture thread to run the recycle ioctl.
 func (q *wqueue) enqueueRecycle(h *handedChunk) {
 	q.recycleQ = append(q.recycleQ, h)
-	q.capSv.ChargeAndCall(q.e.cfg.Costs.ChunkOp, func() {
-		hh := q.recycleQ[0]
-		copy(q.recycleQ, q.recycleQ[1:])
-		q.recycleQ = q.recycleQ[:len(q.recycleQ)-1]
-		owner := hh.owner
-		if err := owner.pool.Recycle(hh.meta); err != nil {
-			panic(fmt.Sprintf("core: recycle failed: %v", err))
-		}
-		owner.rearmStarved()
-	})
+	q.capSv.ChargeAndCall(q.e.cfg.Costs.ChunkOp, q.recycleFn)
+}
+
+// recycleDone commits the recycle ioctl charged by enqueueRecycle.
+func (q *wqueue) recycleDone() {
+	hh := q.recycleQ[0]
+	copy(q.recycleQ, q.recycleQ[1:])
+	q.recycleQ = q.recycleQ[:len(q.recycleQ)-1]
+	owner := hh.owner
+	if err := owner.pool.Recycle(hh.meta); err != nil {
+		panic(fmt.Sprintf("core: recycle failed: %v", err))
+	}
+	q.e.freeHanded(hh)
+	owner.rearmStarved()
 }
 
 // Stats implements engines.Engine.
@@ -607,10 +658,8 @@ func (e *Engine) Close() error {
 	e.closed = true
 	var firstErr error
 	for _, q := range e.queues {
-		if q.flushArmed {
-			e.sched.Cancel(q.flushTimer)
-			q.flushArmed = false
-		}
+		q.flushTimer.Stop()
+		q.flushTarget = nil
 		q.ring.OnRx(nil)
 		for i := 0; i < q.ring.Size(); i++ {
 			q.ring.Invalidate(i)

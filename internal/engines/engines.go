@@ -151,19 +151,33 @@ type Thread struct {
 	// the engine and may be nil.
 	fetch  func() (data []byte, ts vtime.Time, release func(), ok bool)
 	active bool
+
+	// In-flight packet state, parked here between the charge and its
+	// completion event so the per-packet path allocates no closure. A
+	// thread processes one packet at a time (it is a single core), so one
+	// set of fields suffices.
+	pendData    []byte
+	pendTS      vtime.Time
+	pendRelease func()
+	completeFn  func()
 }
+
+// noRelease is the shared no-op release for fetches that hand out nil.
+func noRelease() {}
 
 // NewThread builds a processing thread. fetch supplies the next packet or
 // reports that the thread should block until Kick.
 func NewThread(sched *vtime.Scheduler, core *vtime.Core, queue int, h Handler,
 	fetch func() ([]byte, vtime.Time, func(), bool)) *Thread {
-	return &Thread{
+	a := &Thread{
 		sched:   sched,
 		sv:      vtime.NewServer(sched, core),
 		queue:   queue,
 		handler: h,
 		fetch:   fetch,
 	}
+	a.completeFn = a.complete
+	return a
 }
 
 // Kick wakes the thread if it is blocked; engines call it whenever new
@@ -186,14 +200,20 @@ func (a *Thread) step() {
 		return
 	}
 	cost := a.handler.Cost(a.queue, data)
-	a.sv.ChargeAndCall(cost, func() {
-		done := release
-		if done == nil {
-			done = func() {}
-		}
-		a.handler.Handle(a.queue, data, ts, done)
-		a.step()
-	})
+	if release == nil {
+		release = noRelease
+	}
+	a.pendData, a.pendTS, a.pendRelease = data, ts, release
+	a.sv.ChargeAndCall(cost, a.completeFn)
+}
+
+// complete runs at processing-completion time: handler side effects, then
+// the next fetch.
+func (a *Thread) complete() {
+	data, ts, done := a.pendData, a.pendTS, a.pendRelease
+	a.pendData, a.pendRelease = nil, nil
+	a.handler.Handle(a.queue, data, ts, done)
+	a.step()
 }
 
 // armPrivate fills every descriptor of a ring with engine-private buffers

@@ -53,10 +53,17 @@ type pfringQueue struct {
 
 	ktail   int // next descriptor the kernel will copy
 	kactive bool
+	// kpend is the descriptor being copied; kcopyFn is the bound copy
+	// completion, so the per-packet kernel path allocates no closure. The
+	// kernel server runs one copy at a time, so a single field suffices.
+	kpend   int
+	kcopyFn func()
 
 	// kernel utilization tracking for the livelock model.
 	kernelWork vtime.Time // work charged since the last utilization tick
-	tickArmed  bool
+	tick       *vtime.Timer
+
+	relFn func() // bound once; handed out by fetch for every packet
 
 	stats QueueStats
 }
@@ -95,6 +102,9 @@ func newTypeI(name string, sched *vtime.Scheduler, n *nic.NIC, costs CostModel, 
 			q.fifo[i].data = make([]byte, 2048)
 		}
 		q.kernelSv = vtime.NewServer(sched, nil)
+		q.kcopyFn = q.kernelCopyDone
+		q.tick = sched.NewTimer(q.utilizationTick)
+		q.relFn = func() { q.held-- }
 		q.thread = NewThread(sched, q.core, qi, h, q.fetch)
 		q.ring.OnRx(func(int) { q.kickKernel() })
 		e.queues = append(e.queues, q)
@@ -109,26 +119,22 @@ func (e *PFRing) Name() string { return e.name }
 // slows the application core accordingly: the fluid livelock model.
 const utilizationWindow = vtime.Millisecond
 
-func (q *pfringQueue) scheduleUtilizationTick() {
-	q.tickArmed = true
-	q.e.sched.After(utilizationWindow, func() {
-		share := float64(q.kernelWork) / float64(utilizationWindow)
-		q.kernelWork = 0
-		q.core.SetKernelShare(share)
-		if share == 0 && !q.kactive {
-			// Idle: stop ticking so the event queue can drain; the next
-			// kickKernel re-arms the tick.
-			q.tickArmed = false
-			return
-		}
-		q.scheduleUtilizationTick()
-	})
+func (q *pfringQueue) utilizationTick() {
+	share := float64(q.kernelWork) / float64(utilizationWindow)
+	q.kernelWork = 0
+	q.core.SetKernelShare(share)
+	if share == 0 && !q.kactive {
+		// Idle: stop ticking so the event queue can drain; the next
+		// kickKernel re-arms the tick.
+		return
+	}
+	q.tick.Schedule(utilizationWindow)
 }
 
 // kickKernel starts the NAPI copy loop if it is idle.
 func (q *pfringQueue) kickKernel() {
-	if !q.tickArmed {
-		q.scheduleUtilizationTick()
+	if !q.tick.Armed() {
+		q.tick.Schedule(utilizationWindow)
 	}
 	if q.kactive {
 		return
@@ -143,27 +149,32 @@ func (q *pfringQueue) kernelStep() {
 		q.kactive = false
 		return
 	}
-	idx := q.ktail
+	q.kpend = q.ktail
 	q.ktail = (q.ktail + 1) % q.ring.Size()
 	cost := q.e.costs.CopyCost(d.Len) + q.e.kernelExtra
 	q.kernelWork += cost
-	q.kernelSv.ChargeAndCall(cost, func() {
-		dd := q.ring.Desc(idx)
-		if q.used+q.held < q.capacity {
-			slot := &q.fifo[(q.head+q.used)%q.capacity]
-			copy(slot.data, dd.Buf[:dd.Len])
-			slot.n = dd.Len
-			slot.ts = dd.TS
-			q.used++
-			q.thread.Kick()
-		} else {
-			// pf_ring overflow: the copy work was spent, the packet is
-			// lost anyway — the livelock signature.
-			q.stats.DeliveryDrops++
-		}
-		q.ring.Refill(idx, dd.Buf)
-		q.kernelStep()
-	})
+	q.kernelSv.ChargeAndCall(cost, q.kcopyFn)
+}
+
+// kernelCopyDone commits the copy charged by kernelStep and continues the
+// polling loop.
+func (q *pfringQueue) kernelCopyDone() {
+	idx := q.kpend
+	dd := q.ring.Desc(idx)
+	if q.used+q.held < q.capacity {
+		slot := &q.fifo[(q.head+q.used)%q.capacity]
+		copy(slot.data, dd.Buf[:dd.Len])
+		slot.n = dd.Len
+		slot.ts = dd.TS
+		q.used++
+		q.thread.Kick()
+	} else {
+		// pf_ring overflow: the copy work was spent, the packet is
+		// lost anyway — the livelock signature.
+		q.stats.DeliveryDrops++
+	}
+	q.ring.Refill(idx, dd.Buf)
+	q.kernelStep()
 }
 
 // fetch pops the next packet from the pf_ring FIFO. The slot stays owned
@@ -178,7 +189,7 @@ func (q *pfringQueue) fetch() ([]byte, vtime.Time, func(), bool) {
 	q.used--
 	q.held++
 	q.stats.Delivered++
-	return slot.data[:slot.n], slot.ts, func() { q.held-- }, true
+	return slot.data[:slot.n], slot.ts, q.relFn, true
 }
 
 // Stats implements Engine.

@@ -39,6 +39,17 @@ type psioeQueue struct {
 	tail   int // next ring descriptor to copy from
 	active bool
 	stats  QueueStats
+
+	// Bound functions and scratch reused across packets/batches so the
+	// steady-state path allocates nothing: batch holds the descriptor
+	// indices of the in-flight copy batch, pend* the packet in flight on
+	// the processing side.
+	batch    []int
+	copyFn   func()
+	procFn   func()
+	relFn    func()
+	pendData []byte
+	pendTS   vtime.Time
 }
 
 // NewPSIOE builds a PSIOE-like engine on every queue of n.
@@ -51,6 +62,10 @@ func NewPSIOE(sched *vtime.Scheduler, n *nic.NIC, costs CostModel, h Handler) *P
 		for i := range q.ubuf {
 			q.ubuf[i].data = make([]byte, 2048)
 		}
+		q.batch = make([]int, 0, PSIOEBatch)
+		q.copyFn = q.copyBatchDone
+		q.procFn = q.processDone
+		q.relFn = func() { q.held-- }
 		q.ring.OnRx(func(int) { q.kick() })
 		e.queues = append(e.queues, q)
 	}
@@ -77,42 +92,50 @@ func (q *psioeQueue) step() {
 		q.used--
 		q.held++
 		q.stats.Delivered++
-		data, ts := slot.data[:slot.n], slot.ts
-		cost := q.e.h.Cost(q.queue, data)
-		q.sv.ChargeAndCall(cost, func() {
-			q.e.h.Handle(q.queue, data, ts, func() { q.held-- })
-			q.step()
-		})
+		q.pendData, q.pendTS = slot.data[:slot.n], slot.ts
+		cost := q.e.h.Cost(q.queue, q.pendData)
+		q.sv.ChargeAndCall(cost, q.procFn)
 		return
 	}
 	// Copy a batch from the ring into the user buffer.
-	var idxs []int
+	q.batch = q.batch[:0]
 	var copyCost vtime.Time
-	for len(idxs) < PSIOEBatch && q.used+q.held+len(idxs) < len(q.ubuf) {
+	for len(q.batch) < PSIOEBatch && q.used+q.held+len(q.batch) < len(q.ubuf) {
 		d := q.ring.Desc(q.tail)
 		if d.State != nic.DescUsed {
 			break
 		}
-		idxs = append(idxs, q.tail)
+		q.batch = append(q.batch, q.tail)
 		q.tail = (q.tail + 1) % q.ring.Size()
 		copyCost += q.e.costs.CopyCost(d.Len)
 	}
-	if len(idxs) == 0 {
+	if len(q.batch) == 0 {
 		q.active = false
 		return
 	}
-	q.sv.ChargeAndCall(copyCost, func() {
-		for _, idx := range idxs {
-			d := q.ring.Desc(idx)
-			slot := &q.ubuf[(q.head+q.used)%len(q.ubuf)]
-			copy(slot.data, d.Buf[:d.Len])
-			slot.n = d.Len
-			slot.ts = d.TS
-			q.used++
-			q.ring.Refill(idx, d.Buf)
-		}
-		q.step()
-	})
+	q.sv.ChargeAndCall(copyCost, q.copyFn)
+}
+
+// processDone runs handler side effects for the packet charged in step.
+func (q *psioeQueue) processDone() {
+	data, ts := q.pendData, q.pendTS
+	q.pendData = nil
+	q.e.h.Handle(q.queue, data, ts, q.relFn)
+	q.step()
+}
+
+// copyBatchDone commits the batch copy charged in step.
+func (q *psioeQueue) copyBatchDone() {
+	for _, idx := range q.batch {
+		d := q.ring.Desc(idx)
+		slot := &q.ubuf[(q.head+q.used)%len(q.ubuf)]
+		copy(slot.data, d.Buf[:d.Len])
+		slot.n = d.Len
+		slot.ts = d.TS
+		q.used++
+		q.ring.Refill(idx, d.Buf)
+	}
+	q.step()
 }
 
 // Stats implements Engine.

@@ -36,7 +36,10 @@ type typeIIQueue struct {
 	tail    int   // next descriptor index to consume
 	inHand  int   // descriptors fetched but not yet released
 	pending []int // NETMAP: consumed descriptors awaiting batch release
-	stats   QueueStats
+	// releases holds one release closure per descriptor, built once at
+	// construction so the per-packet fetch path allocates nothing.
+	releases []func()
+	stats    QueueStats
 }
 
 // NewDNA builds a DNA-like engine on every queue of n, delivering to h.
@@ -54,6 +57,12 @@ func newTypeII(name string, sched *vtime.Scheduler, n *nic.NIC, costs CostModel,
 	for qi := 0; qi < n.RxQueues(); qi++ {
 		q := &typeIIQueue{e: e, ring: n.Rx(qi)}
 		armPrivate(q.ring)
+		q.pending = make([]int, 0, q.ring.Size())
+		q.releases = make([]func(), q.ring.Size())
+		for i := range q.releases {
+			idx := i
+			q.releases[i] = func() { q.release(idx) }
+		}
 		q.thread = NewThread(sched, nil, qi, h, q.fetch)
 		q.ring.OnRx(func(int) { q.thread.Kick() })
 		e.queues = append(e.queues, q)
@@ -79,15 +88,18 @@ func (q *typeIIQueue) fetch() ([]byte, vtime.Time, func(), bool) {
 	q.tail = (q.tail + 1) % q.ring.Size()
 	q.inHand++
 	q.stats.Delivered++
-	release := func() {
-		if q.e.batchRelease {
-			q.pending = append(q.pending, idx)
-			return
-		}
-		q.inHand--
-		q.ring.Refill(idx, q.ring.Desc(idx).Buf)
+	return d.Buf[:d.Len], d.TS, q.releases[idx], true
+}
+
+// release returns descriptor idx to the NIC (DNA) or parks it for the
+// next sync batch (NETMAP).
+func (q *typeIIQueue) release(idx int) {
+	if q.e.batchRelease {
+		q.pending = append(q.pending, idx)
+		return
 	}
-	return d.Buf[:d.Len], d.TS, release, true
+	q.inHand--
+	q.ring.Refill(idx, q.ring.Desc(idx).Buf)
 }
 
 func (q *typeIIQueue) releaseBatch() {

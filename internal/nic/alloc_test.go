@@ -1,0 +1,39 @@
+package nic
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/vtime"
+)
+
+// TestDeliverZeroAllocs is the regression guard for the per-packet receive
+// path: steering classification, DMA write, and immediate engine refill
+// (the Type-II pattern) must not allocate in steady state.
+func TestDeliverZeroAllocs(t *testing.T) {
+	sched := vtime.NewScheduler()
+	n := New(sched, Config{RxQueues: 1, RingSize: 64, Promiscuous: true})
+	ring := n.Rx(0)
+	for i := 0; i < ring.Size(); i++ {
+		ring.Refill(i, make([]byte, 2048))
+	}
+	ring.OnRx(func(i int) { ring.Refill(i, ring.Desc(i).Buf) })
+
+	b := packet.NewBuilder()
+	buf := make([]byte, packet.MaxFrameLen)
+	frame := b.Build(buf, packet.FlowKey{
+		Src: packet.IPv4FromUint32(0x83E10201), Dst: packet.IPv4FromUint32(0xc0a80001),
+		SrcPort: 1000, DstPort: 2000, Proto: packet.ProtoUDP,
+	}, make([]byte, 18))
+
+	if !n.Deliver(frame, 0) {
+		t.Fatal("warm-up Deliver failed")
+	}
+	if a := testing.AllocsPerRun(1000, func() {
+		if !n.Deliver(frame, 0) {
+			t.Fatal("Deliver failed")
+		}
+	}); a > 0 {
+		t.Errorf("Deliver allocates %.2f/op, want 0", a)
+	}
+}

@@ -195,6 +195,7 @@ type TxRing struct {
 
 	bytesPerSec float64
 	draining    bool
+	drainFn     func() // bound once; scheduling it per frame allocates nothing
 }
 
 // Ethernet on-wire overhead per frame: preamble (8) + FCS (4) + minimum
@@ -202,7 +203,9 @@ type TxRing struct {
 const wireOverhead = 24
 
 func newTxRing(id, capacity int, sched *vtime.Scheduler, bytesPerSec float64) *TxRing {
-	return &TxRing{id: id, sched: sched, cap: capacity, bytesPerSec: bytesPerSec}
+	t := &TxRing{id: id, sched: sched, cap: capacity, bytesPerSec: bytesPerSec}
+	t.drainFn = t.drainOne
+	return t
 }
 
 // ID returns the queue index of this ring.
@@ -224,7 +227,7 @@ func (t *TxRing) Attach(p TxPacket) bool {
 	t.queue = append(t.queue, p)
 	if !t.draining {
 		t.draining = true
-		t.sched.After(t.serialization(len(p.Data)), t.drainOne)
+		t.sched.After(t.serialization(len(p.Data)), t.drainFn)
 	}
 	return true
 }
@@ -243,7 +246,7 @@ func (t *TxRing) drainOne() {
 		p.Release()
 	}
 	if len(t.queue) > 0 {
-		t.sched.After(t.serialization(len(t.queue[0].Data)), t.drainOne)
+		t.sched.After(t.serialization(len(t.queue[0].Data)), t.drainFn)
 	} else {
 		t.draining = false
 	}

@@ -61,6 +61,48 @@ func RSSHash(key []byte, flow packet.FlowKey) uint32 {
 	return Toeplitz(key, buf[:8])
 }
 
+// toeplitzTable is the byte-at-a-time form of the Toeplitz hash: entry
+// [i][v] is the XOR of the key windows selected by the set bits of input
+// byte v at byte position i, so hashing is 12 table lookups instead of 96
+// shift-and-xor steps. The output is bit-identical to Toeplitz.
+type toeplitzTable [12][256]uint32
+
+// windowAt returns key bits [g, g+32) as a uint32, reading past the end
+// of key as zeros.
+func windowAt(key []byte, g int) uint32 {
+	var buf [8]byte
+	copy(buf[:], key[g/8:])
+	v := binary.BigEndian.Uint64(buf[:])
+	return uint32(v >> (32 - uint(g%8)))
+}
+
+func newToeplitzTable(key []byte) *toeplitzTable {
+	t := new(toeplitzTable)
+	for i := 0; i < 12; i++ {
+		for k := 0; k < 8; k++ {
+			w := windowAt(key, i*8+k)
+			mask := 1 << uint(7-k)
+			for v := 0; v < 256; v++ {
+				if v&mask != 0 {
+					t[i][v] ^= w
+				}
+			}
+		}
+	}
+	return t
+}
+
+// hashFlow mirrors RSSHash over the precomputed table.
+func (t *toeplitzTable) hashFlow(flow packet.FlowKey) uint32 {
+	h := t[0][flow.Src[0]] ^ t[1][flow.Src[1]] ^ t[2][flow.Src[2]] ^ t[3][flow.Src[3]] ^
+		t[4][flow.Dst[0]] ^ t[5][flow.Dst[1]] ^ t[6][flow.Dst[2]] ^ t[7][flow.Dst[3]]
+	if flow.Proto == packet.ProtoTCP || flow.Proto == packet.ProtoUDP {
+		h ^= t[8][byte(flow.SrcPort>>8)] ^ t[9][byte(flow.SrcPort)] ^
+			t[10][byte(flow.DstPort>>8)] ^ t[11][byte(flow.DstPort)]
+	}
+	return h
+}
+
 // Steering selects a receive queue for an incoming frame.
 type Steering interface {
 	// Queue returns the receive-queue index for the frame. ok is false
@@ -72,7 +114,8 @@ type Steering interface {
 // RSSSteering is hardware RSS: Toeplitz hash + indirection table.
 type RSSSteering struct {
 	key   [40]byte
-	table []int // indirection table: hash LSBs -> queue
+	tt    *toeplitzTable // per-byte expansion of key, the per-packet path
+	table []int          // indirection table: hash LSBs -> queue
 }
 
 // IndirectionEntries is the indirection-table size of the Intel 82599
@@ -83,6 +126,7 @@ const IndirectionEntries = 128
 // equal-weight indirection table, as drivers program by default.
 func NewRSS(n int) *RSSSteering {
 	s := &RSSSteering{key: DefaultRSSKey, table: make([]int, IndirectionEntries)}
+	s.tt = newToeplitzTable(s.key[:])
 	for i := range s.table {
 		s.table[i] = i % n
 	}
@@ -90,7 +134,10 @@ func NewRSS(n int) *RSSSteering {
 }
 
 // SetKey replaces the hash key.
-func (s *RSSSteering) SetKey(key [40]byte) { s.key = key }
+func (s *RSSSteering) SetKey(key [40]byte) {
+	s.key = key
+	s.tt = newToeplitzTable(s.key[:])
+}
 
 // SetTable replaces the indirection table. Entries must name valid queues;
 // the caller owns that contract.
@@ -104,7 +151,7 @@ func (s *RSSSteering) Queue(d *packet.Decoded) (int, bool) {
 	if d.IPVersion != 4 && d.IPVersion != 6 {
 		return 0, false
 	}
-	h := RSSHash(s.key[:], d.Flow)
+	h := s.tt.hashFlow(d.Flow)
 	return s.table[h%uint32(len(s.table))], true
 }
 

@@ -1,0 +1,52 @@
+package packet
+
+import "sync"
+
+// Pools for the two scratch objects every per-packet path needs: a
+// full-size frame buffer and a Decoded header view. Both are safe for
+// concurrent use — benchmark sweeps run independent simulations on
+// several goroutines — and hand back fully grown objects, so a steady
+// state borrow/return cycle allocates nothing.
+
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, MaxFrameLen)
+		return &b
+	},
+}
+
+// GetFrameBuf borrows a MaxFrameLen-capacity frame buffer. It hands out
+// (and takes back) the *[]byte header rather than the slice so a borrow/
+// return cycle does not allocate a fresh header for the pool.
+func GetFrameBuf() *[]byte {
+	b := framePool.Get().(*[]byte)
+	*b = (*b)[:MaxFrameLen]
+	return b
+}
+
+// PutFrameBuf returns a buffer obtained from GetFrameBuf. The caller must
+// not retain any alias into it. Callers that re-sliced or grew the buffer
+// should store the final slice back through the pointer first; undersized
+// replacements are dropped rather than pooled.
+func PutFrameBuf(b *[]byte) {
+	if cap(*b) < MaxFrameLen {
+		return // replaced by something smaller; let it be collected
+	}
+	*b = (*b)[:MaxFrameLen]
+	framePool.Put(b)
+}
+
+var decodedPool = sync.Pool{
+	New: func() any { return new(Decoded) },
+}
+
+// GetDecoded borrows a Decoded header scratch.
+func GetDecoded() *Decoded { return decodedPool.Get().(*Decoded) }
+
+// PutDecoded returns a Decoded to the pool. The slices inside alias
+// whatever frame was last decoded into it, so return it only once that
+// frame is no longer interesting.
+func PutDecoded(d *Decoded) {
+	*d = Decoded{}
+	decodedPool.Put(d)
+}

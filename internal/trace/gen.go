@@ -193,7 +193,8 @@ type BorderSource struct {
 	pending []pendingPkt
 	pi      int
 	scratch []byte
-	zeros   []byte // shared all-zero payload
+	zeros   []byte       // shared all-zero payload
+	starts  []vtime.Time // per-bin cluster scratch, reused across bins
 	emitted uint64
 }
 
@@ -328,7 +329,10 @@ func (s *BorderSource) synthesize(b int) {
 		// pack packets at near-wire spacing inside each cluster, which
 		// gives the bursty sub-bin structure real traffic has.
 		nClusters := 1 + count/64
-		starts := make([]vtime.Time, nClusters)
+		if cap(s.starts) < nClusters {
+			s.starts = make([]vtime.Time, nClusters)
+		}
+		starts := s.starts[:nClusters]
 		for c := range starts {
 			starts[c] = t0 + vtime.Time(s.r.Intn(int(binLen)*9/10))
 		}

@@ -37,6 +37,7 @@ var (
 type NgWriter struct {
 	w     *bufio.Writer
 	count uint64
+	hdr   [28]byte // EPB header scratch, reused per packet
 }
 
 // NewNgWriter emits the section header and interface description and
@@ -77,7 +78,7 @@ func NewNgWriter(w io.Writer, snaplen uint32) (*NgWriter, error) {
 func (w *NgWriter) WritePacket(ts vtime.Time, frame []byte) error {
 	pad := (4 - len(frame)%4) % 4
 	total := 32 + len(frame) + pad
-	hdr := make([]byte, 28)
+	hdr := w.hdr[:]
 	binary.LittleEndian.PutUint32(hdr[0:4], blockEPB)
 	binary.LittleEndian.PutUint32(hdr[4:8], uint32(total))
 	binary.LittleEndian.PutUint32(hdr[8:12], 0) // interface 0

@@ -1,0 +1,66 @@
+package vtime
+
+import "testing"
+
+// fill preloads the scheduler with n pending events spread over a wide
+// time range, so the heap operations below run at a realistic depth.
+func fill(s *Scheduler, n int) {
+	nop := func() {}
+	r := NewRand(1)
+	for i := 0; i < n; i++ {
+		s.At(Time(1+r.Intn(1<<30)), nop)
+	}
+}
+
+// BenchmarkSchedule measures At into a 1e6-event heap (push only; events
+// are drained once outside the timer every 1e6 iterations).
+func BenchmarkSchedule(b *testing.B) {
+	s := NewScheduler()
+	fill(s, 1_000_000)
+	nop := func() {}
+	r := NewRand(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.At(s.Now()+Time(1+r.Intn(1<<30)), nop)
+		if s.Pending() >= 2_000_000 {
+			b.StopTimer()
+			for s.Pending() > 1_000_000 {
+				s.Step()
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkScheduleStep measures the self-rescheduling hot path every
+// simulation actor runs: pop the earliest event, which schedules its
+// successor — with 1e6 cold events pending underneath.
+func BenchmarkScheduleStep(b *testing.B) {
+	s := NewScheduler()
+	fill(s, 1_000_000)
+	var tick func()
+	tick = func() { s.At(s.Now()+1, tick) }
+	s.At(0, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+// BenchmarkCancel measures schedule+cancel round trips at 1e6 pending.
+func BenchmarkCancel(b *testing.B) {
+	s := NewScheduler()
+	fill(s, 1_000_000)
+	nop := func() {}
+	r := NewRand(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := s.At(s.Now()+Time(1+r.Intn(1<<30)), nop)
+		if !s.Cancel(id) {
+			b.Fatal("cancel failed")
+		}
+	}
+}
