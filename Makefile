@@ -1,17 +1,27 @@
-# Developer checks for the WireCAP reproduction. `make check` is the
-# gate every change should pass; `make race` additionally runs the one
-# package that uses goroutines (internal/bench's parallel experiment
-# runner) under the race detector. `make bench` refreshes
-# BENCH_vtime.json from the scheduler microbenchmarks and the
-# end-to-end RunConstant measurement.
+# Developer checks for the WireCAP reproduction. `make ci` mirrors the
+# GitHub Actions pipeline exactly: formatting, vet, build, tests, the
+# race detector across every package, and the deterministic regression
+# gate (cmd/ci-gate against the committed baselines.json). `make check`
+# is the quick subset for inner-loop development.
+#
+# `make bench` refreshes BENCH_vtime.json; `make bench-check` compares
+# against the committed file read-only (the CI mode). `make gate`
+# runs the regression gate alone; refresh its baselines after an
+# intentional behavior change with `make baselines`.
 
 GO ?= go
 
-.PHONY: check vet build test race bench all
+.PHONY: ci check fmt-check vet build test race gate bench bench-check baselines all
 
 all: check
 
+ci: fmt-check vet build test race gate bench-check
+
 check: vet build test
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -23,7 +33,16 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/bench/...
+	$(GO) test -race ./...
+
+gate:
+	$(GO) run ./cmd/ci-gate
+
+baselines:
+	$(GO) run ./cmd/ci-gate -update
 
 bench:
 	$(GO) run ./cmd/vtime-bench -o BENCH_vtime.json
+
+bench-check:
+	$(GO) run ./cmd/vtime-bench -check

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/vtime"
+)
+
+// measureAllocs runs testing.AllocsPerRun over the simulator's
+// zero-allocation hot paths. The names key the budget entries in
+// baselines.json; the budgets committed there are all zero.
+func measureAllocs() map[string]float64 {
+	out := make(map[string]float64)
+
+	reg := metrics.NewRegistry()
+	c := reg.Counter("gate_counter_total", metrics.L("queue", "0"))
+	g := reg.Gauge("gate_gauge", metrics.L("queue", "0"))
+	h := reg.Histogram("gate_hist_ns", metrics.L("queue", "0"))
+	out["metrics_counter_inc"] = testing.AllocsPerRun(1000, func() { c.Inc() })
+	out["metrics_gauge_set"] = testing.AllocsPerRun(1000, func() { g.Set(42) })
+	var v int64
+	out["metrics_histogram_record"] = testing.AllocsPerRun(1000, func() {
+		v++
+		h.Record(v)
+	})
+
+	// The scheduler's steady-state cycle: one event scheduled and one
+	// dispatched per iteration, over a warm slot pool.
+	s := vtime.NewScheduler()
+	var tick func()
+	tick = func() { s.At(s.Now()+1, tick) }
+	s.At(0, tick)
+	out["vtime_schedule_step"] = testing.AllocsPerRun(1000, func() { s.Step() })
+
+	return out
+}

@@ -1,0 +1,267 @@
+// Command ci-gate is the deterministic regression gate: it re-runs the
+// bench CI scenarios and compares the resulting RunReports against the
+// committed baselines.json. Because the simulator is deterministic, the
+// functional comparison is exact — a report digest or a headline metric
+// that moves at all is a regression (or an intentional change, in which
+// case refresh the baseline with -update and commit the diff).
+//
+// Three check families, in decreasing strictness:
+//
+//   - Scenario digests and key metrics: exact. Covers every counter,
+//     per-queue fate, latency histogram bucket, and metric series the
+//     simulator exports.
+//   - Allocation budgets: measured with testing.AllocsPerRun, must not
+//     exceed the committed budget. Guards the zero-allocation hot paths
+//     (metrics instruments, scheduler, capture loop).
+//   - Performance floor: simulated packets per wall-clock second must
+//     stay above a deliberately conservative floor (the baseline records
+//     measured/8), so only order-of-magnitude slowdowns trip it. Skip on
+//     wildly variable machines with -skip-perf.
+//
+// Usage:
+//
+//	ci-gate [-baselines FILE] [-update] [-skip-perf] [-v]
+//
+// Exit status 0 when every check passes, 1 on any regression, 2 on
+// operational errors (unreadable baseline, scenario failure).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// Baselines is the committed gate state. Regenerate with -update.
+type Baselines struct {
+	// Comment documents the refresh procedure inside the JSON itself.
+	Comment   string             `json:"_comment"`
+	Scenarios []ScenarioBaseline `json:"scenarios"`
+	// Allocs maps check name to the maximum allocations per operation.
+	Allocs map[string]float64 `json:"allocs"`
+	Perf   PerfBaseline       `json:"perf"`
+}
+
+// ScenarioBaseline pins one scenario's expected outcome.
+type ScenarioBaseline struct {
+	Name    string             `json:"name"`
+	About   string             `json:"about,omitempty"`
+	Digest  string             `json:"digest"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// PerfBaseline is the wall-clock guard.
+type PerfBaseline struct {
+	// MinSimPktsPerSec is the conservative throughput floor: the gate
+	// replays the first constant-rate scenario and requires simulated
+	// packets per wall second to stay above it. -update records
+	// measured/8.
+	MinSimPktsPerSec float64 `json:"min_sim_pkts_per_sec"`
+	// MeasuredSimPktsPerSec records the throughput observed at refresh
+	// time, for human context only; the gate never compares against it.
+	MeasuredSimPktsPerSec float64 `json:"measured_sim_pkts_per_sec,omitempty"`
+}
+
+func main() {
+	baselinesPath := flag.String("baselines", "baselines.json", "committed baseline file")
+	update := flag.Bool("update", false, "regenerate the baseline file from the current build")
+	skipPerf := flag.Bool("skip-perf", false, "skip the wall-clock throughput floor")
+	verbose := flag.Bool("v", false, "print every check, not just failures")
+	flag.Parse()
+
+	reports, err := runScenarios()
+	if err != nil {
+		fatal(err)
+	}
+	allocs := measureAllocs()
+	var perf float64
+	if !*skipPerf || *update {
+		perf = measurePerf()
+	}
+
+	if *update {
+		b := buildBaselines(reports, allocs, perf)
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*baselinesPath, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ci-gate: wrote %s (%d scenarios, %d alloc budgets, perf floor %.0f pkts/s)\n",
+			*baselinesPath, len(b.Scenarios), len(b.Allocs), b.Perf.MinSimPktsPerSec)
+		return
+	}
+
+	data, err := os.ReadFile(*baselinesPath)
+	if err != nil {
+		fatal(fmt.Errorf("reading baselines (run `go run ./cmd/ci-gate -update` to create them): %w", err))
+	}
+	var base Baselines
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", *baselinesPath, err))
+	}
+
+	failures, checks := compare(base, reports, allocs, perf, *skipPerf)
+	if *verbose {
+		for _, c := range checks {
+			fmt.Println("  ok:", c)
+		}
+	}
+	if len(failures) > 0 {
+		fmt.Printf("ci-gate: %d regression(s) against %s:\n", len(failures), *baselinesPath)
+		for _, f := range failures {
+			fmt.Println("  FAIL:", f)
+		}
+		fmt.Println("If the change is intentional, refresh with `go run ./cmd/ci-gate -update` and commit baselines.json.")
+		os.Exit(1)
+	}
+	fmt.Printf("ci-gate: %d checks passed (%d scenarios, %d alloc budgets%s)\n",
+		len(checks), len(reports), len(base.Allocs),
+		map[bool]string{true: ", perf skipped", false: ", perf floor"}[*skipPerf])
+}
+
+func runScenarios() ([]bench.RunReport, error) {
+	scenarios := bench.CIScenarios()
+	reports := make([]bench.RunReport, 0, len(scenarios))
+	for _, sc := range scenarios {
+		rep, err := sc.Report()
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// buildBaselines snapshots the current build's behavior. Alloc budgets
+// are committed exactly as measured (the hot paths are zero-allocation
+// by design, so any budget > 0 is already meaningful); the perf floor
+// is measured/8 so only order-of-magnitude slowdowns fail.
+func buildBaselines(reports []bench.RunReport, allocs map[string]float64, perf float64) Baselines {
+	b := Baselines{
+		Comment: "Committed regression-gate state. Refresh after intentional behavior changes with: go run ./cmd/ci-gate -update (then commit the diff).",
+		Allocs:  allocs,
+		Perf: PerfBaseline{
+			MinSimPktsPerSec:      math.Floor(perf / 8),
+			MeasuredSimPktsPerSec: math.Floor(perf),
+		},
+	}
+	scenarios := bench.CIScenarios()
+	for i, rep := range reports {
+		b.Scenarios = append(b.Scenarios, ScenarioBaseline{
+			Name:    rep.Scenario,
+			About:   scenarios[i].About,
+			Digest:  rep.Digest(),
+			Metrics: rep.KeyMetrics(),
+		})
+	}
+	return b
+}
+
+// compare returns human-readable failure lines and the names of all
+// checks performed. Deterministic metrics are compared exactly; alloc
+// budgets as measured <= budget; perf as measured >= floor.
+func compare(base Baselines, reports []bench.RunReport, allocs map[string]float64, perf float64, skipPerf bool) (failures, checks []string) {
+	byName := make(map[string]bench.RunReport, len(reports))
+	for _, rep := range reports {
+		byName[rep.Scenario] = rep
+	}
+	for _, sb := range base.Scenarios {
+		rep, ok := byName[sb.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("scenario %s: in baseline but not produced by this build", sb.Name))
+			continue
+		}
+		delete(byName, sb.Name)
+		checks = append(checks, "digest "+sb.Name)
+		if d := rep.Digest(); d != sb.Digest {
+			failures = append(failures, fmt.Sprintf("scenario %s: report digest %s != baseline %s (%s)",
+				sb.Name, d, sb.Digest, sb.About))
+		}
+		cur := rep.KeyMetrics()
+		names := make([]string, 0, len(sb.Metrics))
+		for name := range sb.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			want := sb.Metrics[name]
+			got, ok := cur[name]
+			checks = append(checks, fmt.Sprintf("metric %s/%s", sb.Name, name))
+			if !ok {
+				failures = append(failures, fmt.Sprintf("scenario %s: metric %s missing (baseline %g)", sb.Name, name, want))
+				continue
+			}
+			if got != want {
+				failures = append(failures, fmt.Sprintf("scenario %s: metric %s = %g, baseline %g (delta %+g)",
+					sb.Name, name, got, want, got-want))
+			}
+		}
+	}
+	leftovers := make([]string, 0, len(byName))
+	for name := range byName {
+		leftovers = append(leftovers, name)
+	}
+	sort.Strings(leftovers)
+	for _, name := range leftovers {
+		failures = append(failures, fmt.Sprintf("scenario %s: produced by this build but missing from baseline (refresh with -update)", name))
+	}
+
+	budgets := make([]string, 0, len(base.Allocs))
+	for name := range base.Allocs {
+		budgets = append(budgets, name)
+	}
+	sort.Strings(budgets)
+	for _, name := range budgets {
+		budget := base.Allocs[name]
+		got, ok := allocs[name]
+		checks = append(checks, "allocs "+name)
+		if !ok {
+			failures = append(failures, fmt.Sprintf("allocs %s: check not implemented in this build (baseline %g)", name, budget))
+			continue
+		}
+		if got > budget {
+			failures = append(failures, fmt.Sprintf("allocs %s: %g allocs/op exceeds budget %g", name, got, budget))
+		}
+	}
+
+	if !skipPerf && base.Perf.MinSimPktsPerSec > 0 {
+		checks = append(checks, "perf floor")
+		if perf < base.Perf.MinSimPktsPerSec {
+			failures = append(failures, fmt.Sprintf("perf: %.0f simulated pkts per wall second below floor %.0f",
+				perf, base.Perf.MinSimPktsPerSec))
+		}
+	}
+	return failures, checks
+}
+
+// measurePerf times one constant-rate WireCAP run and reports simulated
+// packets per wall-clock second.
+func measurePerf() float64 {
+	const packets = 200_000
+	start := time.Now()
+	_, err := bench.RunConstant(bench.ConstantRun{
+		Spec: bench.WireCAPB(256, 100), Packets: packets, X: 300, Seed: 7,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	return packets / elapsed
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ci-gate:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// gateReport runs one cheap scenario once per test binary.
+var gateReport *bench.RunReport
+
+func report(t *testing.T) bench.RunReport {
+	t.Helper()
+	if gateReport == nil {
+		sc := bench.CIScenarios()[0]
+		rep, err := sc.Report()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gateReport = &rep
+	}
+	return *gateReport
+}
+
+func cleanBaseline(t *testing.T) Baselines {
+	rep := report(t)
+	return Baselines{
+		Scenarios: []ScenarioBaseline{{
+			Name:    rep.Scenario,
+			Digest:  rep.Digest(),
+			Metrics: rep.KeyMetrics(),
+		}},
+		Allocs: map[string]float64{"metrics_counter_inc": 0},
+		Perf:   PerfBaseline{MinSimPktsPerSec: 1},
+	}
+}
+
+// TestGatePassesClean: an untampered baseline produces zero failures.
+func TestGatePassesClean(t *testing.T) {
+	rep := report(t)
+	allocs := map[string]float64{"metrics_counter_inc": 0}
+	failures, checks := compare(cleanBaseline(t), []bench.RunReport{rep}, allocs, 100, false)
+	if len(failures) != 0 {
+		t.Fatalf("clean comparison failed: %v", failures)
+	}
+	if len(checks) == 0 {
+		t.Fatal("no checks performed")
+	}
+}
+
+// TestGateDetectsSeededRegressions perturbs the baseline one axis at a
+// time and requires the gate to flag each: digest drift, metric drift,
+// a missing scenario, an alloc budget bust, and a perf floor miss.
+func TestGateDetectsSeededRegressions(t *testing.T) {
+	rep := report(t)
+	allocs := map[string]float64{"metrics_counter_inc": 0}
+
+	cases := []struct {
+		name    string
+		mutate  func(*Baselines)
+		allocs  map[string]float64
+		perf    float64
+		skip    bool
+		wantSub string
+	}{
+		{
+			name:    "digest drift",
+			mutate:  func(b *Baselines) { b.Scenarios[0].Digest = "0000000000000000" },
+			wantSub: "report digest",
+		},
+		{
+			name:    "metric drift",
+			mutate:  func(b *Baselines) { b.Scenarios[0].Metrics["sent"]++ },
+			wantSub: "metric sent",
+		},
+		{
+			name: "scenario missing from build",
+			mutate: func(b *Baselines) {
+				b.Scenarios = append(b.Scenarios, ScenarioBaseline{Name: "ghost_scenario"})
+			},
+			wantSub: "not produced by this build",
+		},
+		{
+			name:    "alloc budget bust",
+			mutate:  func(b *Baselines) {},
+			allocs:  map[string]float64{"metrics_counter_inc": 3},
+			wantSub: "exceeds budget",
+		},
+		{
+			name:    "perf floor miss",
+			mutate:  func(b *Baselines) { b.Perf.MinSimPktsPerSec = 1e18 },
+			wantSub: "below floor",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := cleanBaseline(t)
+			tc.mutate(&base)
+			a := tc.allocs
+			if a == nil {
+				a = allocs
+			}
+			perf := tc.perf
+			if perf == 0 {
+				perf = 100
+			}
+			failures, _ := compare(base, []bench.RunReport{rep}, a, perf, tc.skip)
+			if len(failures) == 0 {
+				t.Fatal("tampered baseline passed the gate")
+			}
+			found := false
+			for _, f := range failures {
+				if strings.Contains(f, tc.wantSub) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no failure mentions %q; got %v", tc.wantSub, failures)
+			}
+		})
+	}
+}
+
+// TestSkipPerfSuppressesFloor: -skip-perf must disable only the
+// wall-clock check, which is the one legitimately environment-dependent
+// check the gate has.
+func TestSkipPerfSuppressesFloor(t *testing.T) {
+	rep := report(t)
+	base := cleanBaseline(t)
+	base.Perf.MinSimPktsPerSec = 1e18
+	allocs := map[string]float64{"metrics_counter_inc": 0}
+	failures, _ := compare(base, []bench.RunReport{rep}, allocs, 1, true)
+	if len(failures) != 0 {
+		t.Fatalf("skip-perf still failed: %v", failures)
+	}
+}
+
+// TestMeasuredAllocsAreZero pins the zero-allocation contract the
+// committed budgets rely on.
+func TestMeasuredAllocsAreZero(t *testing.T) {
+	for name, v := range measureAllocs() {
+		if v != 0 {
+			t.Errorf("%s: %g allocs/op on a hot path budgeted at zero", name, v)
+		}
+	}
+}

@@ -7,6 +7,10 @@
 //	            [-cpuprofile f] [-memprofile f]
 //
 // Names: fig3, table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, all.
+//
+// -reports FILE runs the deterministic CI scenario suite instead and
+// writes structured RunReports (JSON, metrics snapshots included) to
+// FILE ("-" for stdout) — the machine-readable form of the evaluation.
 // At -scale 1 and -pmax 10000000 the workloads match the paper's sizes
 // (several minutes of CPU); the defaults run a faithful-shape, reduced-
 // size pass in tens of seconds.
@@ -32,6 +36,7 @@ func main() {
 	pkts := flag.Uint64("scalepkts", 1_000_000, "per-NIC packets for fig14")
 	seed := flag.Uint64("seed", 2014, "workload seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	reports := flag.String("reports", "", "run the CI scenarios and write RunReport JSON to this file (- for stdout)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file")
 	flag.Parse()
@@ -48,6 +53,24 @@ func main() {
 			os.Exit(1)
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	if *reports != "" {
+		out := os.Stdout
+		if *reports != "-" {
+			f, err := os.Create(*reports)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := bench.WriteReports(out); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	opt := bench.Options{Scale: *scale, PMax: *pmax, ScalePackets: *pkts, Seed: *seed, CSV: *csv}

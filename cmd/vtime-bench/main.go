@@ -9,6 +9,13 @@
 // Usage:
 //
 //	vtime-bench [-o BENCH_vtime.json]
+//	vtime-bench -check [-baseline BENCH_vtime.json] [-tolerance 4.0]
+//
+// -check is the CI mode: instead of overwriting the committed file it
+// re-measures and compares against it read-only — allocs/op must not
+// exceed the committed value at all, and ns/op must stay within the
+// tolerance factor (wall-clock-safe: only order-of-magnitude slowdowns
+// fail at the default 4.0x). Exit status 1 on regression.
 package main
 
 import (
@@ -141,8 +148,63 @@ func measure(name string, fn func(*testing.B)) Record {
 	return rec
 }
 
+// benchDoc is the file layout of BENCH_vtime.json.
+type benchDoc struct {
+	Note    string   `json:"note"`
+	Results []Record `json:"results"`
+}
+
+// check compares fresh measurements against the committed file without
+// touching it. Allocations are deterministic, so any increase fails;
+// ns/op is wall-clock and noisy, so it only fails beyond tolerance×.
+func check(records []Record, committedPath string, tolerance float64) int {
+	data, err := os.ReadFile(committedPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vtime-bench:", err)
+		return 2
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "vtime-bench: parsing %s: %v\n", committedPath, err)
+		return 2
+	}
+	committed := make(map[string]Entry, len(doc.Results))
+	for _, r := range doc.Results {
+		committed[r.Name] = r.Current
+	}
+	status := 0
+	for _, r := range records {
+		want, ok := committed[r.Name]
+		if !ok {
+			fmt.Printf("FAIL %-26s not in %s (regenerate with -o)\n", r.Name, committedPath)
+			status = 1
+			continue
+		}
+		switch {
+		case r.Current.AllocsPerOp > want.AllocsPerOp:
+			fmt.Printf("FAIL %-26s %d allocs/op, committed %d\n",
+				r.Name, r.Current.AllocsPerOp, want.AllocsPerOp)
+			status = 1
+		case want.NsPerOp > 0 && r.Current.NsPerOp > want.NsPerOp*tolerance:
+			fmt.Printf("FAIL %-26s %.1f ns/op exceeds committed %.1f x tolerance %.1f\n",
+				r.Name, r.Current.NsPerOp, want.NsPerOp, tolerance)
+			status = 1
+		default:
+			fmt.Printf("ok   %-26s %12.1f ns/op  %3d allocs/op  (committed %12.1f, %d)\n",
+				r.Name, r.Current.NsPerOp, r.Current.AllocsPerOp, want.NsPerOp, want.AllocsPerOp)
+		}
+	}
+	if status == 1 {
+		fmt.Printf("If intentional, regenerate with `go run ./cmd/vtime-bench -o %s` and commit the diff.\n", committedPath)
+	}
+	return status
+}
+
 func main() {
 	out := flag.String("o", "BENCH_vtime.json", "output file (- for stdout)")
+	checkMode := flag.Bool("check", false, "compare against the committed file instead of overwriting it")
+	checkPath := flag.String("baseline", "BENCH_vtime.json", "committed file -check compares against")
+	tolerance := flag.Float64("tolerance", 4.0, "allowed ns/op slowdown factor in -check mode")
 	flag.Parse()
 
 	records := []Record{
@@ -151,11 +213,11 @@ func main() {
 		measure("schedule_step_1m_pending", benchScheduleStep),
 		measure("run_constant_200k", benchRunConstant),
 	}
-	doc := struct {
-		Note    string   `json:"note"`
-		Results []Record `json:"results"`
-	}{
-		Note: "generated by cmd/vtime-bench; baseline = container/heap scheduler before the allocation-free rewrite",
+	if *checkMode {
+		os.Exit(check(records, *checkPath, *tolerance))
+	}
+	doc := benchDoc{
+		Note:    "generated by cmd/vtime-bench; baseline = container/heap scheduler before the allocation-free rewrite",
 		Results: records,
 	}
 	enc, err := json.MarshalIndent(doc, "", "  ")

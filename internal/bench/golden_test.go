@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 )
@@ -48,5 +49,62 @@ func TestGoldenDeterminism(t *testing.T) {
 	c, d := border(), border()
 	if c != d {
 		t.Errorf("border runs diverged:\n  %s\n  %s", c, d)
+	}
+}
+
+// TestRunReportDeterminism extends the golden guard to the exported
+// RunReport: two identically seeded runs must serialize to byte-equal
+// JSON (metrics snapshot included) and therefore equal digests. This is
+// the property cmd/ci-gate's baseline digests rely on.
+func TestRunReportDeterminism(t *testing.T) {
+	for _, sc := range CIScenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			a, err := sc.Report()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := sc.Report()
+			if err != nil {
+				t.Fatal(err)
+			}
+			aj, err := a.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bj, err := b.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(aj, bj) {
+				t.Errorf("reports diverged between identical runs:\n%s\n---\n%s", aj, bj)
+			}
+			if da, db := a.Digest(), b.Digest(); da != db {
+				t.Errorf("digests diverged: %s vs %s", da, db)
+			}
+			if len(a.Metrics.Series) == 0 {
+				t.Error("report carries no metric series; registry wiring is broken")
+			}
+		})
+	}
+}
+
+// TestRunReportDigestSensitivity proves the digest actually covers the
+// observable state: perturbing the seed (different arrival jitter) must
+// change it. A digest blind to the run would let regressions through
+// the gate.
+func TestRunReportDigestSensitivity(t *testing.T) {
+	run := func(seed uint64) string {
+		res, _, err := RunBorder(BorderRun{
+			Spec: WireCAPB(256, 100), Queues: 2, X: 300,
+			Seconds: 0.1, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Report("sensitivity").Digest()
+	}
+	if run(7) == run(8) {
+		t.Error("digest unchanged across different seeds; it is not covering the run state")
 	}
 }

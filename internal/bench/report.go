@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/engines"
+	"repro/internal/metrics"
+	"repro/internal/vtime"
+)
+
+// HandlerReport summarizes the pkt_handler side of a run: how many
+// packets were processed and matched, and — when delivery-latency
+// accounting was enabled — the capture-to-processing delay
+// distribution.
+type HandlerReport struct {
+	Processed uint64   `json:"processed"`
+	Matched   uint64   `json:"matched"`
+	Bytes     uint64   `json:"bytes"`
+	TxDropped uint64   `json:"tx_dropped"`
+	PerQueue  []uint64 `json:"per_queue"`
+
+	DelayCount uint64 `json:"delay_count,omitempty"`
+	DelaySumNs int64  `json:"delay_sum_ns,omitempty"`
+	DelayP50Ns int64  `json:"delay_p50_ns,omitempty"`
+	DelayP99Ns int64  `json:"delay_p99_ns,omitempty"`
+	DelayMaxNs int64  `json:"delay_max_ns,omitempty"`
+}
+
+// RunReport is the structured, deterministic record of one engine run:
+// the paper-level outcome (sent/forwarded/drop rate), the per-queue
+// fate accounting, the handler summary, and the full metrics snapshot
+// taken at the virtual time the run drained. Identical seeds produce
+// byte-identical reports, which is what cmd/ci-gate keys on.
+type RunReport struct {
+	Scenario  string               `json:"scenario"`
+	Engine    string               `json:"engine"`
+	Sent      uint64               `json:"sent"`
+	Forwarded uint64               `json:"forwarded,omitempty"`
+	DropRate  float64              `json:"drop_rate"`
+	EndNs     vtime.Time           `json:"end_ns"`
+	Totals    engines.QueueStats   `json:"totals"`
+	PerQueue  []engines.QueueStats `json:"per_queue"`
+	Handler   *HandlerReport       `json:"handler,omitempty"`
+	Metrics   metrics.Snapshot     `json:"metrics"`
+}
+
+// Report assembles the RunReport for a completed run. The scenario name
+// is caller-chosen (it keys the baseline entry in cmd/ci-gate).
+func (r Result) Report(scenario string) RunReport {
+	rep := RunReport{
+		Scenario:  scenario,
+		Engine:    r.Spec.Name(),
+		Sent:      r.Sent,
+		Forwarded: r.Forwarded,
+		DropRate:  r.DropRate(),
+		EndNs:     r.End,
+		Totals:    r.Stats.Totals(),
+		PerQueue:  r.Stats.PerQueue,
+	}
+	if h := r.Handler; h != nil {
+		hr := &HandlerReport{
+			Processed: h.Processed,
+			Matched:   h.Matched,
+			Bytes:     h.Bytes,
+			TxDropped: h.TxDropped,
+			PerQueue:  h.PerQueue,
+		}
+		if h.DelayHist.Count() > 0 {
+			hr.DelayCount = h.DelayHist.Count()
+			hr.DelaySumNs = h.DelayHist.Sum()
+			hr.DelayP50Ns = h.DelayHist.Percentile(0.50)
+			hr.DelayP99Ns = h.DelayHist.Percentile(0.99)
+			hr.DelayMaxNs = h.DelayHist.Max()
+		}
+		rep.Handler = hr
+	}
+	if r.Metrics != nil {
+		rep.Metrics = r.Metrics.Snapshot(r.End)
+	}
+	return rep
+}
+
+// JSON renders the report as indented, deterministic JSON (series
+// sorted, map keys sorted by encoding/json).
+func (rr RunReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(rr, "", "  ")
+}
+
+// Digest is a stable fingerprint of the full report: FNV-1a over the
+// compact JSON encoding. Any observable divergence — a counter off by
+// one, a latency bucket shifted — changes the digest.
+func (rr RunReport) Digest() string {
+	b, err := json.Marshal(rr)
+	if err != nil {
+		// The report is plain data; Marshal cannot fail in practice.
+		panic(fmt.Sprintf("bench: marshaling RunReport: %v", err))
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// KeyMetrics flattens the headline numbers cmd/ci-gate compares against
+// tolerance bands. Counter totals come from the metrics snapshot so the
+// gate also covers the instrumentation wiring itself.
+func (rr RunReport) KeyMetrics() map[string]float64 {
+	m := map[string]float64{
+		"sent":           float64(rr.Sent),
+		"drop_rate":      rr.DropRate,
+		"received":       float64(rr.Totals.Received),
+		"capture_drops":  float64(rr.Totals.CaptureDrops),
+		"delivery_drops": float64(rr.Totals.DeliveryDrops),
+		"delivered":      float64(rr.Totals.Delivered),
+		"end_ns":         float64(rr.EndNs),
+	}
+	if rr.Forwarded > 0 {
+		m["forwarded"] = float64(rr.Forwarded)
+	}
+	if rr.Handler != nil {
+		m["processed"] = float64(rr.Handler.Processed)
+		m["matched"] = float64(rr.Handler.Matched)
+	}
+	for name, key := range map[string]string{
+		"engine_copies_total":            "copies",
+		"engine_syscalls_total":          "syscalls",
+		"wirecap_chunks_captured_total":  "chunks_captured",
+		"wirecap_chunks_offloaded_total": "chunks_offloaded",
+	} {
+		if v := rr.Metrics.CounterTotal(name); v > 0 {
+			m[key] = float64(v)
+		}
+	}
+	return m
+}

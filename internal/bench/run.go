@@ -6,6 +6,7 @@ import (
 	"repro/internal/app"
 	"repro/internal/bus"
 	"repro/internal/engines"
+	"repro/internal/metrics"
 	"repro/internal/nic"
 	"repro/internal/packet"
 	"repro/internal/trace"
@@ -19,6 +20,12 @@ type Result struct {
 	Stats     engines.Stats
 	Handler   *app.PktHandler
 	Forwarded uint64 // packets that left the forwarding NIC (Fig 13/14)
+	// Metrics is the run-wide registry every simulated component
+	// (NIC, engine, WireCAP core) registered into; End is the virtual
+	// time at which the event queue drained. Together they key a
+	// Snapshot for RunReport.
+	Metrics *metrics.Registry
+	End     vtime.Time
 }
 
 // DropRate is total drops over offered packets — the paper's metric. For
@@ -66,7 +73,8 @@ type ConstantRun struct {
 // RunConstant executes the run to completion.
 func RunConstant(cfg ConstantRun) (Result, error) {
 	sched := vtime.NewScheduler()
-	n := nic.New(sched, nic.Config{ID: 0, RxQueues: 1, RingSize: 1024, Promiscuous: true})
+	reg := metrics.NewRegistry()
+	n := nic.New(sched, nic.Config{ID: 0, RxQueues: 1, RingSize: 1024, Promiscuous: true, Metrics: reg})
 	costs := engines.DefaultCosts()
 	h := app.NewPktHandler(cfg.X, costs, 1)
 	eng, err := cfg.Spec.Build(sched, n, costs, h)
@@ -89,7 +97,10 @@ func RunConstant(cfg ConstantRun) (Result, error) {
 	})
 	st := trace.Drive(sched, n, src, nil)
 	sched.Run()
-	return Result{Spec: cfg.Spec, Sent: st.Sent, Stats: eng.Stats(), Handler: h}, nil
+	return Result{
+		Spec: cfg.Spec, Sent: st.Sent, Stats: eng.Stats(), Handler: h,
+		Metrics: reg, End: sched.Now(),
+	}, nil
 }
 
 // BorderRun replays the border-router workload into an n-queue NIC under
@@ -127,7 +138,8 @@ func RunBorder(cfg BorderRun) (Result, []uint64, error) {
 		dur = vtime.Time(cfg.Seconds * float64(vtime.Second))
 	}
 	sched := vtime.NewScheduler()
-	n := nic.New(sched, nic.Config{ID: 0, RxQueues: cfg.Queues, RingSize: 1024, Promiscuous: true})
+	reg := metrics.NewRegistry()
+	n := nic.New(sched, nic.Config{ID: 0, RxQueues: cfg.Queues, RingSize: 1024, Promiscuous: true, Metrics: reg})
 	costs := engines.DefaultCosts()
 	var h *app.PktHandler
 	if cfg.Filter != "" {
@@ -145,6 +157,7 @@ func RunBorder(cfg BorderRun) (Result, []uint64, error) {
 		n2 = nic.New(sched, nic.Config{
 			ID: 1, RxQueues: 1, RingSize: 64,
 			TxQueues: cfg.Queues, TxRingSize: 1024, Promiscuous: true,
+			Metrics: reg,
 		})
 		h.ForwardTx = func(q int) *nic.TxRing { return n2.Tx(q) }
 	}
@@ -167,7 +180,10 @@ func RunBorder(cfg BorderRun) (Result, []uint64, error) {
 	countPerQueue(countSrc, cfg.Queues, offered)
 
 	sched.Run()
-	res := Result{Spec: cfg.Spec, Sent: st.Sent, Stats: eng.Stats(), Handler: h}
+	res := Result{
+		Spec: cfg.Spec, Sent: st.Sent, Stats: eng.Stats(), Handler: h,
+		Metrics: reg, End: sched.Now(),
+	}
 	if cfg.Forward {
 		for q := 0; q < cfg.Queues; q++ {
 			res.Forwarded += n2.Tx(q).Stats().Sent
@@ -203,6 +219,9 @@ type ScalabilityRun struct {
 	FrameLen     int // 60 ("64-byte") or 96 ("100-byte")
 	Packets      uint64
 	Seed         uint64
+	// Metrics, when non-nil, receives both NICs' series (disambiguated
+	// by the nic label). Nil keeps the run unobserved.
+	Metrics *metrics.Registry
 }
 
 // RunScalability executes the two-NIC forwarding run and returns the
@@ -225,7 +244,7 @@ func RunScalability(cfg ScalabilityRun) (float64, error) {
 		return nic.New(sched, nic.Config{
 			ID: id, RxQueues: cfg.QueuesPerNIC, RingSize: 1024,
 			TxQueues: cfg.QueuesPerNIC, TxRingSize: 1024,
-			Promiscuous: true, Bus: shared,
+			Promiscuous: true, Bus: shared, Metrics: cfg.Metrics,
 		})
 	}
 	n1, n2 := mkNIC(0), mkNIC(1)

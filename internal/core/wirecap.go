@@ -8,9 +8,11 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/engines"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/nic"
 	"repro/internal/vtime"
 )
@@ -144,7 +146,8 @@ type handedChunk struct {
 	// the whole chunk is dispatched and outstanding returns to zero.
 	outstanding int
 	dispatched  bool
-	owner       *wqueue // queue whose pool owns the chunk
+	owner       *wqueue    // queue whose pool owns the chunk
+	recycleAt   vtime.Time // when the recycle ioctl was enqueued
 	// releaseFn is the per-packet done callback, built once by the
 	// consuming queue when it starts draining the chunk and shared by
 	// every packet in it (each packet's done runs exactly once).
@@ -169,11 +172,14 @@ type wqueue struct {
 
 	// Capture thread. capPending holds chunks whose capture ioctl has
 	// been charged but not completed (FIFO, popped by captureFn);
-	// captureFn/recycleFn are bound once so chunk ops allocate nothing.
-	capSv      *vtime.Server
-	capPending []*mem.Chunk
-	captureFn  func()
-	recycleFn  func()
+	// capPendingAt carries each entry's enqueue time for the latency
+	// histogram; captureFn/recycleFn are bound once so chunk ops
+	// allocate nothing.
+	capSv        *vtime.Server
+	capPending   []*mem.Chunk
+	capPendingAt []vtime.Time
+	captureFn    func()
+	recycleFn    func()
 
 	// User-space work-queue pair.
 	captureQ []*handedChunk
@@ -184,6 +190,12 @@ type wqueue struct {
 	buddies []*wqueue
 
 	stats QueueStats
+
+	// Latency histograms: enqueue-to-completion of the chunk-granular
+	// operations, in virtual nanoseconds. Record is allocation-free.
+	capLat   *metrics.Histogram
+	recLat   *metrics.Histogram
+	flushLat *metrics.Histogram
 }
 
 // New builds a WireCAP engine on every receive queue of n, delivering to
@@ -231,6 +243,7 @@ func New(sched *vtime.Scheduler, n *nic.NIC, cfg Config, h engines.Handler) (*En
 		}
 		e.queues = append(e.queues, q)
 	}
+	e.register(n)
 	// Buddy groups.
 	groups := cfg.BuddyGroups
 	if groups == nil {
@@ -298,6 +311,33 @@ func (e *Engine) applyPagePenalty() {
 	penalty := (total - gb) * pagePenaltyPerGB / gb
 	for _, q := range e.queues {
 		q.ring.SetBusOverhead(wirecapBusOverhead + penalty)
+	}
+}
+
+// register exports the engine's observability series on the NIC's
+// registry: chunk-operation counters sampled from the existing stats
+// (free on the hot path), pool/queue occupancy gauges, and the
+// capture/recycle/flush latency histograms the work-queue pairs record
+// into directly.
+func (e *Engine) register(n *nic.NIC) {
+	reg := n.Metrics()
+	engL := metrics.L("engine", e.Name())
+	nicL := metrics.L("nic", strconv.Itoa(n.ID()))
+	for _, q := range e.queues {
+		q := q
+		ls := []metrics.Label{engL, nicL, metrics.L("queue", strconv.Itoa(q.queue))}
+		reg.CounterFunc("wirecap_chunks_captured_total", func() uint64 { return q.stats.ChunksCaptured }, ls...)
+		reg.CounterFunc("wirecap_chunks_offloaded_total", func() uint64 { return q.stats.ChunksOffloaded }, ls...)
+		reg.CounterFunc("wirecap_chunks_flushed_total", func() uint64 { return q.stats.ChunksFlushed }, ls...)
+		reg.CounterFunc("wirecap_flushed_packets_total", func() uint64 { return q.stats.FlushedPackets }, ls...)
+		reg.CounterFunc("wirecap_pool_exhausted_total", func() uint64 { return q.stats.PoolExhausted }, ls...)
+		reg.CounterFunc("wirecap_delivered_total", func() uint64 { return q.stats.Delivered }, ls...)
+		reg.GaugeFunc("wirecap_pool_free_chunks", func() int64 { return int64(q.pool.FreeCount()) }, ls...)
+		reg.GaugeFunc("wirecap_capture_queue_len", func() int64 { return int64(len(q.captureQ)) }, ls...)
+		reg.GaugeFunc("wirecap_recycle_queue_len", func() int64 { return int64(len(q.recycleQ)) }, ls...)
+		q.capLat = reg.Histogram("wirecap_capture_latency_ns", ls...)
+		q.recLat = reg.Histogram("wirecap_recycle_latency_ns", ls...)
+		q.flushLat = reg.Histogram("wirecap_flush_latency_ns", ls...)
 	}
 }
 
@@ -409,6 +449,7 @@ func (q *wqueue) flushTimeout() {
 // matches the server's FIFO completion order.
 func (q *wqueue) scheduleCapture(c *mem.Chunk) {
 	q.capPending = append(q.capPending, c)
+	q.capPendingAt = append(q.capPendingAt, q.e.sched.Now())
 	q.capSv.ChargeAndCall(q.e.cfg.Costs.ChunkOp, q.captureFn)
 }
 
@@ -417,6 +458,10 @@ func (q *wqueue) captureDone() {
 	c := q.capPending[0]
 	copy(q.capPending, q.capPending[1:])
 	q.capPending = q.capPending[:len(q.capPending)-1]
+	at := q.capPendingAt[0]
+	copy(q.capPendingAt, q.capPendingAt[1:])
+	q.capPendingAt = q.capPendingAt[:len(q.capPendingAt)-1]
+	q.capLat.Record(int64(q.e.sched.Now() - at))
 	meta, err := q.pool.Capture(c)
 	if err != nil {
 		panic(fmt.Sprintf("core: capture of full chunk failed: %v", err))
@@ -504,6 +549,7 @@ func (q *wqueue) flush(c *mem.Chunk) {
 		data, _ := c.Packet(base + i)
 		cost += q.e.cfg.Costs.CopyCost(len(data))
 	}
+	flushStart := q.e.sched.Now()
 	q.capSv.ChargeAndCall(cost, func() {
 		// Validate again at execution time: the chunk may have filled and
 		// been captured while the copy op waited.
@@ -529,6 +575,7 @@ func (q *wqueue) flush(c *mem.Chunk) {
 		}
 		q.stats.ChunksFlushed++
 		q.stats.FlushedPackets += uint64(k)
+		q.flushLat.Record(int64(q.e.sched.Now() - flushStart))
 		h := q.e.newHanded(meta, f, q)
 		target := q.chooseTarget()
 		if target != q {
@@ -583,6 +630,7 @@ func (q *wqueue) fetch() ([]byte, vtime.Time, func(), bool) {
 // enqueueRecycle places a fully consumed chunk on this queue's recycle
 // queue and kicks the capture thread to run the recycle ioctl.
 func (q *wqueue) enqueueRecycle(h *handedChunk) {
+	h.recycleAt = q.e.sched.Now()
 	q.recycleQ = append(q.recycleQ, h)
 	q.capSv.ChargeAndCall(q.e.cfg.Costs.ChunkOp, q.recycleFn)
 }
@@ -593,6 +641,7 @@ func (q *wqueue) recycleDone() {
 	copy(q.recycleQ, q.recycleQ[1:])
 	q.recycleQ = q.recycleQ[:len(q.recycleQ)-1]
 	owner := hh.owner
+	q.recLat.Record(int64(q.e.sched.Now() - hh.recycleAt))
 	if err := owner.pool.Recycle(hh.meta); err != nil {
 		panic(fmt.Sprintf("core: recycle failed: %v", err))
 	}

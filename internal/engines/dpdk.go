@@ -81,6 +81,7 @@ type dpdkQueue struct {
 	steered  uint64 // packets re-steered to peers (app offloading)
 	active   bool
 	stats    QueueStats
+	instr    instr
 
 	steerCost, syncCost, pollCost vtime.Time
 	threshold                     int
@@ -113,6 +114,7 @@ func NewDPDK(sched *vtime.Scheduler, n *nic.NIC, costs CostModel, h Handler, cfg
 			sv:        vtime.NewServer(sched, nil),
 			steerCost: cfg.SteerCost, syncCost: cfg.SyncCost, pollCost: cfg.PollCost,
 			threshold: cfg.ThresholdPct * cfg.MempoolSize / 100,
+			instr:     newInstr(n, e.Name(), qi),
 		}
 		armPrivate(q.ring)
 		// The ring's descriptors hold ring-size mbufs; the rest of the
@@ -170,7 +172,10 @@ func (q *dpdkQueue) pullBurst() {
 		pulled++
 	}
 	if pulled > 0 {
+		q.instr.pollsOK.Inc()
 		q.sv.Charge(vtime.Time(pulled) * q.pollCost)
+	} else {
+		q.instr.pollsEmpty.Inc()
 	}
 }
 

@@ -18,6 +18,9 @@
 package engines
 
 import (
+	"strconv"
+
+	"repro/internal/metrics"
 	"repro/internal/nic"
 	"repro/internal/vtime"
 )
@@ -214,6 +217,43 @@ func (a *Thread) complete() {
 	a.pendData, a.pendRelease = nil, nil
 	a.handler.Handle(a.queue, data, ts, done)
 	a.step()
+}
+
+// instr bundles the per-queue hot-path instruments every engine exports:
+// packet copies (the paper's per-packet cost driver), syscall-shaped
+// kernel crossings, and poll outcomes. Each field is a registered
+// metrics.Counter, so updating one is a plain integer add — the receive
+// path stays allocation-free.
+type instr struct {
+	copies      *metrics.Counter // packets copied between buffers
+	copiedBytes *metrics.Counter // bytes moved by those copies
+	syscalls    *metrics.Counter // charged kernel crossings (poll/ioctl/recv)
+	pollsOK     *metrics.Counter // fetch attempts that produced a packet
+	pollsEmpty  *metrics.Counter // fetch attempts that found nothing
+}
+
+// newInstr registers queue q's engine series on the NIC's registry. The
+// engine label keeps different engines (and the same engine on different
+// NICs) apart in one experiment-wide snapshot.
+func newInstr(n *nic.NIC, engine string, queue int) instr {
+	reg := n.Metrics()
+	base := []metrics.Label{
+		metrics.L("engine", engine),
+		metrics.L("nic", strconv.Itoa(n.ID())),
+		metrics.L("queue", strconv.Itoa(queue)),
+	}
+	withOutcome := func(outcome string) []metrics.Label {
+		ls := make([]metrics.Label, len(base), len(base)+1)
+		copy(ls, base)
+		return append(ls, metrics.L("outcome", outcome))
+	}
+	return instr{
+		copies:      reg.Counter("engine_copies_total", base...),
+		copiedBytes: reg.Counter("engine_copied_bytes_total", base...),
+		syscalls:    reg.Counter("engine_syscalls_total", base...),
+		pollsOK:     reg.Counter("engine_polls_total", withOutcome("ok")...),
+		pollsEmpty:  reg.Counter("engine_polls_total", withOutcome("empty")...),
+	}
 }
 
 // armPrivate fills every descriptor of a ring with engine-private buffers

@@ -66,6 +66,10 @@ type pfringQueue struct {
 	relFn func() // bound once; handed out by fetch for every packet
 
 	stats QueueStats
+	instr instr
+	// perPktSyscall charges a kernel crossing per delivered packet: the
+	// PF_PACKET recvfrom path, versus PF_RING's mmap'd ring.
+	perPktSyscall bool
 }
 
 // PFRingBufferSlots is the default pf_ring capacity; the paper sets it to
@@ -95,7 +99,10 @@ func NewRawSocket(sched *vtime.Scheduler, n *nic.NIC, costs CostModel, h Handler
 func newTypeI(name string, sched *vtime.Scheduler, n *nic.NIC, costs CostModel, h Handler, slots int, kernelExtra vtime.Time) *PFRing {
 	e := &PFRing{name: name, sched: sched, n: n, costs: costs, kernelExtra: kernelExtra}
 	for qi := 0; qi < n.RxQueues(); qi++ {
-		q := &pfringQueue{e: e, ring: n.Rx(qi), capacity: slots, core: vtime.NewCore()}
+		q := &pfringQueue{
+			e: e, ring: n.Rx(qi), capacity: slots, core: vtime.NewCore(),
+			instr: newInstr(n, name, qi), perPktSyscall: kernelExtra > 0,
+		}
 		armPrivate(q.ring)
 		q.fifo = make([]pfringSlot, slots)
 		for i := range q.fifo {
@@ -161,6 +168,8 @@ func (q *pfringQueue) kernelStep() {
 func (q *pfringQueue) kernelCopyDone() {
 	idx := q.kpend
 	dd := q.ring.Desc(idx)
+	q.instr.copies.Inc()
+	q.instr.copiedBytes.Add(uint64(dd.Len))
 	if q.used+q.held < q.capacity {
 		slot := &q.fifo[(q.head+q.used)%q.capacity]
 		copy(slot.data, dd.Buf[:dd.Len])
@@ -182,6 +191,8 @@ func (q *pfringQueue) kernelCopyDone() {
 // kernel cannot overwrite a packet that is still being processed.
 func (q *pfringQueue) fetch() ([]byte, vtime.Time, func(), bool) {
 	if q.used == 0 {
+		q.instr.pollsEmpty.Inc()
+		q.instr.syscalls.Inc() // poll() before blocking
 		return nil, 0, nil, false
 	}
 	slot := &q.fifo[q.head]
@@ -189,6 +200,10 @@ func (q *pfringQueue) fetch() ([]byte, vtime.Time, func(), bool) {
 	q.used--
 	q.held++
 	q.stats.Delivered++
+	q.instr.pollsOK.Inc()
+	if q.perPktSyscall {
+		q.instr.syscalls.Inc() // recvfrom per packet
+	}
 	return slot.data[:slot.n], slot.ts, q.relFn, true
 }
 

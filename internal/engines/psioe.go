@@ -39,6 +39,7 @@ type psioeQueue struct {
 	tail   int // next ring descriptor to copy from
 	active bool
 	stats  QueueStats
+	instr  instr
 
 	// Bound functions and scratch reused across packets/batches so the
 	// steady-state path allocates nothing: batch holds the descriptor
@@ -56,7 +57,10 @@ type psioeQueue struct {
 func NewPSIOE(sched *vtime.Scheduler, n *nic.NIC, costs CostModel, h Handler) *PSIOE {
 	e := &PSIOE{sched: sched, n: n, costs: costs, h: h}
 	for qi := 0; qi < n.RxQueues(); qi++ {
-		q := &psioeQueue{e: e, queue: qi, ring: n.Rx(qi), sv: vtime.NewServer(sched, nil)}
+		q := &psioeQueue{
+			e: e, queue: qi, ring: n.Rx(qi), sv: vtime.NewServer(sched, nil),
+			instr: newInstr(n, "PSIOE", qi),
+		}
 		armPrivate(q.ring)
 		q.ubuf = make([]pfringSlot, PSIOEBufferSlots)
 		for i := range q.ubuf {
@@ -92,6 +96,7 @@ func (q *psioeQueue) step() {
 		q.used--
 		q.held++
 		q.stats.Delivered++
+		q.instr.pollsOK.Inc()
 		q.pendData, q.pendTS = slot.data[:slot.n], slot.ts
 		cost := q.e.h.Cost(q.queue, q.pendData)
 		q.sv.ChargeAndCall(cost, q.procFn)
@@ -110,9 +115,12 @@ func (q *psioeQueue) step() {
 		copyCost += q.e.costs.CopyCost(d.Len)
 	}
 	if len(q.batch) == 0 {
+		q.instr.pollsEmpty.Inc()
 		q.active = false
 		return
 	}
+	// One kernel crossing releases the whole batch's descriptors.
+	q.instr.syscalls.Inc()
 	q.sv.ChargeAndCall(copyCost, q.copyFn)
 }
 
@@ -133,6 +141,8 @@ func (q *psioeQueue) copyBatchDone() {
 		slot.n = d.Len
 		slot.ts = d.TS
 		q.used++
+		q.instr.copies.Inc()
+		q.instr.copiedBytes.Add(uint64(d.Len))
 		q.ring.Refill(idx, d.Buf)
 	}
 	q.step()

@@ -40,6 +40,7 @@ type typeIIQueue struct {
 	// construction so the per-packet fetch path allocates nothing.
 	releases []func()
 	stats    QueueStats
+	instr    instr
 }
 
 // NewDNA builds a DNA-like engine on every queue of n, delivering to h.
@@ -55,7 +56,7 @@ func NewNETMAP(sched *vtime.Scheduler, n *nic.NIC, costs CostModel, h Handler) *
 func newTypeII(name string, sched *vtime.Scheduler, n *nic.NIC, costs CostModel, h Handler, batch bool) *TypeII {
 	e := &TypeII{name: name, sched: sched, n: n, costs: costs, batchRelease: batch}
 	for qi := 0; qi < n.RxQueues(); qi++ {
-		q := &typeIIQueue{e: e, ring: n.Rx(qi)}
+		q := &typeIIQueue{e: e, ring: n.Rx(qi), instr: newInstr(n, name, qi)}
 		armPrivate(q.ring)
 		q.pending = make([]int, 0, q.ring.Size())
 		q.releases = make([]func(), q.ring.Size())
@@ -80,7 +81,10 @@ func (q *typeIIQueue) fetch() ([]byte, vtime.Time, func(), bool) {
 	d := q.ring.Desc(q.tail)
 	if d.State != nic.DescUsed || q.inHand >= q.ring.Size() {
 		// Nothing consumable: sync boundary. NETMAP returns all consumed
-		// descriptors to the NIC here.
+		// descriptors to the NIC here. Either way the thread re-enters the
+		// kernel (poll/NIOCRXSYNC) before blocking.
+		q.instr.pollsEmpty.Inc()
+		q.instr.syscalls.Inc()
 		q.releaseBatch()
 		return nil, 0, nil, false
 	}
@@ -88,6 +92,7 @@ func (q *typeIIQueue) fetch() ([]byte, vtime.Time, func(), bool) {
 	q.tail = (q.tail + 1) % q.ring.Size()
 	q.inHand++
 	q.stats.Delivered++
+	q.instr.pollsOK.Inc()
 	return d.Buf[:d.Len], d.TS, q.releases[idx], true
 }
 

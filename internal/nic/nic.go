@@ -8,8 +8,10 @@ package nic
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/bus"
+	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/vtime"
 )
@@ -45,6 +47,12 @@ type Config struct {
 	// Promiscuous captures every frame regardless of destination MAC.
 	// Packet capture puts the NIC in promiscuous mode (paper §1).
 	Promiscuous bool
+	// Metrics is the registry the NIC (and the capture engine built on
+	// it) exports observability series into; nil means a private one.
+	// All NIC series are function-backed: they sample the existing ring
+	// counters only at snapshot time, so the receive hot path is
+	// untouched.
+	Metrics *metrics.Registry
 }
 
 // LineRate10G is 10 Gb/s in bits per second.
@@ -85,6 +93,7 @@ type NIC struct {
 	tx       []*TxRing
 	bus      *bus.Bus
 	steering Steering
+	metrics  *metrics.Registry
 
 	delivered uint64
 	filtered  uint64
@@ -128,8 +137,47 @@ func New(sched *vtime.Scheduler, cfg Config) *NIC {
 	for i := 0; i < cfg.TxQueues; i++ {
 		n.tx = append(n.tx, newTxRing(i, txRing, sched, bytesPerSec))
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	n.metrics = cfg.Metrics
+	n.register()
 	return n
 }
+
+// register exports the NIC's counters as function-backed metric series:
+// sampled at snapshot time, free on the per-packet path.
+func (n *NIC) register() {
+	reg := n.metrics
+	nicL := metrics.L("nic", strconv.Itoa(n.cfg.ID))
+	reg.CounterFunc("nic_frames_offered_total", func() uint64 { return n.delivered }, nicL)
+	reg.CounterFunc("nic_frames_filtered_total", func() uint64 { return n.filtered }, nicL)
+	reg.CounterFunc("nic_frames_undecoded_total", func() uint64 { return n.undecoded }, nicL)
+	for _, r := range n.rx {
+		r := r
+		qL := metrics.L("queue", strconv.Itoa(r.id))
+		reg.CounterFunc("nic_rx_received_total", func() uint64 { return r.stats.Received }, nicL, qL)
+		reg.CounterFunc("nic_rx_bytes_total", func() uint64 { return r.stats.Bytes }, nicL, qL)
+		// Descriptor depletion: arrivals that found no ready descriptor.
+		reg.CounterFunc("nic_rx_desc_depleted_total", func() uint64 { return r.stats.WireDrops }, nicL, qL)
+		reg.CounterFunc("nic_rx_bus_drops_total", func() uint64 { return r.stats.BusDrops }, nicL, qL)
+		// Ring occupancy: descriptors currently able to receive.
+		reg.GaugeFunc("nic_rx_ring_ready", func() int64 { return int64(r.ReadyCount()) }, nicL, qL)
+	}
+	for _, t := range n.tx {
+		t := t
+		qL := metrics.L("queue", strconv.Itoa(t.id))
+		reg.CounterFunc("nic_tx_sent_total", func() uint64 { return t.stats.Sent }, nicL, qL)
+		reg.CounterFunc("nic_tx_bytes_total", func() uint64 { return t.stats.Bytes }, nicL, qL)
+		reg.CounterFunc("nic_tx_ring_full_total", func() uint64 { return t.stats.RingFull }, nicL, qL)
+		reg.GaugeFunc("nic_tx_queued", func() int64 { return int64(len(t.queue)) }, nicL, qL)
+	}
+}
+
+// Metrics returns the registry the NIC exports into; capture engines
+// built on this NIC register their own series here, so one experiment's
+// whole stack lands in one snapshot.
+func (n *NIC) Metrics() *metrics.Registry { return n.metrics }
 
 // ID returns the NIC's identifier.
 func (n *NIC) ID() int { return n.cfg.ID }
