@@ -11,7 +11,7 @@
 
 GO ?= go
 
-.PHONY: ci check fmt-check vet build test race gate bench bench-check baselines all
+.PHONY: ci check fmt-check vet build test race gate bench bench-check baselines chaos all
 
 all: check
 
@@ -40,6 +40,9 @@ gate:
 
 baselines:
 	$(GO) run ./cmd/ci-gate -update
+
+chaos:
+	$(GO) run ./cmd/experiments -run chaos
 
 bench:
 	$(GO) run ./cmd/vtime-bench -o BENCH_vtime.json

@@ -75,6 +75,17 @@ func main() {
 			break
 		}
 	}
+	w.Flush()
+	// A source that stopped on a read error (truncated file, implausible
+	// record length, ...) rather than clean EOF must fail the command,
+	// not just fall silent mid-file.
+	if es, ok := src.(interface{ Err() error }); ok {
+		if err := es.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "wiredump:", err)
+			closeFn()
+			os.Exit(1)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "%d packets matched\n", matched)
 }
 

@@ -152,7 +152,7 @@ func AblationSteering(opt Options) (Table, error) {
 		drops := st.Sent - h.processed
 		t.Rows = append(t.Rows, []string{
 			name,
-			pct(float64(drops) / float64(st.Sent)),
+			pct(ratio(drops, st.Sent)),
 			fmt.Sprintf("%d of %d", len(h.split), len(h.queue)),
 		})
 	}
@@ -214,7 +214,7 @@ func Extension40GE(opt Options) (Table, error) {
 		st := trace.Drive(sched, n, src, nil)
 		sched.Run()
 		ns := n.Stats()
-		drop := float64(st.Sent-uint64(h.Processed)) / float64(st.Sent)
+		drop := ratio(st.Sent-uint64(h.Processed), st.Sent)
 		_ = ns
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", queues),

@@ -116,6 +116,16 @@ func (t Table) Write(w io.Writer) error {
 
 func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 
+// ratio divides two counters, mapping the nothing-offered case to 0
+// instead of NaN (a run whose source emitted no packets has no drop
+// rate, not an undefined one).
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
 // Fig3 reproduces Figure 3 (and Experiment 1): the per-queue load time
 // series of the border-router trace captured with DNA and profiled in
 // 10 ms bins. The table reports summary statistics; Series returns the
@@ -415,6 +425,8 @@ func ByName(name string, opt Options, w io.Writer) error {
 		return runAndWrite(Fig14, opt, w)
 	case "ablations":
 		return Ablations(opt, w)
+	case "chaos":
+		return Chaos(opt, w)
 	case "all":
 		if err := All(opt, w); err != nil {
 			return err

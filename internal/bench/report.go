@@ -122,11 +122,23 @@ func (rr RunReport) KeyMetrics() map[string]float64 {
 		m["processed"] = float64(rr.Handler.Processed)
 		m["matched"] = float64(rr.Handler.Matched)
 	}
+	if v := rr.Totals.CorruptDrops; v > 0 {
+		m["corrupt_drops"] = float64(v)
+	}
+	if v := rr.Totals.ReclaimDrops; v > 0 {
+		m["reclaim_drops"] = float64(v)
+	}
 	for name, key := range map[string]string{
-		"engine_copies_total":            "copies",
-		"engine_syscalls_total":          "syscalls",
-		"wirecap_chunks_captured_total":  "chunks_captured",
-		"wirecap_chunks_offloaded_total": "chunks_offloaded",
+		"engine_copies_total":             "copies",
+		"engine_syscalls_total":           "syscalls",
+		"wirecap_chunks_captured_total":   "chunks_captured",
+		"wirecap_chunks_offloaded_total":  "chunks_offloaded",
+		"faults_injected_total":           "faults_injected",
+		"faults_corrupted_frames_total":   "corrupted_frames",
+		"wirecap_quarantines_total":       "quarantines",
+		"wirecap_handler_failovers_total": "handler_failovers",
+		"wirecap_chunks_reclaimed_total":  "chunks_reclaimed",
+		"wirecap_alloc_retries_total":     "alloc_retries",
 	} {
 		if v := rr.Metrics.CounterTotal(name); v > 0 {
 			m[key] = float64(v)

@@ -53,7 +53,7 @@ func CIScenarios() []Scenario {
 			return res.Report(name), nil
 		}}
 	}
-	return []Scenario{
+	scenarios := []Scenario{
 		constant("constant_wirecapb_x300",
 			"Fig 9 setup: WireCAP-B-(256,100) at wire rate, heavy handler",
 			WireCAPB(256, 100), 50_000),
@@ -70,6 +70,7 @@ func CIScenarios() []Scenario {
 			"Table 1 setup: NETMAP (Type-II, batch release) on the border trace",
 			NETMAP, 0.3, 13),
 	}
+	return append(scenarios, ChaosScenarios()...)
 }
 
 // WriteReports runs every CI scenario and writes the reports to w as

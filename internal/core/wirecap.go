@@ -7,10 +7,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 
 	"repro/internal/engines"
+	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/nic"
@@ -93,6 +95,18 @@ type Config struct {
 	Costs engines.CostModel
 	// Seed drives the random offload policy.
 	Seed uint64
+	// Faults is the run's fault injector; nil falls back to the NIC's
+	// (set via nic.Config.Faults). With an injector present the engine
+	// also activates its recovery machinery unless DisableRecovery.
+	Faults *faults.Injector
+	// WatchdogInterval is the recovery watchdog's tick period. Default
+	// DefaultWatchdogInterval.
+	WatchdogInterval vtime.Time
+	// DisableRecovery takes the faults but not the cure: injection
+	// points stay active while the watchdog, retries, quarantine, and
+	// integrity validation are off — the ablation configuration that
+	// shows what the recovery machinery buys.
+	DisableRecovery bool
 }
 
 // DefaultFlushTimeout keeps delivery latency bounded at a fraction of the
@@ -108,6 +122,14 @@ type QueueStats struct {
 	ChunksFlushed   uint64 // partial chunks delivered by timeout copy
 	FlushedPackets  uint64 // packets delivered through flush copies
 	PoolExhausted   uint64 // arm attempts that found no free chunk
+
+	// Recovery counters; all zero on well-behaved runs.
+	Quarantines      uint64 // times this queue was declared dead
+	HandlerFailovers uint64 // backlog hand-offs to a live buddy
+	ChunksReclaimed  uint64 // chunks force-reclaimed by recovery
+	AllocFaults      uint64 // transient injected allocation failures
+	AllocRetries     uint64 // backoff retries scheduled for those
+	ReSteeredEntries uint64 // steering entries rewritten at quarantine
 }
 
 // Engine is the WireCAP capture engine bound to one NIC.
@@ -120,6 +142,14 @@ type Engine struct {
 	queues  []*wqueue
 	rrState int // round-robin offload pointer
 	closed  bool
+
+	// Fault injection and recovery. recovery is true when an injector is
+	// present and recovery was not disabled; wd is the engine-wide
+	// watchdog timer, stopped whenever every queue is idle and re-armed
+	// by fault activations and fresh work (see armWatchdog).
+	inj      *faults.Injector
+	recovery bool
+	wd       *vtime.Timer
 
 	sharedCapture *vtime.Server
 
@@ -167,8 +197,13 @@ type wqueue struct {
 	starved  []int     // descriptor indices waiting for cells, in use order
 
 	// Frontier flush timer, reused for the queue's lifetime.
-	flushTimer  *vtime.Timer
-	flushTarget *mem.Chunk
+	// flushRetries counts consecutive timeouts that found no free chunk
+	// to copy into; past maxFlushRetries the pending window is reclaimed
+	// instead of retried (with a pool no larger than the ring, a free
+	// chunk may never appear and unbounded retry would livelock).
+	flushTimer   *vtime.Timer
+	flushTarget  *mem.Chunk
+	flushRetries int
 
 	// Capture thread. capPending holds chunks whose capture ioctl has
 	// been charged but not completed (FIFO, popped by captureFn);
@@ -190,6 +225,23 @@ type wqueue struct {
 	buddies []*wqueue
 
 	stats QueueStats
+
+	// Recovery state. dead marks a quarantined queue; rerouted marks a
+	// queue whose consumer wedged and whose chunks now flow to rerouteTo
+	// (sticky for the run — resuming self-delivery while the buddy still
+	// holds older chunks would reorder flows). retryTimer drives the
+	// bounded backoff for transient allocation faults; the wd* fields
+	// are the watchdog's last-tick snapshots.
+	dead         bool
+	rerouted     bool
+	rerouteTo    *wqueue
+	retryTimer   *vtime.Timer
+	retryAttempt int
+	wdReceived   uint64
+	wdFaultDrops uint64
+	wdDelivered  uint64
+	stallTicks   int
+	wedgeTicks   int
 
 	// Latency histograms: enqueue-to-completion of the chunk-granular
 	// operations, in virtual nanoseconds. Record is allocation-free.
@@ -220,7 +272,15 @@ func New(sched *vtime.Scheduler, n *nic.NIC, cfg Config, h engines.Handler) (*En
 	if cfg.ThreadsPerQueue <= 0 {
 		cfg.ThreadsPerQueue = 1
 	}
+	if cfg.Faults == nil {
+		cfg.Faults = n.Faults()
+	}
+	if cfg.WatchdogInterval <= 0 {
+		cfg.WatchdogInterval = DefaultWatchdogInterval
+	}
 	e := &Engine{sched: sched, n: n, cfg: cfg, rnd: vtime.NewRand(cfg.Seed + 3)}
+	e.inj = cfg.Faults
+	e.recovery = e.inj != nil && !cfg.DisableRecovery
 	if cfg.SharedCaptureCore {
 		e.sharedCapture = vtime.NewServer(sched, nil)
 	}
@@ -239,9 +299,24 @@ func New(sched *vtime.Scheduler, n *nic.NIC, cfg Config, h engines.Handler) (*En
 		q.captureFn = q.captureDone
 		q.recycleFn = q.recycleDone
 		for i := 0; i < cfg.ThreadsPerQueue; i++ {
-			q.threads = append(q.threads, engines.NewThread(sched, nil, qi, h, q.fetch))
+			th := engines.NewThread(sched, nil, qi, h, q.fetch)
+			th.SetFaults(e.inj, n.ID())
+			q.threads = append(q.threads, th)
+		}
+		if e.inj != nil {
+			// Transient allocation faults apply with or without recovery;
+			// only the retry/backoff response below is recovery-gated.
+			qi := qi
+			q.pool.SetAllocFault(func() bool { return e.inj.AllocFails(n.ID(), qi) })
+		}
+		if e.recovery {
+			q.retryTimer = sched.NewTimer(q.allocRetryTick)
 		}
 		e.queues = append(e.queues, q)
+	}
+	if e.recovery {
+		e.wd = sched.Every(cfg.WatchdogInterval, e.watchdogTick)
+		e.inj.OnActivate(e.armWatchdog)
 	}
 	e.register(n)
 	// Buddy groups.
@@ -338,6 +413,18 @@ func (e *Engine) register(n *nic.NIC) {
 		q.capLat = reg.Histogram("wirecap_capture_latency_ns", ls...)
 		q.recLat = reg.Histogram("wirecap_recycle_latency_ns", ls...)
 		q.flushLat = reg.Histogram("wirecap_flush_latency_ns", ls...)
+		if e.inj != nil {
+			// Fault/recovery series exist only on chaos runs so
+			// steady-state snapshots (and digests) are unchanged.
+			reg.CounterFunc("wirecap_corrupt_drops_total", func() uint64 { return q.stats.CorruptDrops }, ls...)
+			reg.CounterFunc("wirecap_reclaim_drops_total", func() uint64 { return q.stats.ReclaimDrops }, ls...)
+			reg.CounterFunc("wirecap_quarantines_total", func() uint64 { return q.stats.Quarantines }, ls...)
+			reg.CounterFunc("wirecap_handler_failovers_total", func() uint64 { return q.stats.HandlerFailovers }, ls...)
+			reg.CounterFunc("wirecap_chunks_reclaimed_total", func() uint64 { return q.stats.ChunksReclaimed }, ls...)
+			reg.CounterFunc("wirecap_alloc_faults_total", func() uint64 { return q.stats.AllocFaults }, ls...)
+			reg.CounterFunc("wirecap_alloc_retries_total", func() uint64 { return q.stats.AllocRetries }, ls...)
+			reg.CounterFunc("wirecap_resteered_entries_total", func() uint64 { return q.stats.ReSteeredEntries }, ls...)
+		}
 	}
 }
 
@@ -355,7 +442,7 @@ func (q *wqueue) arm(i int) bool {
 	if q.armChunk == nil || q.armCell == q.armChunk.Cells() {
 		c, err := q.pool.AllocFree()
 		if err != nil {
-			q.stats.PoolExhausted++
+			q.noteAllocFailure(err)
 			q.ring.Invalidate(i)
 			q.starved = append(q.starved, i)
 			return false
@@ -383,7 +470,18 @@ func (q *wqueue) cellOf(i int) *cellRef {
 func (q *wqueue) onRx(i int) {
 	ref := *q.cellOf(i)
 	d := q.ring.Desc(i)
-	ref.chunk.SetPacket(ref.cell, d.Len, d.TS)
+	if d.Err && q.e.recovery {
+		// Frame-integrity validation: the descriptor's error bit says the
+		// DMA write damaged the frame (bad checksum). The cell was already
+		// consumed by the DMA write, so it is tombstoned — the chunk's
+		// strict in-order fill invariant holds, but the delivery and flush
+		// paths skip the cell. Without recovery the bit is ignored and the
+		// damaged frame is delivered, exactly like the baseline engines.
+		q.stats.CorruptDrops++
+		ref.chunk.MarkBad(ref.cell, d.TS)
+	} else {
+		ref.chunk.SetPacket(ref.cell, d.Len, d.TS)
+	}
 	if ref.chunk.Full() {
 		if q.flushTarget == ref.chunk {
 			q.flushTimer.Stop()
@@ -391,7 +489,9 @@ func (q *wqueue) onRx(i int) {
 		}
 		q.scheduleCapture(ref.chunk)
 	} else if q.e.cfg.FlushTimeout > 0 && ref.chunk.PendingCount() == 1 {
-		// First pending packet in the frontier chunk: bound its delay.
+		// First pending packet in the frontier chunk: bound its delay. A
+		// fresh pending window gets a fresh retry budget.
+		q.flushRetries = 0
 		q.armFlush(ref.chunk)
 	}
 	// Re-arm the descriptor immediately: the packet's bytes live in the
@@ -414,7 +514,7 @@ func (q *wqueue) rearmStarved() {
 		if q.armChunk == nil || q.armCell == q.armChunk.Cells() {
 			c, err := q.pool.AllocFree()
 			if err != nil {
-				q.stats.PoolExhausted++
+				q.noteAllocFailure(err)
 				return
 			}
 			q.armChunk = c
@@ -427,6 +527,22 @@ func (q *wqueue) rearmStarved() {
 		q.cellOf(i).chunk = q.armChunk
 		q.cellOf(i).cell = cell
 	}
+	// Fully re-armed: the next transient-fault episode gets a fresh
+	// backoff ladder.
+	q.retryAttempt = 0
+}
+
+// noteAllocFailure classifies an AllocFree error: genuine pool
+// exhaustion is the paper's §3.2.1 capture-drop path, while an injected
+// transient failure additionally schedules a bounded retry with
+// exponential backoff (the chunk is there; the allocator just failed).
+func (q *wqueue) noteAllocFailure(err error) {
+	if errors.Is(err, mem.ErrTransientAlloc) {
+		q.stats.AllocFaults++
+		q.scheduleAllocRetry()
+		return
+	}
+	q.stats.PoolExhausted++
 }
 
 // armFlush schedules the partial-chunk timeout for the frontier chunk by
@@ -462,6 +578,17 @@ func (q *wqueue) captureDone() {
 	copy(q.capPendingAt, q.capPendingAt[1:])
 	q.capPendingAt = q.capPendingAt[:len(q.capPendingAt)-1]
 	q.capLat.Record(int64(q.e.sched.Now() - at))
+	if q.dead {
+		// The queue was quarantined while this chunk waited for its
+		// capture ioctl (the quarantine sweep skipped it for exactly this
+		// moment). Its packets die here as reclaim drops.
+		q.stats.ReclaimDrops += uint64(c.GoodPending())
+		q.stats.ChunksReclaimed++
+		if err := q.pool.Reclaim(c); err != nil {
+			panic(fmt.Sprintf("core: reclaim of quarantined chunk failed: %v", err))
+		}
+		return
+	}
 	meta, err := q.pool.Capture(c)
 	if err != nil {
 		panic(fmt.Sprintf("core: capture of full chunk failed: %v", err))
@@ -495,16 +622,24 @@ func (e *Engine) freeHanded(h *handedChunk) {
 }
 
 // kick wakes every application thread serving this queue's work-queue
-// pair.
+// pair, and makes sure the watchdog is ticking while there is work it
+// might have to rescue (new chunks can land on a crashed queue while
+// the watchdog sleeps).
 func (q *wqueue) kick() {
+	q.e.armWatchdog()
 	for _, th := range q.threads {
 		th.Kick()
 	}
 }
 
 // chooseTarget implements the advanced-mode offloading decision (§3.2.2a
-// steps 1.b-1.d).
+// steps 1.b-1.d), extended by recovery: a rerouted queue sends every
+// chunk to its sticky failover target, and offloading never picks a
+// quarantined or rerouted buddy.
 func (q *wqueue) chooseTarget() *wqueue {
+	if q.rerouted && q.rerouteTo != nil && !q.rerouteTo.dead {
+		return q.rerouteTo
+	}
 	if q.e.cfg.Mode != Advanced || len(q.buddies) <= 1 {
 		return q
 	}
@@ -515,12 +650,21 @@ func (q *wqueue) chooseTarget() *wqueue {
 	switch q.e.cfg.Policy {
 	case OffloadRoundRobin:
 		q.e.rrState++
-		return q.buddies[q.e.rrState%len(q.buddies)]
+		if b := q.buddies[q.e.rrState%len(q.buddies)]; !b.dead && !b.rerouted {
+			return b
+		}
+		return q
 	case OffloadRandom:
-		return q.buddies[q.e.rnd.Intn(len(q.buddies))]
+		if b := q.buddies[q.e.rnd.Intn(len(q.buddies))]; !b.dead && !b.rerouted {
+			return b
+		}
+		return q
 	default:
 		best := q
 		for _, b := range q.buddies {
+			if b.dead || b.rerouted {
+				continue
+			}
 			if len(b.captureQ) < len(best.captureQ) {
 				best = b
 			}
@@ -535,38 +679,67 @@ func (q *wqueue) flush(c *mem.Chunk) {
 	if c.State() != mem.StateAttached || c.PendingCount() == 0 || c.Full() {
 		return
 	}
+	if c.GoodPending() == 0 {
+		// Only corrupt tombstones pending: nothing to deliver. Drop them
+		// from the pending window without spending a chunk or a copy.
+		c.SetBase(c.Count())
+		return
+	}
 	f, err := q.pool.AllocFree()
 	if err != nil {
+		if q.e.recovery && q.flushRetries >= maxFlushRetries {
+			// The pool has had no free chunk for maxFlushRetries consecutive
+			// timeouts. When pool capacity barely covers the ring every chunk
+			// can stay attached forever, so retrying would never terminate —
+			// emergency-reclaim the pending window instead, explicitly
+			// accounted, and let the chunk keep receiving. Without recovery
+			// the retry keeps the pre-fault behavior: on a healthy run the
+			// pool refills as the consumer drains and a later retry succeeds.
+			q.flushRetries = 0
+			q.stats.ReclaimDrops += uint64(c.GoodPending())
+			c.SetBase(c.Count())
+			return
+		}
 		// No free chunk to copy into; retry after another timeout so the
 		// packets are not held indefinitely.
+		q.flushRetries++
 		q.armFlush(c)
 		return
 	}
-	k := c.PendingCount()
+	q.flushRetries = 0
 	var cost vtime.Time = q.e.cfg.Costs.ChunkOp
-	base := c.Base()
-	for i := 0; i < k; i++ {
-		data, _ := c.Packet(base + i)
+	for i := c.Base(); i < c.Count(); i++ {
+		if c.Bad(i) {
+			continue
+		}
+		data, _ := c.Packet(i)
 		cost += q.e.cfg.Costs.CopyCost(len(data))
 	}
 	flushStart := q.e.sched.Now()
 	q.capSv.ChargeAndCall(cost, func() {
 		// Validate again at execution time: the chunk may have filled and
 		// been captured while the copy op waited.
-		if c.State() != mem.StateAttached || c.PendingCount() == 0 {
-			// Nothing to do; return f unused.
+		if c.State() != mem.StateAttached || c.GoodPending() == 0 {
+			// Nothing to do; return f unused. Any pending tombstones can be
+			// dropped from the window while we are here.
+			if c.State() == mem.StateAttached && c.PendingCount() > 0 {
+				c.SetBase(c.Count())
+			}
 			fm, err := q.pool.Capture(f)
 			if err == nil {
 				_ = q.pool.Recycle(fm)
 			}
 			return
 		}
-		k := c.PendingCount()
-		base := c.Base()
-		for i := 0; i < k; i++ {
-			data, ts := c.Packet(base + i)
-			copy(f.Cell(i), data)
-			f.SetPacket(i, len(data), ts)
+		k := 0
+		for i := c.Base(); i < c.Count(); i++ {
+			if c.Bad(i) {
+				continue
+			}
+			data, ts := c.Packet(i)
+			copy(f.Cell(k), data)
+			f.SetPacket(k, len(data), ts)
+			k++
 		}
 		c.SetBase(c.Count())
 		meta, err := q.pool.Capture(f)
@@ -620,6 +793,11 @@ func (q *wqueue) fetch() ([]byte, vtime.Time, func(), bool) {
 		}
 		idx := h.chunk.Base() + h.next
 		h.next++
+		if h.chunk.Bad(idx) {
+			// Corrupt-frame tombstone: already accounted as a corrupt drop
+			// at receive time.
+			continue
+		}
 		h.outstanding++
 		q.stats.Delivered++
 		data, ts := h.chunk.Packet(idx)
@@ -705,10 +883,16 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	e.closed = true
+	if e.wd != nil {
+		e.wd.Stop()
+	}
 	var firstErr error
 	for _, q := range e.queues {
 		q.flushTimer.Stop()
 		q.flushTarget = nil
+		if q.retryTimer != nil {
+			q.retryTimer.Stop()
+		}
 		q.ring.OnRx(nil)
 		for i := 0; i < q.ring.Size(); i++ {
 			q.ring.Invalidate(i)

@@ -20,6 +20,7 @@ package engines
 import (
 	"strconv"
 
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/nic"
 	"repro/internal/vtime"
@@ -91,18 +92,27 @@ type Handler interface {
 }
 
 // QueueStats reports one queue's fate accounting. CaptureDrops come from
-// the NIC ring (no ready descriptor / bus exhausted); DeliveryDrops are
-// packets captured off the wire but lost before the application saw them
-// (intermediate buffer overflow — only Type-I style engines have any).
+// the NIC ring (no ready descriptor / bus exhausted / injected NIC
+// faults); DeliveryDrops are packets captured off the wire but lost
+// before the application saw them (intermediate buffer overflow, or a
+// backlog discarded when recovery quarantines a dead queue);
+// CorruptDrops are frames rejected by integrity validation; and
+// ReclaimDrops are packets discarded by emergency chunk reclamation
+// under pool exhaustion. The four drop classes are disjoint: every lost
+// packet is counted in exactly one.
 type QueueStats struct {
 	Received      uint64 // packets that reached host memory
 	CaptureDrops  uint64
 	DeliveryDrops uint64
+	CorruptDrops  uint64 `json:",omitempty"`
+	ReclaimDrops  uint64 `json:",omitempty"`
 	Delivered     uint64 // packets handed to the application
 }
 
 // Total drops regardless of kind, the paper's comparison metric.
-func (s QueueStats) TotalDrops() uint64 { return s.CaptureDrops + s.DeliveryDrops }
+func (s QueueStats) TotalDrops() uint64 {
+	return s.CaptureDrops + s.DeliveryDrops + s.CorruptDrops + s.ReclaimDrops
+}
 
 // Stats is an engine-wide snapshot.
 type Stats struct {
@@ -117,6 +127,8 @@ func (s Stats) Totals() QueueStats {
 		t.Received += q.Received
 		t.CaptureDrops += q.CaptureDrops
 		t.DeliveryDrops += q.DeliveryDrops
+		t.CorruptDrops += q.CorruptDrops
+		t.ReclaimDrops += q.ReclaimDrops
 		t.Delivered += q.Delivered
 	}
 	return t
@@ -155,6 +167,15 @@ type Thread struct {
 	fetch  func() (data []byte, ts vtime.Time, release func(), ok bool)
 	active bool
 
+	// Fault-injection state: inj answers "is this thread crashed, stalled,
+	// or slowed right now" (nil-safe, so well-behaved runs carry no
+	// checks beyond one nil test). parked is true while the thread sits
+	// out a stall window; resumeFn is the bound wake-up event.
+	inj      *faults.Injector
+	injNIC   int
+	parked   bool
+	resumeFn func()
+
 	// In-flight packet state, parked here between the charge and its
 	// completion event so the per-packet path allocates no closure. A
 	// thread processes one packet at a time (it is a single core), so one
@@ -180,13 +201,23 @@ func NewThread(sched *vtime.Scheduler, core *vtime.Core, queue int, h Handler,
 		fetch:   fetch,
 	}
 	a.completeFn = a.complete
+	a.resumeFn = a.resume
 	return a
 }
 
+// SetFaults binds the thread to the run's fault injector (nil is fine)
+// so consumer-side faults — slow, stalled, crashed handlers — apply.
+// The queue the thread was built with addresses the fault.
+func (a *Thread) SetFaults(inj *faults.Injector, nicID int) {
+	a.inj = inj
+	a.injNIC = nicID
+}
+
 // Kick wakes the thread if it is blocked; engines call it whenever new
-// data may be available.
+// data may be available. A thread parked in a stall window stays parked
+// (its wake-up event is already scheduled).
 func (a *Thread) Kick() {
-	if a.active {
+	if a.active || a.parked {
 		return
 	}
 	a.active = true
@@ -196,18 +227,49 @@ func (a *Thread) Kick() {
 // Busy returns the thread's cumulative CPU time.
 func (a *Thread) Busy() vtime.Time { return a.sv.Charged() }
 
+// Working reports whether the thread is mid-charge on a packet right
+// now. Recovery uses it to distinguish "slow but progressing" from
+// "wedged": a crashed or parked thread is not working.
+func (a *Thread) Working() bool { return a.active }
+
 func (a *Thread) step() {
+	if a.inj != nil {
+		if a.inj.HandlerCrashed(a.injNIC, a.queue) {
+			// The thread is dead: never fetch again. The in-flight packet
+			// (if any) already completed; everything behind it backs up.
+			a.active = false
+			return
+		}
+		if until, ok := a.inj.HandlerStalled(a.injNIC, a.queue); ok {
+			a.active = false
+			a.parked = true
+			a.sched.At(until, a.resumeFn)
+			return
+		}
+	}
 	data, ts, release, ok := a.fetch()
 	if !ok {
 		a.active = false
 		return
 	}
 	cost := a.handler.Cost(a.queue, data)
+	if a.inj != nil {
+		if f := a.inj.HandlerSlowdown(a.injNIC, a.queue); f > 1 {
+			cost = vtime.Time(float64(cost) * f)
+		}
+	}
 	if release == nil {
 		release = noRelease
 	}
 	a.pendData, a.pendTS, a.pendRelease = data, ts, release
 	a.sv.ChargeAndCall(cost, a.completeFn)
+}
+
+// resume runs at the end of a stall window and picks the backlog back up.
+func (a *Thread) resume() {
+	a.parked = false
+	a.active = true
+	a.step()
 }
 
 // complete runs at processing-completion time: handler side effects, then

@@ -113,6 +113,7 @@ func newTypeI(name string, sched *vtime.Scheduler, n *nic.NIC, costs CostModel, 
 		q.tick = sched.NewTimer(q.utilizationTick)
 		q.relFn = func() { q.held-- }
 		q.thread = NewThread(sched, q.core, qi, h, q.fetch)
+		q.thread.SetFaults(n.Faults(), n.ID())
 		q.ring.OnRx(func(int) { q.kickKernel() })
 		e.queues = append(e.queues, q)
 	}

@@ -1,6 +1,7 @@
 package engines
 
 import (
+	"repro/internal/faults"
 	"repro/internal/nic"
 	"repro/internal/vtime"
 )
@@ -38,8 +39,13 @@ type psioeQueue struct {
 	held   int // slots dispatched to the handler, not yet released
 	tail   int // next ring descriptor to copy from
 	active bool
+	parked bool // sitting out a handler-stall window
 	stats  QueueStats
 	instr  instr
+
+	inj      *faults.Injector
+	injNIC   int
+	resumeFn func()
 
 	// Bound functions and scratch reused across packets/batches so the
 	// steady-state path allocates nothing: batch holds the descriptor
@@ -60,7 +66,9 @@ func NewPSIOE(sched *vtime.Scheduler, n *nic.NIC, costs CostModel, h Handler) *P
 		q := &psioeQueue{
 			e: e, queue: qi, ring: n.Rx(qi), sv: vtime.NewServer(sched, nil),
 			instr: newInstr(n, "PSIOE", qi),
+			inj:   n.Faults(), injNIC: n.ID(),
 		}
+		q.resumeFn = q.resume
 		armPrivate(q.ring)
 		q.ubuf = make([]pfringSlot, PSIOEBufferSlots)
 		for i := range q.ubuf {
@@ -80,16 +88,36 @@ func NewPSIOE(sched *vtime.Scheduler, n *nic.NIC, costs CostModel, h Handler) *P
 func (e *PSIOE) Name() string { return "PSIOE" }
 
 func (q *psioeQueue) kick() {
-	if q.active {
+	if q.active || q.parked {
 		return
 	}
 	q.active = true
 	q.step()
 }
 
+// resume runs at the end of a handler-stall window.
+func (q *psioeQueue) resume() {
+	q.parked = false
+	q.active = true
+	q.step()
+}
+
 // step is the worker loop: process from the user buffer if it has data,
-// otherwise copy a batch in from the ring, otherwise block.
+// otherwise copy a batch in from the ring, otherwise block. The whole
+// loop runs on the application's thread, so a crashed or stalled handler
+// stops the copy side too — PSIOE's cooperative design is exactly why it
+// degrades badly under consumer faults.
 func (q *psioeQueue) step() {
+	if q.inj.HandlerCrashed(q.injNIC, q.queue) {
+		q.active = false
+		return
+	}
+	if until, ok := q.inj.HandlerStalled(q.injNIC, q.queue); ok {
+		q.active = false
+		q.parked = true
+		q.e.sched.At(until, q.resumeFn)
+		return
+	}
 	if q.used > 0 {
 		slot := &q.ubuf[q.head]
 		q.head = (q.head + 1) % len(q.ubuf)
@@ -99,6 +127,9 @@ func (q *psioeQueue) step() {
 		q.instr.pollsOK.Inc()
 		q.pendData, q.pendTS = slot.data[:slot.n], slot.ts
 		cost := q.e.h.Cost(q.queue, q.pendData)
+		if f := q.inj.HandlerSlowdown(q.injNIC, q.queue); f > 1 {
+			cost = vtime.Time(float64(cost) * f)
+		}
 		q.sv.ChargeAndCall(cost, q.procFn)
 		return
 	}

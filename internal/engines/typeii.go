@@ -65,6 +65,7 @@ func newTypeII(name string, sched *vtime.Scheduler, n *nic.NIC, costs CostModel,
 			q.releases[i] = func() { q.release(idx) }
 		}
 		q.thread = NewThread(sched, nil, qi, h, q.fetch)
+		q.thread.SetFaults(n.Faults(), n.ID())
 		q.ring.OnRx(func(int) { q.thread.Kick() })
 		e.queues = append(e.queues, q)
 	}

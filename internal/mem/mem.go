@@ -160,6 +160,35 @@ func (c *Chunk) SetPacket(i, n int, ts vtime.Time) {
 	c.count++
 }
 
+// MarkBad consumes cell i in fill order for a frame whose DMA write was
+// detected as corrupt: the cell is occupied — the strict in-order fill
+// invariant holds — but holds no deliverable packet. Tombstones count in
+// the chunk's metadata pkt_count, so capture/recycle validation is
+// unchanged; delivery paths skip them via Bad.
+func (c *Chunk) MarkBad(i int, ts vtime.Time) {
+	if i != c.count {
+		panic(fmt.Sprintf("mem: out-of-order cell fill %d (count %d) in %v", i, c.count, c.id))
+	}
+	c.lens[i] = -1
+	c.stamps[i] = ts
+	c.count++
+}
+
+// Bad reports whether filled cell i is a corrupt-frame tombstone.
+func (c *Chunk) Bad(i int) bool { return c.lens[i] < 0 }
+
+// GoodPending returns the number of undelivered packets that are
+// deliverable, i.e. PendingCount minus tombstones.
+func (c *Chunk) GoodPending() int {
+	n := 0
+	for i := c.base; i < c.count; i++ {
+		if c.lens[i] >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // Full reports whether every cell holds a packet.
 func (c *Chunk) Full() bool { return c.count == len(c.cells) }
 
@@ -209,16 +238,25 @@ var (
 	ErrNotMapped     = errors.New("mem: pool not mapped into process space")
 	ErrAlreadyMapped = errors.New("mem: pool already mapped")
 	ErrNoFreeChunk   = errors.New("mem: no free chunk in pool")
+	// ErrTransientAlloc is a fault-injected, retryable allocation failure:
+	// the kernel allocator under momentary memory pressure, distinct from
+	// genuine pool exhaustion (ErrNoFreeChunk).
+	ErrTransientAlloc = errors.New("mem: transient allocation failure")
+	// ErrBadReclaim rejects emergency reclamation of a chunk that is free
+	// or still referenced.
+	ErrBadReclaim = errors.New("mem: reclaim of free or referenced chunk")
 )
 
 // PoolStats counts pool-level events.
 type PoolStats struct {
-	Allocated        uint64 // free -> attached transitions
-	Captured         uint64 // attached -> captured transitions
-	Recycled         uint64 // captured -> free transitions
-	RecycleRejected  uint64 // recycle attempts failing validation
-	AllocFailures    uint64 // AllocFree calls that found the pool empty
-	LowWatermarkFree int    // fewest simultaneously free chunks observed
+	Allocated          uint64 // free -> attached transitions
+	Captured           uint64 // attached -> captured transitions
+	Recycled           uint64 // captured -> free transitions
+	RecycleRejected    uint64 // recycle attempts failing validation
+	AllocFailures      uint64 // AllocFree calls that found the pool empty
+	TransientAllocFail uint64 // AllocFree calls failed by fault injection
+	Reclaimed          uint64 // chunks force-reclaimed by recovery
+	LowWatermarkFree   int    // fewest simultaneously free chunks observed
 }
 
 // Pool is a ring buffer pool: R chunks of M cells each, allocated in the
@@ -231,6 +269,11 @@ type Pool struct {
 	free          []*Chunk
 	mapped        bool
 	stats         PoolStats
+
+	// allocFault, when set, fails AllocFree transiently (ErrTransientAlloc)
+	// whenever it returns true. The fault injector installs it; keeping it
+	// a plain func avoids coupling mem to the faults package.
+	allocFault func() bool
 }
 
 // nextBase allocates globally unique simulated physical addresses. It is
@@ -309,9 +352,20 @@ func (p *Pool) Unmap() error {
 // Mapped reports whether the pool is mapped into a process.
 func (p *Pool) Mapped() bool { return p.mapped }
 
+// SetAllocFault installs (or clears, with nil) the transient allocation
+// fault hook consulted by AllocFree.
+func (p *Pool) SetAllocFault(fn func() bool) { p.allocFault = fn }
+
 // AllocFree takes a free chunk and attaches it (free -> attached). The
-// caller ties its cells to a descriptor segment.
+// caller ties its cells to a descriptor segment. A transient injected
+// fault fails the call with ErrTransientAlloc before the free list is
+// consulted — the chunk is there, the allocator just cannot produce it
+// right now, so the caller should retry with backoff.
 func (p *Pool) AllocFree() (*Chunk, error) {
+	if p.allocFault != nil && p.allocFault() {
+		p.stats.TransientAllocFail++
+		return nil, ErrTransientAlloc
+	}
 	if len(p.free) == 0 {
 		p.stats.AllocFailures++
 		return nil, ErrNoFreeChunk
@@ -376,6 +430,35 @@ func (p *Pool) Recycle(m Meta) error {
 	p.free = append(p.free, c)
 	p.stats.Recycled++
 	return nil
+}
+
+// Reclaim force-returns an attached or captured chunk to the free list,
+// discarding its contents — the kernel's emergency path when the pool is
+// exhausted and user space is not recycling. The caller accounts the
+// PendingCount packets it throws away as reclaim drops before calling.
+// Chunks with outstanding transmit references cannot be reclaimed (the
+// wire still reads their cells).
+func (p *Pool) Reclaim(c *Chunk) error {
+	if c.pool != p || c.state == StateFree || c.refs > 0 {
+		return fmt.Errorf("%w: %v state %v refs %d", ErrBadReclaim, c.id, c.state, c.refs)
+	}
+	c.state = StateFree
+	c.count = 0
+	c.base = 0
+	p.free = append(p.free, c)
+	p.stats.Reclaimed++
+	return nil
+}
+
+// ForEachAttached calls fn for every chunk currently attached, in chunk
+// index order (deterministic). Recovery sweeps use it to find the chunks
+// a quarantined queue left tied to descriptors.
+func (p *Pool) ForEachAttached(fn func(*Chunk)) {
+	for _, c := range p.chunks {
+		if c.state == StateAttached {
+			fn(c)
+		}
+	}
 }
 
 // Lookup returns the chunk for an ID, for kernel-side use (the user-space

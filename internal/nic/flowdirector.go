@@ -61,6 +61,29 @@ func (f *FlowDirector) Queue(d *packet.Decoded) (int, bool) {
 	return f.fallback.Queue(d)
 }
 
+// ReSteerQueue implements QueueReSteerer. Perfect-match entries naming
+// the dead queue are deleted (iterating the insertion-order FIFO, never
+// the map, so the rewrite is deterministic); their flows then fall back
+// like any miss. If the fallback can also re-steer, it is rewritten too,
+// so fallen-back flows cannot land on the dead queue either.
+func (f *FlowDirector) ReSteerQueue(dead int, healthy []int) int {
+	moved := 0
+	kept := f.order[:0]
+	for _, key := range f.order {
+		if f.table[key] == dead {
+			delete(f.table, key)
+			moved++
+			continue
+		}
+		kept = append(kept, key)
+	}
+	f.order = kept
+	if rs, ok := f.fallback.(QueueReSteerer); ok {
+		moved += rs.ReSteerQueue(dead, healthy)
+	}
+	return moved
+}
+
 // Stats returns table hits and misses.
 func (f *FlowDirector) Stats() (hits, misses uint64) { return f.hits, f.misses }
 

@@ -11,6 +11,7 @@ import (
 	"strconv"
 
 	"repro/internal/bus"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/vtime"
@@ -53,6 +54,10 @@ type Config struct {
 	// counters only at snapshot time, so the receive hot path is
 	// untouched.
 	Metrics *metrics.Registry
+	// Faults is the run's fault injector; nil means a well-behaved NIC.
+	// Carrying it on the NIC lets every engine constructor pick it up
+	// without signature changes.
+	Faults *faults.Injector
 }
 
 // LineRate10G is 10 Gb/s in bits per second.
@@ -63,6 +68,7 @@ type Stats struct {
 	Delivered uint64 // frames offered to the NIC by the wire
 	Filtered  uint64 // frames ignored by the MAC address filter
 	Undecoded uint64 // frames that failed steering classification
+	LinkDrops uint64 // frames lost on the wire while the link was down
 	Rx        []RxStats
 	Tx        []TxStats
 }
@@ -94,10 +100,12 @@ type NIC struct {
 	bus      *bus.Bus
 	steering Steering
 	metrics  *metrics.Registry
+	faults   *faults.Injector
 
 	delivered uint64
 	filtered  uint64
 	undecoded uint64
+	linkDrops uint64
 
 	dec packet.Decoded // scratch for steering classification
 }
@@ -125,7 +133,7 @@ func New(sched *vtime.Scheduler, cfg Config) *NIC {
 	if cfg.MAC == (packet.MAC{}) {
 		cfg.MAC = packet.MAC{0x02, 0x00, 0x00, 0x00, 0x00, byte(cfg.ID + 1)}
 	}
-	n := &NIC{cfg: cfg, sched: sched, bus: cfg.Bus, steering: cfg.Steering}
+	n := &NIC{cfg: cfg, sched: sched, bus: cfg.Bus, steering: cfg.Steering, faults: cfg.Faults}
 	for i := 0; i < cfg.RxQueues; i++ {
 		n.rx = append(n.rx, newRxRing(cfg.ID, i, cfg.RingSize))
 	}
@@ -163,6 +171,16 @@ func (n *NIC) register() {
 		reg.CounterFunc("nic_rx_bus_drops_total", func() uint64 { return r.stats.BusDrops }, nicL, qL)
 		// Ring occupancy: descriptors currently able to receive.
 		reg.GaugeFunc("nic_rx_ring_ready", func() int64 { return int64(r.ReadyCount()) }, nicL, qL)
+		if n.faults != nil {
+			// Fault-path series only exist on chaos runs, keeping
+			// steady-state snapshots (and their digests) lean.
+			reg.CounterFunc("nic_rx_hang_drops_total", func() uint64 { return r.stats.HangDrops }, nicL, qL)
+			reg.CounterFunc("nic_rx_stall_drops_total", func() uint64 { return r.stats.StallDrops }, nicL, qL)
+			reg.CounterFunc("nic_rx_corrupt_total", func() uint64 { return r.stats.CorruptRx }, nicL, qL)
+		}
+	}
+	if n.faults != nil {
+		reg.CounterFunc("nic_link_drops_total", func() uint64 { return n.linkDrops }, nicL)
 	}
 	for _, t := range n.tx {
 		t := t
@@ -178,6 +196,14 @@ func (n *NIC) register() {
 // built on this NIC register their own series here, so one experiment's
 // whole stack lands in one snapshot.
 func (n *NIC) Metrics() *metrics.Registry { return n.metrics }
+
+// Faults returns the run's fault injector (nil on a well-behaved NIC).
+// Engines read it here so fault wiring needs no constructor changes.
+func (n *NIC) Faults() *faults.Injector { return n.faults }
+
+// Steering returns the NIC's traffic-steering mechanism. Recovery code
+// uses it to rewrite flow placement when quarantining a dead queue.
+func (n *NIC) Steering() Steering { return n.steering }
 
 // ID returns the NIC's identifier.
 func (n *NIC) ID() int { return n.cfg.ID }
@@ -206,6 +232,10 @@ func (n *NIC) LineRateBps() float64 { return n.cfg.LineRateBps }
 // whether the frame reached host memory.
 func (n *NIC) Deliver(frame []byte, ts vtime.Time) bool {
 	n.delivered++
+	if !n.faults.LinkUp(n.cfg.ID) {
+		n.linkDrops++
+		return false
+	}
 	if !n.cfg.Promiscuous {
 		var dst packet.MAC
 		if len(frame) < packet.EthernetHeaderLen {
@@ -232,11 +262,20 @@ func (n *NIC) Deliver(frame []byte, ts vtime.Time) bool {
 		panic(fmt.Sprintf("nic: steering selected queue %d of %d", q, len(n.rx)))
 	}
 	ring := n.rx[q]
+	if n.faults.QueueHung(n.cfg.ID, q) {
+		ring.stats.HangDrops++
+		return false
+	}
+	if n.faults.DescStalled(n.cfg.ID, q) {
+		ring.stats.StallDrops++
+		return false
+	}
 	if !n.bus.TryTransfer(ts, len(frame), ring.busOverhead) {
 		ring.stats.BusDrops++
 		return false
 	}
-	return ring.dmaWrite(frame, ts)
+	corrupt := n.faults.CorruptFrame(n.cfg.ID, q, frame)
+	return ring.dmaWrite(frame, ts, corrupt)
 }
 
 // Stats snapshots all counters.
@@ -245,6 +284,7 @@ func (n *NIC) Stats() Stats {
 		Delivered: n.delivered,
 		Filtered:  n.filtered,
 		Undecoded: n.undecoded,
+		LinkDrops: n.linkDrops,
 	}
 	for _, r := range n.rx {
 		s.Rx = append(s.Rx, r.Stats())

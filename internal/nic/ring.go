@@ -33,24 +33,34 @@ func (s DescState) String() string {
 }
 
 // Desc is one receive descriptor: a pointer to a host buffer plus the
-// received length and hardware timestamp after DMA fills it.
+// received length and hardware timestamp after DMA fills it. Err is the
+// hardware integrity-error bit: set when the DMA write corrupted the
+// frame (the simulated bad checksum), cleared on refill/invalidate.
 type Desc struct {
 	State DescState
 	Buf   []byte
 	Len   int
 	TS    vtime.Time
+	Err   bool
 }
 
-// RxStats counts per-queue receive activity.
+// RxStats counts per-queue receive activity. Every lost packet lands in
+// exactly one drop counter, so Drops() is an exact partition.
 type RxStats struct {
-	Received  uint64 // packets DMA'd into host memory
-	Bytes     uint64 // frame bytes received
-	WireDrops uint64 // packets dropped: no ready descriptor
-	BusDrops  uint64 // packets dropped: bus budget exhausted
+	Received   uint64 // packets DMA'd into host memory
+	Bytes      uint64 // frame bytes received
+	WireDrops  uint64 // packets dropped: no ready descriptor
+	BusDrops   uint64 // packets dropped: bus budget exhausted
+	HangDrops  uint64 // packets dropped: queue hung (fault injection)
+	StallDrops uint64 // packets dropped: descriptor write-back stalled
+	CorruptRx  uint64 // packets received with the integrity-error bit set
 }
 
-// Drops returns all packets lost before reaching host memory.
-func (s RxStats) Drops() uint64 { return s.WireDrops + s.BusDrops }
+// Drops returns all packets lost before reaching host memory. CorruptRx
+// frames did reach memory (damaged) and are not drops at this layer.
+func (s RxStats) Drops() uint64 {
+	return s.WireDrops + s.BusDrops + s.HangDrops + s.StallDrops
+}
 
 // RxRing is one receive queue's descriptor ring. The NIC's DMA engine
 // fills descriptors strictly in order; the owning capture engine is
@@ -118,6 +128,7 @@ func (r *RxRing) Refill(i int, buf []byte) {
 	d.State = DescReady
 	d.Buf = buf
 	d.Len = 0
+	d.Err = false
 }
 
 // Invalidate detaches descriptor i's buffer (-> empty).
@@ -126,6 +137,7 @@ func (r *RxRing) Invalidate(i int) {
 	d.State = DescEmpty
 	d.Buf = nil
 	d.Len = 0
+	d.Err = false
 }
 
 // ReadyCount returns the number of descriptors able to receive, i.e. the
@@ -142,8 +154,10 @@ func (r *RxRing) ReadyCount() int {
 
 // dmaWrite delivers one frame into the ring. It returns false (a wire
 // drop) when the next descriptor is not ready — descriptors are consumed
-// strictly in order, like hardware.
-func (r *RxRing) dmaWrite(frame []byte, ts vtime.Time) bool {
+// strictly in order, like hardware. corrupt marks the descriptor's
+// integrity-error bit (the frame bytes were already damaged in place by
+// the fault injector before the copy).
+func (r *RxRing) dmaWrite(frame []byte, ts vtime.Time, corrupt bool) bool {
 	d := &r.desc[r.fill]
 	if d.State != DescReady {
 		r.stats.WireDrops++
@@ -159,10 +173,14 @@ func (r *RxRing) dmaWrite(frame []byte, ts vtime.Time) bool {
 	d.Len = len(frame)
 	d.TS = ts
 	d.State = DescUsed
+	d.Err = corrupt
 	idx := r.fill
 	r.fill = (r.fill + 1) % len(r.desc)
 	r.stats.Received++
 	r.stats.Bytes += uint64(len(frame))
+	if corrupt {
+		r.stats.CorruptRx++
+	}
 	if r.onRx != nil {
 		r.onRx(idx)
 	}

@@ -111,6 +111,16 @@ type Steering interface {
 	Queue(d *packet.Decoded) (q int, ok bool)
 }
 
+// QueueReSteerer is implemented by steering mechanisms whose placement
+// can be rewritten when a queue dies. ReSteerQueue removes dead from the
+// placement, spreading its load across the healthy queues, and returns
+// how many entries it rewrote. Because steering is a pure function of
+// the flow tuple plus this state, a rewrite moves each affected flow to
+// exactly one new queue — per-flow ordering survives the move.
+type QueueReSteerer interface {
+	ReSteerQueue(dead int, healthy []int) int
+}
+
 // RSSSteering is hardware RSS: Toeplitz hash + indirection table.
 type RSSSteering struct {
 	key   [40]byte
@@ -144,6 +154,24 @@ func (s *RSSSteering) SetKey(key [40]byte) {
 func (s *RSSSteering) SetTable(table []int) {
 	s.table = make([]int, len(table))
 	copy(s.table, table)
+}
+
+// ReSteerQueue implements QueueReSteerer: every indirection-table entry
+// naming the dead queue is rewritten to one of the healthy queues,
+// round-robin in table order so the displaced load spreads evenly and
+// deterministically.
+func (s *RSSSteering) ReSteerQueue(dead int, healthy []int) int {
+	if len(healthy) == 0 {
+		return 0
+	}
+	moved := 0
+	for i, q := range s.table {
+		if q == dead {
+			s.table[i] = healthy[moved%len(healthy)]
+			moved++
+		}
+	}
+	return moved
 }
 
 // Queue implements Steering.

@@ -29,6 +29,10 @@ var (
 	ErrBadMagic    = errors.New("trace: not a pcap file")
 	ErrBadLinkType = errors.New("trace: unsupported link type")
 	ErrTruncated   = errors.New("trace: truncated pcap file")
+	// ErrImplausibleLength marks a record header whose capture length
+	// exceeds any sane frame — the signature of a corrupt or hostile
+	// file, caught before it turns into a giant allocation.
+	ErrImplausibleLength = errors.New("trace: implausible packet length")
 )
 
 // Writer writes a pcap capture file (nanosecond variant, since virtual
@@ -140,7 +144,7 @@ func (r *Reader) ReadPacket() ([]byte, vtime.Time, error) {
 	sub := r.order.Uint32(r.hdr[4:8])
 	capLen := r.order.Uint32(r.hdr[8:12])
 	if capLen > 256*1024 {
-		return nil, 0, fmt.Errorf("trace: implausible packet length %d", capLen)
+		return nil, 0, fmt.Errorf("%w: %d", ErrImplausibleLength, capLen)
 	}
 	if cap(r.buf) < int(capLen) {
 		r.buf = make([]byte, capLen)

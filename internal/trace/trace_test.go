@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"io"
 	"testing"
 
@@ -137,6 +138,51 @@ func TestPcapTruncatedPacket(t *testing.T) {
 	}
 	if _, _, err := rd.ReadPacket(); err == nil {
 		t.Fatal("truncated packet read succeeded")
+	}
+}
+
+// TestPcapTypedErrors pins the reader's error taxonomy: every malformed
+// input maps to a typed sentinel callers can branch on with errors.Is,
+// and the Source adapter surfaces it through Err() after Next() stops.
+func TestPcapTypedErrors(t *testing.T) {
+	// Header shorter than the pcap global header: ErrTruncated.
+	if _, err := NewReader(bytes.NewReader(make([]byte, 10))); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short header: got %v, want ErrTruncated", err)
+	}
+	// Wrong magic: ErrBadMagic.
+	if _, err := NewReader(bytes.NewReader(make([]byte, 24))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("zero magic: got %v, want ErrBadMagic", err)
+	}
+	// Truncated record body: ErrTruncated.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 0)
+	w.WritePacket(0, make([]byte, 60))
+	w.Flush()
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()[:buf.Len()-10]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rd.ReadPacket(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated record: got %v, want ErrTruncated", err)
+	}
+	// Record header claiming an absurd capture length: a typed error, not
+	// a giant allocation — and the Source adapter reports it via Err().
+	buf.Reset()
+	w, _ = NewWriter(&buf, 0)
+	w.WritePacket(0, make([]byte, 60))
+	w.Flush()
+	data := buf.Bytes()
+	binary.LittleEndian.PutUint32(data[24+8:24+12], 1<<30) // record capLen field
+	rd, err = NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewPcapSource(rd)
+	if _, _, ok := src.Next(); ok {
+		t.Fatal("implausible-length record was returned")
+	}
+	if err := src.Err(); !errors.Is(err, ErrImplausibleLength) {
+		t.Fatalf("implausible length: got %v, want ErrImplausibleLength", err)
 	}
 }
 
