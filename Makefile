@@ -8,10 +8,15 @@
 # against the committed file read-only (the CI mode). `make gate`
 # runs the regression gate alone; refresh its baselines after an
 # intentional behavior change with `make baselines`.
+#
+# `make trace` writes trace.json — a Chrome trace-event export of the
+# chaos_queue_hang scenario with the flight recorder attached; inspect
+# with `go run ./cmd/wiretrace -r trace.json` (or chrome://tracing).
 
 GO ?= go
+TRACE_SCENARIO ?= chaos_queue_hang
 
-.PHONY: ci check fmt-check vet build test race gate bench bench-check baselines chaos all
+.PHONY: ci check fmt-check vet build test race gate bench bench-check baselines chaos trace all
 
 all: check
 
@@ -43,6 +48,9 @@ baselines:
 
 chaos:
 	$(GO) run ./cmd/experiments -run chaos
+
+trace:
+	$(GO) run ./cmd/experiments -trace trace.json -tracescenario $(TRACE_SCENARIO)
 
 bench:
 	$(GO) run ./cmd/vtime-bench -o BENCH_vtime.json

@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/packet"
 	"repro/internal/vtime"
 )
 
@@ -32,6 +34,24 @@ func measureAllocs() map[string]float64 {
 	tick = func() { s.At(s.Now()+1, tick) }
 	s.At(0, tick)
 	out["vtime_schedule_step"] = testing.AllocsPerRun(1000, func() { s.Step() })
+
+	// The flight recorder's disabled contract: with tracing off (nil
+	// recorder), the hooks left in every hot path must cost zero
+	// allocations. Exercises one hook from each family.
+	var rec *obs.Recorder
+	flow := packet.FlowKey{SrcPort: 1, DstPort: 2, Proto: packet.ProtoUDP}
+	out["obs_disabled_hooks"] = testing.AllocsPerRun(1000, func() {
+		rec.PktArrive(0, 0, flow, 60, 1)
+		rec.PktDMA(0, 0, 1, 1)
+		rec.DescToCell(0, 0, 1, 0, 0, 1)
+		rec.CellDeliver(0, 0, 0, 0, 0, 1)
+		rec.Processed(0, 0, 1)
+		rec.ChunkRecycle(0, 0, 1)
+		rec.PendingDrop(obs.DropDescDepletion, 0, 0, 1)
+		rec.StageCost("e", 0, "s", 1)
+		_ = rec.DescClaim(0, 0, 1, 1)
+		_ = rec.Sampled(flow)
+	})
 
 	return out
 }

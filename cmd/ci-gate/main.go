@@ -12,7 +12,12 @@
 //     simulator exports.
 //   - Allocation budgets: measured with testing.AllocsPerRun, must not
 //     exceed the committed budget. Guards the zero-allocation hot paths
-//     (metrics instruments, scheduler, capture loop).
+//     (metrics instruments, scheduler, capture loop, disabled flight-
+//     recorder hooks).
+//   - Traced stability: one scenario re-runs with the flight recorder
+//     attached; its digest must equal the scenario's baseline digest
+//     (the recorder is a pure observer) and two traced runs must export
+//     byte-identical Chrome traces.
 //   - Performance floor: simulated packets per wall-clock second must
 //     stay above a deliberately conservative floor (the baseline records
 //     measured/8), so only order-of-magnitude slowdowns trip it. Skip on
@@ -27,6 +32,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -79,6 +85,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	traced, err := measureTraced()
+	if err != nil {
+		fatal(err)
+	}
 	allocs := measureAllocs()
 	var perf float64
 	if !*skipPerf || *update {
@@ -109,7 +119,7 @@ func main() {
 		fatal(fmt.Errorf("parsing %s: %w", *baselinesPath, err))
 	}
 
-	failures, checks := compare(base, reports, allocs, perf, *skipPerf)
+	failures, checks := compare(base, reports, traced, allocs, perf, *skipPerf)
 	if *verbose {
 		for _, c := range checks {
 			fmt.Println("  ok:", c)
@@ -141,6 +151,51 @@ func runScenarios() ([]bench.RunReport, error) {
 	return reports, nil
 }
 
+// tracedScenario is the scenario the traced-stability probe replays
+// with the flight recorder attached.
+const tracedScenario = "chaos_queue_hang"
+
+// TracedResult is the traced-stability probe's outcome.
+type TracedResult struct {
+	// Digest is the first traced run's report digest; it must equal the
+	// scenario's committed (untraced) baseline digest.
+	Digest string
+	// Stable is whether two traced runs exported byte-identical Chrome
+	// trace JSON.
+	Stable bool
+}
+
+// measureTraced runs tracedScenario twice with a fresh flight recorder
+// each time and compares the exports.
+func measureTraced() (TracedResult, error) {
+	sc, ok := bench.ScenarioByName(tracedScenario)
+	if !ok {
+		return TracedResult{}, fmt.Errorf("traced scenario %s not in CIScenarios", tracedScenario)
+	}
+	run := func() (string, []byte, error) {
+		rec := bench.NewRecorder()
+		rep, err := sc.RunTraced(rec)
+		if err != nil {
+			return "", nil, err
+		}
+		var buf bytes.Buffer
+		record := rec.Record(tracedScenario, rep.EndNs)
+		if err := record.WriteChrome(&buf); err != nil {
+			return "", nil, err
+		}
+		return rep.Digest(), buf.Bytes(), nil
+	}
+	da, ea, err := run()
+	if err != nil {
+		return TracedResult{}, err
+	}
+	db, eb, err := run()
+	if err != nil {
+		return TracedResult{}, err
+	}
+	return TracedResult{Digest: da, Stable: da == db && bytes.Equal(ea, eb)}, nil
+}
+
 // buildBaselines snapshots the current build's behavior. Alloc budgets
 // are committed exactly as measured (the hot paths are zero-allocation
 // by design, so any budget > 0 is already meaningful); the perf floor
@@ -169,7 +224,7 @@ func buildBaselines(reports []bench.RunReport, allocs map[string]float64, perf f
 // compare returns human-readable failure lines and the names of all
 // checks performed. Deterministic metrics are compared exactly; alloc
 // budgets as measured <= budget; perf as measured >= floor.
-func compare(base Baselines, reports []bench.RunReport, allocs map[string]float64, perf float64, skipPerf bool) (failures, checks []string) {
+func compare(base Baselines, reports []bench.RunReport, traced TracedResult, allocs map[string]float64, perf float64, skipPerf bool) (failures, checks []string) {
 	byName := make(map[string]bench.RunReport, len(reports))
 	for _, rep := range reports {
 		byName[rep.Scenario] = rep
@@ -230,6 +285,23 @@ func compare(base Baselines, reports []bench.RunReport, allocs map[string]float6
 		}
 		if got > budget {
 			failures = append(failures, fmt.Sprintf("allocs %s: %g allocs/op exceeds budget %g", name, got, budget))
+		}
+	}
+
+	for _, sb := range base.Scenarios {
+		if sb.Name != tracedScenario {
+			continue
+		}
+		checks = append(checks, "traced digest "+tracedScenario)
+		if traced.Digest != sb.Digest {
+			failures = append(failures, fmt.Sprintf(
+				"traced %s: digest %s != baseline %s (the flight recorder perturbed the run)",
+				tracedScenario, traced.Digest, sb.Digest))
+		}
+		checks = append(checks, "traced export determinism")
+		if !traced.Stable {
+			failures = append(failures, fmt.Sprintf(
+				"traced %s: two seeded runs exported different Chrome traces", tracedScenario))
 		}
 	}
 

@@ -40,7 +40,7 @@ func cleanBaseline(t *testing.T) Baselines {
 func TestGatePassesClean(t *testing.T) {
 	rep := report(t)
 	allocs := map[string]float64{"metrics_counter_inc": 0}
-	failures, checks := compare(cleanBaseline(t), []bench.RunReport{rep}, allocs, 100, false)
+	failures, checks := compare(cleanBaseline(t), []bench.RunReport{rep}, TracedResult{}, allocs, 100, false)
 	if len(failures) != 0 {
 		t.Fatalf("clean comparison failed: %v", failures)
 	}
@@ -105,7 +105,7 @@ func TestGateDetectsSeededRegressions(t *testing.T) {
 			if perf == 0 {
 				perf = 100
 			}
-			failures, _ := compare(base, []bench.RunReport{rep}, a, perf, tc.skip)
+			failures, _ := compare(base, []bench.RunReport{rep}, TracedResult{}, a, perf, tc.skip)
 			if len(failures) == 0 {
 				t.Fatal("tampered baseline passed the gate")
 			}
@@ -130,9 +130,36 @@ func TestSkipPerfSuppressesFloor(t *testing.T) {
 	base := cleanBaseline(t)
 	base.Perf.MinSimPktsPerSec = 1e18
 	allocs := map[string]float64{"metrics_counter_inc": 0}
-	failures, _ := compare(base, []bench.RunReport{rep}, allocs, 1, true)
+	failures, _ := compare(base, []bench.RunReport{rep}, TracedResult{}, allocs, 1, true)
 	if len(failures) != 0 {
 		t.Fatalf("skip-perf still failed: %v", failures)
+	}
+}
+
+// TestTracedStabilityChecks: when the baseline carries the traced
+// scenario, the gate must flag a traced-digest mismatch and unstable
+// exports, and pass a matching stable probe.
+func TestTracedStabilityChecks(t *testing.T) {
+	base := Baselines{Scenarios: []ScenarioBaseline{{Name: tracedScenario, Digest: "abc"}}}
+	tracedFailures := func(tr TracedResult) []string {
+		failures, _ := compare(base, nil, tr, nil, 0, true)
+		var out []string
+		for _, f := range failures {
+			if strings.Contains(f, "traced") {
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+	if fs := tracedFailures(TracedResult{Digest: "abc", Stable: true}); len(fs) != 0 {
+		t.Fatalf("matching stable probe failed: %v", fs)
+	}
+	fs := tracedFailures(TracedResult{Digest: "xyz", Stable: false})
+	if len(fs) != 2 {
+		t.Fatalf("mismatching unstable probe produced %d traced failures, want 2: %v", len(fs), fs)
+	}
+	if !strings.Contains(fs[0], "perturbed") || !strings.Contains(fs[1], "different Chrome traces") {
+		t.Fatalf("unexpected traced failure wording: %v", fs)
 	}
 }
 

@@ -11,6 +11,11 @@
 // -reports FILE runs the deterministic CI scenario suite instead and
 // writes structured RunReports (JSON, metrics snapshots included) to
 // FILE ("-" for stdout) — the machine-readable form of the evaluation.
+//
+// -trace FILE runs one CI scenario (-tracescenario, default
+// chaos_queue_hang) with the packet-lifecycle flight recorder attached
+// and writes the Chrome trace-event JSON to FILE ("-" for stdout).
+// Inspect it with cmd/wiretrace or chrome://tracing / Perfetto.
 // At -scale 1 and -pmax 10000000 the workloads match the paper's sizes
 // (several minutes of CPU); the defaults run a faithful-shape, reduced-
 // size pass in tens of seconds.
@@ -37,6 +42,8 @@ func main() {
 	seed := flag.Uint64("seed", 2014, "workload seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	reports := flag.String("reports", "", "run the CI scenarios and write RunReport JSON to this file (- for stdout)")
+	traceOut := flag.String("trace", "", "run one CI scenario traced and write Chrome trace JSON to this file (- for stdout)")
+	traceScenario := flag.String("tracescenario", "chaos_queue_hang", "CI scenario to trace (with -trace)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file")
 	flag.Parse()
@@ -53,6 +60,14 @@ func main() {
 			os.Exit(1)
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceScenario, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *reports != "" {
@@ -92,4 +107,34 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// writeTrace runs the named CI scenario with a flight recorder attached
+// and writes the Chrome trace-event export to path.
+func writeTrace(name, path string) error {
+	sc, ok := bench.ScenarioByName(name)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (see -reports output for names)", name)
+	}
+	rec := bench.NewRecorder()
+	rep, err := sc.RunTraced(rec)
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	record := rec.Record(name, rep.EndNs)
+	if err := record.WriteChrome(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "experiments: traced %s: %d sampled packets, %d drop records, digest %s\n",
+		name, len(record.Packets), len(record.Drops), rep.Digest())
+	return nil
 }

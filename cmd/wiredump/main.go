@@ -5,9 +5,11 @@
 //
 // Usage:
 //
-//	wiredump -r trace.pcap [-c count] [-d] [filter expression ...]
+//	wiredump -r trace.pcap [-c count] [-d] [-stats] [filter expression ...]
 //
 // -d prints the compiled BPF program (like tcpdump -d) and exits.
+// -stats prints a metrics snapshot of the read (frames read/matched,
+// bytes, decode errors) to stderr on exit.
 package main
 
 import (
@@ -18,14 +20,17 @@ import (
 	"strings"
 
 	"repro/internal/bpf"
+	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/trace"
+	"repro/internal/vtime"
 )
 
 func main() {
 	file := flag.String("r", "", "pcap or pcapng file to read (required unless -d)")
 	count := flag.Int("c", 0, "stop after this many matching packets (0 = all)")
 	dump := flag.Bool("d", false, "print the compiled filter program and exit")
+	stats := flag.Bool("stats", false, "print a metrics snapshot of the read to stderr on exit")
 	flag.Parse()
 
 	expr := strings.Join(flag.Args(), " ")
@@ -55,27 +60,49 @@ func main() {
 	}
 	defer closeFn()
 
+	reg := metrics.NewRegistry()
+	read := reg.Counter("frames_read")
+	match := reg.Counter("frames_matched")
+	readBytes := reg.Counter("bytes_read")
+	matchBytes := reg.Counter("bytes_matched")
+	decodeErrs := reg.Counter("decode_errors")
+
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
 	var dec packet.Decoded
 	matched := 0
+	last := vtime.Time(0)
 	for {
 		frame, ts, ok := src.Next()
 		if !ok {
 			break
 		}
+		read.Inc()
+		readBytes.Add(uint64(len(frame)))
+		last = ts
 		if !vm.Match(frame) {
 			continue
 		}
 		// Decode errors still print the link-level line, as tcpdump does.
-		_ = packet.Decode(frame, &dec)
+		if err := packet.Decode(frame, &dec); err != nil {
+			decodeErrs.Inc()
+		}
 		fmt.Fprintln(w, packet.Format(ts, &dec))
+		match.Inc()
+		matchBytes.Add(uint64(len(frame)))
 		matched++
 		if *count > 0 && matched >= *count {
 			break
 		}
 	}
 	w.Flush()
+	if *stats {
+		// The snapshot instant is the last frame's capture timestamp, so
+		// identical files always render identical stats.
+		if err := reg.Snapshot(last).WriteText(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "wiredump:", err)
+		}
+	}
 	// A source that stopped on a read error (truncated file, implausible
 	// record length, ...) rather than clean EOF must fail the command,
 	// not just fall silent mid-file.

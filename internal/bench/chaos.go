@@ -9,6 +9,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/nic"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/vtime"
 )
@@ -35,6 +36,10 @@ type ChaosRun struct {
 	// independent of the traffic seed.
 	Faults    faults.Schedule
 	FaultSeed uint64
+
+	// Trace attaches a flight recorder to the NIC and the injector so
+	// fault windows annotate overlapping packet spans.
+	Trace *obs.Recorder
 }
 
 // RunChaos executes the run to completion. The engine under test gets
@@ -48,10 +53,11 @@ func RunChaos(cfg ChaosRun) (Result, error) {
 	reg := metrics.NewRegistry()
 	inj := faults.NewInjector(sched, cfg.FaultSeed)
 	inj.Register(reg)
+	inj.SetTrace(cfg.Trace)
 	inj.Install(cfg.Faults)
 	n := nic.New(sched, nic.Config{
 		ID: 0, RxQueues: cfg.Queues, RingSize: 1024, Promiscuous: true,
-		Metrics: reg, Faults: inj,
+		Metrics: reg, Faults: inj, Trace: cfg.Trace,
 	})
 	costs := engines.DefaultCosts()
 	h := app.NewPktHandler(cfg.X, costs, cfg.Queues)
@@ -89,13 +95,19 @@ func RunChaos(cfg ChaosRun) (Result, error) {
 // regression-tested, not aspirational.
 func ChaosScenarios() []Scenario {
 	chaos := func(name, about string, cfg ChaosRun) Scenario {
-		return Scenario{Name: name, About: about, Run: func() (RunReport, error) {
-			res, err := RunChaos(cfg)
+		run := func(rec *obs.Recorder) (RunReport, error) {
+			c := cfg
+			c.Trace = rec
+			res, err := RunChaos(c)
 			if err != nil {
 				return RunReport{}, err
 			}
 			return res.Report(name), nil
-		}}
+		}
+		return Scenario{Name: name, About: about,
+			Run:       func() (RunReport, error) { return run(nil) },
+			RunTraced: run,
+		}
 	}
 	// X=300 caps one handler thread near 38.8 kp/s, so the offered rates
 	// below sit under per-queue capacity: the steady state is lossless

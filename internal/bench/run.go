@@ -8,6 +8,7 @@ import (
 	"repro/internal/engines"
 	"repro/internal/metrics"
 	"repro/internal/nic"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/trace"
 	"repro/internal/vtime"
@@ -68,13 +69,16 @@ type ConstantRun struct {
 	FrameLen      int
 	PacketsPerSec float64
 	Seed          uint64
+	// Trace attaches a flight recorder to the run's NIC; nil runs
+	// untraced (the hot-path hooks are nil-safe no-ops).
+	Trace *obs.Recorder
 }
 
 // RunConstant executes the run to completion.
 func RunConstant(cfg ConstantRun) (Result, error) {
 	sched := vtime.NewScheduler()
 	reg := metrics.NewRegistry()
-	n := nic.New(sched, nic.Config{ID: 0, RxQueues: 1, RingSize: 1024, Promiscuous: true, Metrics: reg})
+	n := nic.New(sched, nic.Config{ID: 0, RxQueues: 1, RingSize: 1024, Promiscuous: true, Metrics: reg, Trace: cfg.Trace})
 	costs := engines.DefaultCosts()
 	h := app.NewPktHandler(cfg.X, costs, 1)
 	eng, err := cfg.Spec.Build(sched, n, costs, h)
@@ -122,6 +126,8 @@ type BorderRun struct {
 	// Filter overrides the pkt_handler BPF filter (default:
 	// "131.225.2 and udp", the paper's).
 	Filter string
+	// Trace attaches a flight recorder to the receive NIC.
+	Trace *obs.Recorder
 }
 
 // RunBorder executes the run to completion. It also returns the per-queue
@@ -139,7 +145,7 @@ func RunBorder(cfg BorderRun) (Result, []uint64, error) {
 	}
 	sched := vtime.NewScheduler()
 	reg := metrics.NewRegistry()
-	n := nic.New(sched, nic.Config{ID: 0, RxQueues: cfg.Queues, RingSize: 1024, Promiscuous: true, Metrics: reg})
+	n := nic.New(sched, nic.Config{ID: 0, RxQueues: cfg.Queues, RingSize: 1024, Promiscuous: true, Metrics: reg, Trace: cfg.Trace})
 	costs := engines.DefaultCosts()
 	var h *app.PktHandler
 	if cfg.Filter != "" {

@@ -4,6 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"repro/internal/nic"
+	"repro/internal/obs"
+	"repro/internal/packet"
 )
 
 // Scenario is one deterministic run cmd/ci-gate replays against its
@@ -14,6 +18,31 @@ type Scenario struct {
 	// failure messages and EXPERIMENTS.md.
 	About string
 	Run   func() (RunReport, error)
+	// RunTraced executes the identical run with a flight recorder
+	// attached. The recorder is a pure observer, so the report (and its
+	// digest) must equal Run's — cmd/ci-gate asserts exactly that.
+	RunTraced func(*obs.Recorder) (RunReport, error)
+}
+
+// NewRecorder builds a flight recorder keyed by the NIC's Toeplitz RSS
+// hash, so per-flow sampling follows the same function hardware steers
+// by — a sampled flow is sampled on whichever queue it lands on.
+func NewRecorder() *obs.Recorder {
+	return obs.New(obs.Config{
+		FlowHash: func(f packet.FlowKey) uint32 {
+			return nic.RSSHash(nic.DefaultRSSKey[:], f)
+		},
+	})
+}
+
+// ScenarioByName finds a CI scenario by its stable name.
+func ScenarioByName(name string) (Scenario, bool) {
+	for _, s := range CIScenarios() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
 }
 
 // Report executes the scenario.
@@ -32,26 +61,34 @@ func (s Scenario) Report() (RunReport, error) {
 // key entries in baselines.json.
 func CIScenarios() []Scenario {
 	constant := func(name, about string, spec EngineSpec, packets uint64) Scenario {
-		return Scenario{Name: name, About: about, Run: func() (RunReport, error) {
+		run := func(rec *obs.Recorder) (RunReport, error) {
 			res, err := RunConstant(ConstantRun{
-				Spec: spec, Packets: packets, X: 300, Seed: 7,
+				Spec: spec, Packets: packets, X: 300, Seed: 7, Trace: rec,
 			})
 			if err != nil {
 				return RunReport{}, err
 			}
 			return res.Report(name), nil
-		}}
+		}
+		return Scenario{Name: name, About: about,
+			Run:       func() (RunReport, error) { return run(nil) },
+			RunTraced: run,
+		}
 	}
 	border := func(name, about string, spec EngineSpec, seconds float64, seed uint64) Scenario {
-		return Scenario{Name: name, About: about, Run: func() (RunReport, error) {
+		run := func(rec *obs.Recorder) (RunReport, error) {
 			res, _, err := RunBorder(BorderRun{
-				Spec: spec, Queues: 4, X: 300, Seconds: seconds, Seed: seed,
+				Spec: spec, Queues: 4, X: 300, Seconds: seconds, Seed: seed, Trace: rec,
 			})
 			if err != nil {
 				return RunReport{}, err
 			}
 			return res.Report(name), nil
-		}}
+		}
+		return Scenario{Name: name, About: about,
+			Run:       func() (RunReport, error) { return run(nil) },
+			RunTraced: run,
+		}
 	}
 	scenarios := []Scenario{
 		constant("constant_wirecapb_x300",

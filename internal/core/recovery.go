@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/nic"
+	"repro/internal/obs"
 	"repro/internal/vtime"
 )
 
@@ -163,6 +164,7 @@ func (e *Engine) watch(q *wqueue) bool {
 func (e *Engine) quarantine(q *wqueue) {
 	q.dead = true
 	q.stats.Quarantines++
+	e.trace.Action("quarantine", e.nicID, q.queue, 0, e.sched.Now())
 	q.flushTimer.Stop()
 	q.flushTarget = nil
 	if q.retryTimer != nil {
@@ -173,7 +175,10 @@ func (e *Engine) quarantine(q *wqueue) {
 	// packets were received, so they must die accounted — as delivery
 	// drops, the "captured but never reached the application" class.
 	for _, h := range q.captureQ {
-		q.stats.DeliveryDrops += goodRemaining(h)
+		good := goodRemaining(h)
+		q.stats.DeliveryDrops += good
+		e.trace.ChunkDrop(obs.DropQuarantineBacklog, e.nicID, q.queue, chunkTID(h.chunk), good, e.sched.Now())
+		e.trace.ChunkRecycle(e.nicID, chunkTID(h.chunk), e.sched.Now())
 		if err := h.owner.pool.Recycle(h.meta); err != nil {
 			panic(fmt.Sprintf("core: quarantine recycle failed: %v", err))
 		}
@@ -184,8 +189,11 @@ func (e *Engine) quarantine(q *wqueue) {
 	q.captureQ = q.captureQ[:0]
 	if h := q.cur; h != nil {
 		q.cur = nil
-		q.stats.DeliveryDrops += goodRemaining(h)
+		good := goodRemaining(h)
+		q.stats.DeliveryDrops += good
+		e.trace.ChunkDrop(obs.DropQuarantineBacklog, e.nicID, q.queue, chunkTID(h.chunk), good, e.sched.Now())
 		if h.outstanding == 0 {
+			e.trace.ChunkRecycle(e.nicID, chunkTID(h.chunk), e.sched.Now())
 			if err := h.owner.pool.Recycle(h.meta); err != nil {
 				panic(fmt.Sprintf("core: quarantine recycle failed: %v", err))
 			}
@@ -214,6 +222,7 @@ func (e *Engine) quarantine(q *wqueue) {
 		}
 		q.stats.ReclaimDrops += uint64(c.GoodPending())
 		q.stats.ChunksReclaimed++
+		e.trace.ChunkDrop(obs.DropReclaim, e.nicID, q.queue, chunkTID(c), uint64(c.GoodPending()), e.sched.Now())
 		if err := q.pool.Reclaim(c); err != nil {
 			panic(fmt.Sprintf("core: quarantine reclaim failed: %v", err))
 		}
@@ -224,6 +233,10 @@ func (e *Engine) quarantine(q *wqueue) {
 	for i := 0; i < q.ring.Size(); i++ {
 		q.ring.Invalidate(i)
 	}
+	// Packets DMA'd into descriptors the invalidation just orphaned are
+	// not counted by any metrics series; their traces end here without a
+	// ledger entry for the same reason.
+	e.trace.AbandonQueue(obs.DropQuarantineBacklog, e.nicID, q.queue, e.sched.Now())
 
 	// Re-steer the dead queue's flows. The steering rewrite happens in
 	// this same event as the backlog discard above: no packet of a
@@ -235,7 +248,9 @@ func (e *Engine) quarantine(q *wqueue) {
 		}
 	}
 	if rs, ok := e.n.Steering().(nic.QueueReSteerer); ok && len(healthy) > 0 {
-		q.stats.ReSteeredEntries += uint64(rs.ReSteerQueue(q.queue, healthy))
+		moved := rs.ReSteerQueue(q.queue, healthy)
+		q.stats.ReSteeredEntries += uint64(moved)
+		e.trace.Action("re_steer", e.nicID, q.queue, int64(moved), e.sched.Now())
 	}
 }
 
@@ -292,6 +307,7 @@ func (e *Engine) failover(q, b *wqueue) {
 	q.rerouted = true
 	q.rerouteTo = b
 	q.stats.HandlerFailovers++
+	e.trace.Action("failover", e.nicID, q.queue, int64(b.queue), e.sched.Now())
 	moved := false
 	if q.cur != nil {
 		b.captureQ = append(b.captureQ, q.cur)
@@ -314,9 +330,13 @@ func (e *Engine) failover(q, b *wqueue) {
 // ring may be reading its cells); the next tick collects it once the
 // last release runs.
 func (e *Engine) reclaimBacklog(q *wqueue) {
+	e.trace.Action("reclaim_backlog", e.nicID, q.queue, int64(len(q.captureQ)), e.sched.Now())
 	for _, h := range q.captureQ {
-		q.stats.ReclaimDrops += goodRemaining(h)
+		good := goodRemaining(h)
+		q.stats.ReclaimDrops += good
 		q.stats.ChunksReclaimed++
+		e.trace.ChunkDrop(obs.DropReclaim, e.nicID, q.queue, chunkTID(h.chunk), good, e.sched.Now())
+		e.trace.ChunkRecycle(e.nicID, chunkTID(h.chunk), e.sched.Now())
 		if err := h.owner.pool.Recycle(h.meta); err != nil {
 			panic(fmt.Sprintf("core: emergency reclaim failed: %v", err))
 		}
@@ -327,8 +347,11 @@ func (e *Engine) reclaimBacklog(q *wqueue) {
 	q.captureQ = q.captureQ[:0]
 	if h := q.cur; h != nil && h.outstanding == 0 && !q.anyWorking() {
 		q.cur = nil
-		q.stats.ReclaimDrops += goodRemaining(h)
+		good := goodRemaining(h)
+		q.stats.ReclaimDrops += good
 		q.stats.ChunksReclaimed++
+		e.trace.ChunkDrop(obs.DropReclaim, e.nicID, q.queue, chunkTID(h.chunk), good, e.sched.Now())
+		e.trace.ChunkRecycle(e.nicID, chunkTID(h.chunk), e.sched.Now())
 		if err := h.owner.pool.Recycle(h.meta); err != nil {
 			panic(fmt.Sprintf("core: emergency reclaim failed: %v", err))
 		}
@@ -348,6 +371,7 @@ func (q *wqueue) scheduleAllocRetry() {
 	d := allocRetryBase << q.retryAttempt
 	q.retryAttempt++
 	q.stats.AllocRetries++
+	q.e.trace.Action("alloc_retry", q.e.nicID, q.queue, int64(q.retryAttempt), q.e.sched.Now())
 	q.retryTimer.Schedule(d)
 }
 

@@ -16,8 +16,15 @@ import (
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/nic"
+	"repro/internal/obs"
 	"repro/internal/vtime"
 )
+
+// chunkTID folds a chunk's identity into the flight recorder's chunk key.
+func chunkTID(c *mem.Chunk) uint64 {
+	id := c.ID()
+	return obs.ChunkID(id.Ring, id.Chunk)
+}
 
 // Mode selects WireCAP's operating mode.
 type Mode int
@@ -151,6 +158,12 @@ type Engine struct {
 	recovery bool
 	wd       *vtime.Timer
 
+	// Flight recorder (rides the NIC like the fault injector); traceName
+	// caches Name() so hook sites pass a prebuilt constant string.
+	trace     *obs.Recorder
+	traceName string
+	nicID     int
+
 	sharedCapture *vtime.Server
 
 	// handedFree recycles handedChunk headers (and their release
@@ -281,6 +294,9 @@ func New(sched *vtime.Scheduler, n *nic.NIC, cfg Config, h engines.Handler) (*En
 	e := &Engine{sched: sched, n: n, cfg: cfg, rnd: vtime.NewRand(cfg.Seed + 3)}
 	e.inj = cfg.Faults
 	e.recovery = e.inj != nil && !cfg.DisableRecovery
+	e.trace = n.Trace()
+	e.traceName = e.Name()
+	e.nicID = n.ID()
 	if cfg.SharedCaptureCore {
 		e.sharedCapture = vtime.NewServer(sched, nil)
 	}
@@ -290,6 +306,7 @@ func New(sched *vtime.Scheduler, n *nic.NIC, cfg Config, h engines.Handler) (*En
 		if err := q.pool.Map(); err != nil {
 			return nil, err
 		}
+		q.pool.SetTrace(e.trace, sched.Now)
 		if cfg.SharedCaptureCore {
 			q.capSv = e.sharedCapture
 		} else {
@@ -301,6 +318,7 @@ func New(sched *vtime.Scheduler, n *nic.NIC, cfg Config, h engines.Handler) (*En
 		for i := 0; i < cfg.ThreadsPerQueue; i++ {
 			th := engines.NewThread(sched, nil, qi, h, q.fetch)
 			th.SetFaults(e.inj, n.ID())
+			th.SetTrace(e.trace, e.traceName, n.ID())
 			q.threads = append(q.threads, th)
 		}
 		if e.inj != nil {
@@ -479,8 +497,10 @@ func (q *wqueue) onRx(i int) {
 		// damaged frame is delivered, exactly like the baseline engines.
 		q.stats.CorruptDrops++
 		ref.chunk.MarkBad(ref.cell, d.TS)
+		q.e.trace.DescDrop(obs.DropCorrupt, q.e.nicID, q.queue, i, q.e.sched.Now())
 	} else {
 		ref.chunk.SetPacket(ref.cell, d.Len, d.TS)
+		q.e.trace.DescToCell(q.e.nicID, q.queue, i, chunkTID(ref.chunk), ref.cell, q.e.sched.Now())
 	}
 	if ref.chunk.Full() {
 		if q.flushTarget == ref.chunk {
@@ -566,6 +586,7 @@ func (q *wqueue) flushTimeout() {
 func (q *wqueue) scheduleCapture(c *mem.Chunk) {
 	q.capPending = append(q.capPending, c)
 	q.capPendingAt = append(q.capPendingAt, q.e.sched.Now())
+	q.e.trace.StageCost(q.e.traceName, q.queue, "capture_ioctl", q.e.cfg.Costs.ChunkOp)
 	q.capSv.ChargeAndCall(q.e.cfg.Costs.ChunkOp, q.captureFn)
 }
 
@@ -584,6 +605,7 @@ func (q *wqueue) captureDone() {
 		// moment). Its packets die here as reclaim drops.
 		q.stats.ReclaimDrops += uint64(c.GoodPending())
 		q.stats.ChunksReclaimed++
+		q.e.trace.ChunkDrop(obs.DropReclaim, q.e.nicID, q.queue, chunkTID(c), uint64(c.GoodPending()), q.e.sched.Now())
 		if err := q.pool.Reclaim(c); err != nil {
 			panic(fmt.Sprintf("core: reclaim of quarantined chunk failed: %v", err))
 		}
@@ -594,6 +616,7 @@ func (q *wqueue) captureDone() {
 		panic(fmt.Sprintf("core: capture of full chunk failed: %v", err))
 	}
 	q.stats.ChunksCaptured++
+	q.e.trace.ChunkStage(q.e.nicID, chunkTID(c), obs.StageChunkHandoff, q.e.sched.Now())
 	h := q.e.newHanded(meta, c, q)
 	target := q.chooseTarget()
 	if target != q {
@@ -697,6 +720,7 @@ func (q *wqueue) flush(c *mem.Chunk) {
 			// pool refills as the consumer drains and a later retry succeeds.
 			q.flushRetries = 0
 			q.stats.ReclaimDrops += uint64(c.GoodPending())
+			q.e.trace.ChunkDrop(obs.DropReclaim, q.e.nicID, q.queue, chunkTID(c), uint64(c.GoodPending()), q.e.sched.Now())
 			c.SetBase(c.Count())
 			return
 		}
@@ -716,6 +740,7 @@ func (q *wqueue) flush(c *mem.Chunk) {
 		cost += q.e.cfg.Costs.CopyCost(len(data))
 	}
 	flushStart := q.e.sched.Now()
+	q.e.trace.StageCost(q.e.traceName, q.queue, "flush_copy", cost)
 	q.capSv.ChargeAndCall(cost, func() {
 		// Validate again at execution time: the chunk may have filled and
 		// been captured while the copy op waited.
@@ -739,6 +764,7 @@ func (q *wqueue) flush(c *mem.Chunk) {
 			data, ts := c.Packet(i)
 			copy(f.Cell(k), data)
 			f.SetPacket(k, len(data), ts)
+			q.e.trace.CellMove(q.e.nicID, chunkTID(c), i, chunkTID(f), k, q.e.sched.Now())
 			k++
 		}
 		c.SetBase(c.Count())
@@ -749,6 +775,7 @@ func (q *wqueue) flush(c *mem.Chunk) {
 		q.stats.ChunksFlushed++
 		q.stats.FlushedPackets += uint64(k)
 		q.flushLat.Record(int64(q.e.sched.Now() - flushStart))
+		q.e.trace.ChunkStage(q.e.nicID, chunkTID(f), obs.StageChunkHandoff, q.e.sched.Now())
 		h := q.e.newHanded(meta, f, q)
 		target := q.chooseTarget()
 		if target != q {
@@ -801,6 +828,7 @@ func (q *wqueue) fetch() ([]byte, vtime.Time, func(), bool) {
 		h.outstanding++
 		q.stats.Delivered++
 		data, ts := h.chunk.Packet(idx)
+		q.e.trace.CellDeliver(q.e.nicID, chunkTID(h.chunk), idx, q.e.nicID, q.queue, q.e.sched.Now())
 		return data, ts, h.releaseFn, true
 	}
 }
@@ -810,6 +838,7 @@ func (q *wqueue) fetch() ([]byte, vtime.Time, func(), bool) {
 func (q *wqueue) enqueueRecycle(h *handedChunk) {
 	h.recycleAt = q.e.sched.Now()
 	q.recycleQ = append(q.recycleQ, h)
+	q.e.trace.StageCost(q.e.traceName, q.queue, "recycle_ioctl", q.e.cfg.Costs.ChunkOp)
 	q.capSv.ChargeAndCall(q.e.cfg.Costs.ChunkOp, q.recycleFn)
 }
 
@@ -820,6 +849,7 @@ func (q *wqueue) recycleDone() {
 	q.recycleQ = q.recycleQ[:len(q.recycleQ)-1]
 	owner := hh.owner
 	q.recLat.Record(int64(q.e.sched.Now() - hh.recycleAt))
+	q.e.trace.ChunkRecycle(q.e.nicID, chunkTID(hh.chunk), q.e.sched.Now())
 	if err := owner.pool.Recycle(hh.meta); err != nil {
 		panic(fmt.Sprintf("core: recycle failed: %v", err))
 	}

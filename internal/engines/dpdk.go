@@ -2,6 +2,7 @@ package engines
 
 import (
 	"repro/internal/nic"
+	"repro/internal/obs"
 	"repro/internal/vtime"
 )
 
@@ -57,6 +58,7 @@ type dpdkMbuf struct {
 	n     int
 	ts    vtime.Time
 	owner *dpdkQueue // mempool the buffer returns to when freed
+	tid   int32      // flight-recorder token; 0 when the packet is untraced
 }
 
 type dpdkQueue struct {
@@ -85,6 +87,10 @@ type dpdkQueue struct {
 
 	steerCost, syncCost, pollCost vtime.Time
 	threshold                     int
+
+	trace     *obs.Recorder
+	traceName string
+	nicID     int
 }
 
 // NewDPDK builds the engine on every queue of n.
@@ -115,6 +121,7 @@ func NewDPDK(sched *vtime.Scheduler, n *nic.NIC, costs CostModel, h Handler, cfg
 			steerCost: cfg.SteerCost, syncCost: cfg.SyncCost, pollCost: cfg.PollCost,
 			threshold: cfg.ThresholdPct * cfg.MempoolSize / 100,
 			instr:     newInstr(n, e.Name(), qi),
+			trace:     n.Trace(), traceName: e.Name(), nicID: n.ID(),
 		}
 		armPrivate(q.ring)
 		// The ring's descriptors hold ring-size mbufs; the rest of the
@@ -167,12 +174,16 @@ func (q *dpdkQueue) pullBurst() {
 		idx := q.tail
 		q.tail = (q.tail + 1) % q.ring.Size()
 		q.consumed++
-		q.rxq = append(q.rxq, dpdkMbuf{data: d.Buf, n: d.Len, ts: d.TS, owner: q})
+		// The descriptor is re-armed immediately, so a traced packet's
+		// identity rides the mbuf as a token until it is processed.
+		tid := q.trace.DescClaim(q.nicID, q.queue, idx, q.e.sched.Now())
+		q.rxq = append(q.rxq, dpdkMbuf{data: d.Buf, n: d.Len, ts: d.TS, owner: q, tid: tid})
 		q.rearm(idx)
 		pulled++
 	}
 	if pulled > 0 {
 		q.instr.pollsOK.Inc()
+		q.trace.StageCost(q.traceName, q.queue, "poll", vtime.Time(pulled)*q.pollCost)
 		q.sv.Charge(vtime.Time(pulled) * q.pollCost)
 	} else {
 		q.instr.pollsEmpty.Inc()
@@ -198,6 +209,7 @@ func (q *dpdkQueue) step() {
 			copy(q.rxq, q.rxq[1:])
 			q.rxq = q.rxq[:len(q.rxq)-1]
 			q.steered++
+			q.trace.StageCost(q.traceName, q.queue, "steer", q.steerCost)
 			q.sv.ChargeAndCall(q.steerCost, func() {
 				target.swq = append(target.swq, m)
 				target.kick()
@@ -223,9 +235,12 @@ func (q *dpdkQueue) step() {
 		return
 	}
 	q.stats.Delivered++
+	q.trace.IDDeliver(m.tid, q.e.sched.Now())
 	cost := sync + q.e.h.Cost(q.queue, m.data[:m.n])
+	q.trace.StageCost(q.traceName, q.queue, "process", cost)
 	q.sv.ChargeAndCall(cost, func() {
 		q.e.h.Handle(q.queue, m.data[:m.n], m.ts, func() { m.owner.freeMbuf(m.data) })
+		q.trace.IDProcessed(m.tid, q.e.sched.Now())
 		q.step()
 	})
 }

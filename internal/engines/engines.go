@@ -23,6 +23,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/nic"
+	"repro/internal/obs"
 	"repro/internal/vtime"
 )
 
@@ -176,6 +177,12 @@ type Thread struct {
 	parked   bool
 	resumeFn func()
 
+	// Flight-recorder state: trace is nil-safe, traceEng names the
+	// engine in the stage profile, traceNIC scopes Processed stamps.
+	trace    *obs.Recorder
+	traceEng string
+	traceNIC int
+
 	// In-flight packet state, parked here between the charge and its
 	// completion event so the per-packet path allocates no closure. A
 	// thread processes one packet at a time (it is a single core), so one
@@ -211,6 +218,16 @@ func NewThread(sched *vtime.Scheduler, core *vtime.Core, queue int, h Handler,
 func (a *Thread) SetFaults(inj *faults.Injector, nicID int) {
 	a.inj = inj
 	a.injNIC = nicID
+}
+
+// SetTrace binds the thread to the run's flight recorder (nil is fine):
+// per-packet processing cost lands in the stage profile under the
+// engine's name, and handler completions stamp the delivered packets'
+// traces.
+func (a *Thread) SetTrace(rec *obs.Recorder, engine string, nicID int) {
+	a.trace = rec
+	a.traceEng = engine
+	a.traceNIC = nicID
 }
 
 // Kick wakes the thread if it is blocked; engines call it whenever new
@@ -261,6 +278,7 @@ func (a *Thread) step() {
 	if release == nil {
 		release = noRelease
 	}
+	a.trace.StageCost(a.traceEng, a.queue, "process", cost)
 	a.pendData, a.pendTS, a.pendRelease = data, ts, release
 	a.sv.ChargeAndCall(cost, a.completeFn)
 }
@@ -278,6 +296,7 @@ func (a *Thread) complete() {
 	data, ts, done := a.pendData, a.pendTS, a.pendRelease
 	a.pendData, a.pendRelease = nil, nil
 	a.handler.Handle(a.queue, data, ts, done)
+	a.trace.Processed(a.traceNIC, a.queue, a.sched.Now())
 	a.step()
 }
 

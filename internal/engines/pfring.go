@@ -2,6 +2,7 @@ package engines
 
 import (
 	"repro/internal/nic"
+	"repro/internal/obs"
 	"repro/internal/vtime"
 )
 
@@ -65,6 +66,10 @@ type pfringQueue struct {
 
 	relFn func() // bound once; handed out by fetch for every packet
 
+	trace   *obs.Recorder
+	nicID   int
+	queueID int
+
 	stats QueueStats
 	instr instr
 	// perPktSyscall charges a kernel crossing per delivered packet: the
@@ -102,6 +107,7 @@ func newTypeI(name string, sched *vtime.Scheduler, n *nic.NIC, costs CostModel, 
 		q := &pfringQueue{
 			e: e, ring: n.Rx(qi), capacity: slots, core: vtime.NewCore(),
 			instr: newInstr(n, name, qi), perPktSyscall: kernelExtra > 0,
+			trace: n.Trace(), nicID: n.ID(), queueID: qi,
 		}
 		armPrivate(q.ring)
 		q.fifo = make([]pfringSlot, slots)
@@ -114,6 +120,7 @@ func newTypeI(name string, sched *vtime.Scheduler, n *nic.NIC, costs CostModel, 
 		q.relFn = func() { q.held-- }
 		q.thread = NewThread(sched, q.core, qi, h, q.fetch)
 		q.thread.SetFaults(n.Faults(), n.ID())
+		q.thread.SetTrace(n.Trace(), name, n.ID())
 		q.ring.OnRx(func(int) { q.kickKernel() })
 		e.queues = append(e.queues, q)
 	}
@@ -161,6 +168,7 @@ func (q *pfringQueue) kernelStep() {
 	q.ktail = (q.ktail + 1) % q.ring.Size()
 	cost := q.e.costs.CopyCost(d.Len) + q.e.kernelExtra
 	q.kernelWork += cost
+	q.trace.StageCost(q.e.name, q.queueID, "kernel_copy", cost)
 	q.kernelSv.ChargeAndCall(cost, q.kcopyFn)
 }
 
@@ -172,16 +180,19 @@ func (q *pfringQueue) kernelCopyDone() {
 	q.instr.copies.Inc()
 	q.instr.copiedBytes.Add(uint64(dd.Len))
 	if q.used+q.held < q.capacity {
-		slot := &q.fifo[(q.head+q.used)%q.capacity]
+		si := (q.head + q.used) % q.capacity
+		slot := &q.fifo[si]
 		copy(slot.data, dd.Buf[:dd.Len])
 		slot.n = dd.Len
 		slot.ts = dd.TS
 		q.used++
+		q.trace.DescToFifo(q.nicID, q.queueID, idx, si, q.e.sched.Now())
 		q.thread.Kick()
 	} else {
 		// pf_ring overflow: the copy work was spent, the packet is
 		// lost anyway — the livelock signature.
 		q.stats.DeliveryDrops++
+		q.trace.DescDrop(obs.DropDeliveryOverflow, q.nicID, q.queueID, idx, q.e.sched.Now())
 	}
 	q.ring.Refill(idx, dd.Buf)
 	q.kernelStep()
@@ -196,11 +207,13 @@ func (q *pfringQueue) fetch() ([]byte, vtime.Time, func(), bool) {
 		q.instr.syscalls.Inc() // poll() before blocking
 		return nil, 0, nil, false
 	}
-	slot := &q.fifo[q.head]
+	si := q.head
+	slot := &q.fifo[si]
 	q.head = (q.head + 1) % q.capacity
 	q.used--
 	q.held++
 	q.stats.Delivered++
+	q.trace.FifoDeliver(q.nicID, q.queueID, si, q.e.sched.Now())
 	q.instr.pollsOK.Inc()
 	if q.perPktSyscall {
 		q.instr.syscalls.Inc() // recvfrom per packet

@@ -3,6 +3,7 @@ package engines
 import (
 	"repro/internal/faults"
 	"repro/internal/nic"
+	"repro/internal/obs"
 	"repro/internal/vtime"
 )
 
@@ -47,6 +48,9 @@ type psioeQueue struct {
 	injNIC   int
 	resumeFn func()
 
+	trace *obs.Recorder
+	nicID int
+
 	// Bound functions and scratch reused across packets/batches so the
 	// steady-state path allocates nothing: batch holds the descriptor
 	// indices of the in-flight copy batch, pend* the packet in flight on
@@ -67,6 +71,7 @@ func NewPSIOE(sched *vtime.Scheduler, n *nic.NIC, costs CostModel, h Handler) *P
 			e: e, queue: qi, ring: n.Rx(qi), sv: vtime.NewServer(sched, nil),
 			instr: newInstr(n, "PSIOE", qi),
 			inj:   n.Faults(), injNIC: n.ID(),
+			trace: n.Trace(), nicID: n.ID(),
 		}
 		q.resumeFn = q.resume
 		armPrivate(q.ring)
@@ -119,17 +124,20 @@ func (q *psioeQueue) step() {
 		return
 	}
 	if q.used > 0 {
-		slot := &q.ubuf[q.head]
+		si := q.head
+		slot := &q.ubuf[si]
 		q.head = (q.head + 1) % len(q.ubuf)
 		q.used--
 		q.held++
 		q.stats.Delivered++
 		q.instr.pollsOK.Inc()
+		q.trace.FifoDeliver(q.nicID, q.queue, si, q.e.sched.Now())
 		q.pendData, q.pendTS = slot.data[:slot.n], slot.ts
 		cost := q.e.h.Cost(q.queue, q.pendData)
 		if f := q.inj.HandlerSlowdown(q.injNIC, q.queue); f > 1 {
 			cost = vtime.Time(float64(cost) * f)
 		}
+		q.trace.StageCost("PSIOE", q.queue, "process", cost)
 		q.sv.ChargeAndCall(cost, q.procFn)
 		return
 	}
@@ -152,6 +160,7 @@ func (q *psioeQueue) step() {
 	}
 	// One kernel crossing releases the whole batch's descriptors.
 	q.instr.syscalls.Inc()
+	q.trace.StageCost("PSIOE", q.queue, "user_copy", copyCost)
 	q.sv.ChargeAndCall(copyCost, q.copyFn)
 }
 
@@ -160,6 +169,7 @@ func (q *psioeQueue) processDone() {
 	data, ts := q.pendData, q.pendTS
 	q.pendData = nil
 	q.e.h.Handle(q.queue, data, ts, q.relFn)
+	q.trace.Processed(q.nicID, q.queue, q.e.sched.Now())
 	q.step()
 }
 
@@ -167,13 +177,15 @@ func (q *psioeQueue) processDone() {
 func (q *psioeQueue) copyBatchDone() {
 	for _, idx := range q.batch {
 		d := q.ring.Desc(idx)
-		slot := &q.ubuf[(q.head+q.used)%len(q.ubuf)]
+		si := (q.head + q.used) % len(q.ubuf)
+		slot := &q.ubuf[si]
 		copy(slot.data, d.Buf[:d.Len])
 		slot.n = d.Len
 		slot.ts = d.TS
 		q.used++
 		q.instr.copies.Inc()
 		q.instr.copiedBytes.Add(uint64(d.Len))
+		q.trace.DescToFifo(q.nicID, q.queue, idx, si, q.e.sched.Now())
 		q.ring.Refill(idx, d.Buf)
 	}
 	q.step()

@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/vtime"
 )
 
@@ -162,6 +163,7 @@ type Injector struct {
 	pending int
 
 	onActivate func()
+	trace      *obs.Recorder
 
 	injected  [numKinds]uint64
 	corrupted uint64
@@ -189,6 +191,21 @@ func NewInjector(sched *vtime.Scheduler, seed uint64) *Injector {
 // fault lands while it is parked; activation is a scheduler event, so
 // the wake-up is deterministic.
 func (inj *Injector) OnActivate(fn func()) { inj.onActivate = fn }
+
+// SetTrace attaches the run's flight recorder: every window open/close
+// becomes a fault-window annotation on the trace, so drops and spans
+// that overlap a window carry its id. nil (the default) records
+// nothing.
+func (inj *Injector) SetTrace(rec *obs.Recorder) { inj.trace = rec }
+
+// traceQueue is the queue scope a fault window is recorded under:
+// LinkFlap takes the whole NIC down, so it annotates every queue (-1).
+func traceQueue(ev Event) int {
+	if ev.Kind == LinkFlap {
+		return -1
+	}
+	return ev.Queue
+}
 
 // Install schedules every event of sch. Call before the run starts (an
 // event in the virtual past panics, as all scheduling does).
@@ -219,6 +236,7 @@ func normalize(ev Event) Event {
 
 func (inj *Injector) activate(ev Event) {
 	inj.injected[ev.Kind]++
+	inj.trace.FaultOpen(ev.Kind.String(), ev.NIC, traceQueue(ev), ev.At)
 	k := qkey{ev.NIC, ev.Queue}
 	switch ev.Kind {
 	case DescStall:
@@ -262,6 +280,7 @@ func (inj *Injector) activate(ev Event) {
 
 func (inj *Injector) deactivate(ev Event) {
 	inj.pending--
+	inj.trace.FaultClose(ev.Kind.String(), ev.NIC, traceQueue(ev), ev.At+ev.Dur)
 	k := qkey{ev.NIC, ev.Queue}
 	switch ev.Kind {
 	case DescStall:

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/vtime"
 )
 
@@ -274,6 +275,11 @@ type Pool struct {
 	// whenever it returns true. The fault injector installs it; keeping it
 	// a plain func avoids coupling mem to the faults package.
 	allocFault func() bool
+
+	// trace (with its clock) annotates allocation failures and forced
+	// reclamations on the run's flight recorder. nil records nothing.
+	trace    *obs.Recorder
+	traceNow func() vtime.Time
 }
 
 // nextBase allocates globally unique simulated physical addresses. It is
@@ -356,6 +362,15 @@ func (p *Pool) Mapped() bool { return p.mapped }
 // fault hook consulted by AllocFree.
 func (p *Pool) SetAllocFault(fn func() bool) { p.allocFault = fn }
 
+// SetTrace attaches the run's flight recorder and its clock: allocation
+// failures (transient faults and genuine exhaustion) and emergency
+// reclamations become annotated events. The pool has no scheduler of
+// its own, hence the injected clock.
+func (p *Pool) SetTrace(rec *obs.Recorder, now func() vtime.Time) {
+	p.trace = rec
+	p.traceNow = now
+}
+
 // AllocFree takes a free chunk and attaches it (free -> attached). The
 // caller ties its cells to a descriptor segment. A transient injected
 // fault fails the call with ErrTransientAlloc before the free list is
@@ -364,10 +379,16 @@ func (p *Pool) SetAllocFault(fn func() bool) { p.allocFault = fn }
 func (p *Pool) AllocFree() (*Chunk, error) {
 	if p.allocFault != nil && p.allocFault() {
 		p.stats.TransientAllocFail++
+		if p.trace != nil {
+			p.trace.Action("alloc_fault", p.nicID, p.ringID, 0, p.traceNow())
+		}
 		return nil, ErrTransientAlloc
 	}
 	if len(p.free) == 0 {
 		p.stats.AllocFailures++
+		if p.trace != nil {
+			p.trace.Action("pool_exhausted", p.nicID, p.ringID, 0, p.traceNow())
+		}
 		return nil, ErrNoFreeChunk
 	}
 	c := p.free[len(p.free)-1]
@@ -441,6 +462,9 @@ func (p *Pool) Recycle(m Meta) error {
 func (p *Pool) Reclaim(c *Chunk) error {
 	if c.pool != p || c.state == StateFree || c.refs > 0 {
 		return fmt.Errorf("%w: %v state %v refs %d", ErrBadReclaim, c.id, c.state, c.refs)
+	}
+	if p.trace != nil {
+		p.trace.Action("pool_reclaim", p.nicID, p.ringID, int64(c.PendingCount()), p.traceNow())
 	}
 	c.state = StateFree
 	c.count = 0

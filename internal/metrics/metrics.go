@@ -123,6 +123,13 @@ const DefaultMaxSeries = 1024
 // rejected by the cardinality bound.
 const OverflowLabel = "overflow"
 
+// OverflowedMetric is the counter family that makes cardinality spills
+// observable: labels_overflowed{metric=<family>} counts every distinct
+// label combination the bound collapsed into that family's overflow
+// series. The series exists only once a spill has happened, so
+// registries that never overflow export exactly what they did before.
+const OverflowedMetric = "labels_overflowed"
+
 // series is one (name, labels) combination and its instrument. Exactly
 // one of the instrument fields is non-nil, matching the family's kind.
 type series struct {
@@ -208,6 +215,12 @@ func (r *Registry) lookup(name string, kind Kind, labels []Label) *series {
 	ls, key := canonicalize(labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.lookupLocked(name, kind, ls, key)
+}
+
+// lookupLocked is lookup's body, split out so the overflow branch can
+// register the spill counter under the already-held lock.
+func (r *Registry) lookupLocked(name string, kind Kind, ls []Label, key string) *series {
 	f := r.families[name]
 	if f == nil {
 		f = &family{name: name, kind: kind, byKey: make(map[string]*series)}
@@ -221,6 +234,13 @@ func (r *Registry) lookup(name string, kind Kind, labels []Label) *series {
 	}
 	if len(f.ordered) >= r.maxSeries {
 		f.dropped++
+		if name != OverflowedMetric {
+			// Make the spill observable. Guarded against recursing on
+			// itself: if labels_overflowed ever hits the bound, its spills
+			// land in its own overflow series without another hop.
+			ols, okey := canonicalize([]Label{{Key: "metric", Value: name}})
+			r.lookupLocked(OverflowedMetric, KindCounter, ols, okey).c.Inc()
+		}
 		if f.overflow == nil {
 			ols, okey := canonicalize([]Label{{Key: OverflowLabel, Value: "true"}})
 			f.overflow = newSeries(kind, ols)

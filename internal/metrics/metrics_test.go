@@ -76,8 +76,62 @@ func TestCardinalityBound(t *testing.T) {
 	if sv.Counter != 7 {
 		t.Fatalf("overflow counter = %d, want 7", sv.Counter)
 	}
-	if got := len(snap.Series); got != 5 { // 4 in-bound + overflow
-		t.Fatalf("snapshot has %d series, want 5", got)
+	if got := len(snap.Series); got != 6 { // 4 in-bound + overflow + labels_overflowed
+		t.Fatalf("snapshot has %d series, want 6", got)
+	}
+}
+
+// TestLabelsOverflowed: a cardinality spill must be observable from the
+// snapshot itself, not only via the Dropped accessor — operators reading
+// an export need to know which families hit the bound and by how much.
+func TestLabelsOverflowed(t *testing.T) {
+	r := NewRegistry()
+	r.SetMaxSeries(2)
+	if _, ok := r.Snapshot(0).Get(OverflowedMetric, L("metric", "hot")); ok {
+		t.Fatal("labels_overflowed exists before any spill")
+	}
+	for i := 0; i < 5; i++ {
+		r.Counter("hot", L("i", fmt.Sprint(i))).Inc()
+	}
+	snap := r.Snapshot(0)
+	sv, ok := snap.Get(OverflowedMetric, L("metric", "hot"))
+	if !ok {
+		t.Fatal("labels_overflowed{metric=hot} missing after spill")
+	}
+	if sv.Counter != 3 { // 5 registered, bound 2
+		t.Fatalf("labels_overflowed = %d, want 3", sv.Counter)
+	}
+	if d := r.Dropped("hot"); d != sv.Counter {
+		t.Fatalf("Dropped (%d) disagrees with labels_overflowed (%d)", d, sv.Counter)
+	}
+	// Collapsed combinations are not remembered, so a repeat lookup of one
+	// counts again — labels_overflowed tracks Dropped exactly, by design.
+	r.Counter("hot", L("i", "3")).Inc()
+	sv, _ = r.Snapshot(0).Get(OverflowedMetric, L("metric", "hot"))
+	if d := r.Dropped("hot"); d != 4 || sv.Counter != d {
+		t.Fatalf("after repeat lookup: Dropped = %d, labels_overflowed = %d, want both 4", d, sv.Counter)
+	}
+}
+
+// TestLabelsOverflowedSelfBound: when labels_overflowed itself hits the
+// cardinality bound, its spills collapse into its own overflow series
+// without recursing.
+func TestLabelsOverflowedSelfBound(t *testing.T) {
+	r := NewRegistry()
+	r.SetMaxSeries(1)
+	// Each family needs two combinations to spill once; with bound 1 the
+	// second registration overflows and mints one labels_overflowed series
+	// per family name — the third family's spill overflows labels_overflowed.
+	for f := 0; f < 3; f++ {
+		name := fmt.Sprintf("fam%d", f)
+		r.Counter(name, L("i", "0"))
+		r.Counter(name, L("i", "1"))
+	}
+	if d := r.Dropped(OverflowedMetric); d != 2 {
+		t.Fatalf("labels_overflowed Dropped = %d, want 2", d)
+	}
+	if _, ok := r.Snapshot(0).Get(OverflowedMetric, L(OverflowLabel, "true")); !ok {
+		t.Fatal("labels_overflowed's own overflow series missing")
 	}
 }
 

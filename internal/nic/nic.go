@@ -13,6 +13,7 @@ import (
 	"repro/internal/bus"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/vtime"
 )
@@ -58,6 +59,10 @@ type Config struct {
 	// Carrying it on the NIC lets every engine constructor pick it up
 	// without signature changes.
 	Faults *faults.Injector
+	// Trace is the run's flight recorder; nil disables tracing (every
+	// hook on a nil recorder is a zero-allocation no-op). Like Faults,
+	// it rides the NIC so engines pick it up without signature changes.
+	Trace *obs.Recorder
 }
 
 // LineRate10G is 10 Gb/s in bits per second.
@@ -101,6 +106,7 @@ type NIC struct {
 	steering Steering
 	metrics  *metrics.Registry
 	faults   *faults.Injector
+	trace    *obs.Recorder
 
 	delivered uint64
 	filtered  uint64
@@ -133,9 +139,11 @@ func New(sched *vtime.Scheduler, cfg Config) *NIC {
 	if cfg.MAC == (packet.MAC{}) {
 		cfg.MAC = packet.MAC{0x02, 0x00, 0x00, 0x00, 0x00, byte(cfg.ID + 1)}
 	}
-	n := &NIC{cfg: cfg, sched: sched, bus: cfg.Bus, steering: cfg.Steering, faults: cfg.Faults}
+	n := &NIC{cfg: cfg, sched: sched, bus: cfg.Bus, steering: cfg.Steering, faults: cfg.Faults, trace: cfg.Trace}
 	for i := 0; i < cfg.RxQueues; i++ {
-		n.rx = append(n.rx, newRxRing(cfg.ID, i, cfg.RingSize))
+		r := newRxRing(cfg.ID, i, cfg.RingSize)
+		r.trace = cfg.Trace
+		n.rx = append(n.rx, r)
 	}
 	bytesPerSec := cfg.LineRateBps / 8
 	txRing := cfg.TxRingSize
@@ -205,6 +213,11 @@ func (n *NIC) Faults() *faults.Injector { return n.faults }
 // uses it to rewrite flow placement when quarantining a dead queue.
 func (n *NIC) Steering() Steering { return n.steering }
 
+// Trace returns the run's flight recorder (nil when tracing is off).
+// Engines and the capture core read it here, the same way they read
+// Faults.
+func (n *NIC) Trace() *obs.Recorder { return n.trace }
+
 // ID returns the NIC's identifier.
 func (n *NIC) ID() int { return n.cfg.ID }
 
@@ -234,17 +247,20 @@ func (n *NIC) Deliver(frame []byte, ts vtime.Time) bool {
 	n.delivered++
 	if !n.faults.LinkUp(n.cfg.ID) {
 		n.linkDrops++
+		n.trace.DropN(obs.DropLink, n.cfg.ID, -1, 1, ts)
 		return false
 	}
 	if !n.cfg.Promiscuous {
 		var dst packet.MAC
 		if len(frame) < packet.EthernetHeaderLen {
 			n.filtered++
+			n.trace.DropN(obs.DropFiltered, n.cfg.ID, -1, 1, ts)
 			return false
 		}
 		copy(dst[:], frame[0:6])
 		if dst != n.cfg.MAC && dst != (packet.MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}) {
 			n.filtered++
+			n.trace.DropN(obs.DropFiltered, n.cfg.ID, -1, 1, ts)
 			return false
 		}
 	}
@@ -261,17 +277,21 @@ func (n *NIC) Deliver(frame []byte, ts vtime.Time) bool {
 	if q < 0 || q >= len(n.rx) {
 		panic(fmt.Sprintf("nic: steering selected queue %d of %d", q, len(n.rx)))
 	}
+	n.trace.PktArrive(n.cfg.ID, q, n.dec.Flow, len(frame), ts)
 	ring := n.rx[q]
 	if n.faults.QueueHung(n.cfg.ID, q) {
 		ring.stats.HangDrops++
+		n.trace.PendingDrop(obs.DropQueueHang, n.cfg.ID, q, ts)
 		return false
 	}
 	if n.faults.DescStalled(n.cfg.ID, q) {
 		ring.stats.StallDrops++
+		n.trace.PendingDrop(obs.DropDescStall, n.cfg.ID, q, ts)
 		return false
 	}
 	if !n.bus.TryTransfer(ts, len(frame), ring.busOverhead) {
 		ring.stats.BusDrops++
+		n.trace.PendingDrop(obs.DropBus, n.cfg.ID, q, ts)
 		return false
 	}
 	corrupt := n.faults.CorruptFrame(n.cfg.ID, q, frame)

@@ -3,6 +3,7 @@ package nic
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/vtime"
 )
 
@@ -81,6 +82,9 @@ type RxRing struct {
 	// WireCAP) chunk-metadata I/O. Engines set it to model their I/O
 	// footprint in the Figure 14 scalability experiment.
 	busOverhead int
+
+	// trace is the run's flight recorder (nil when tracing is off).
+	trace *obs.Recorder
 }
 
 func newRxRing(nicID, id, n int) *RxRing {
@@ -161,6 +165,7 @@ func (r *RxRing) dmaWrite(frame []byte, ts vtime.Time, corrupt bool) bool {
 	d := &r.desc[r.fill]
 	if d.State != DescReady {
 		r.stats.WireDrops++
+		r.trace.PendingDrop(obs.DropDescDepletion, r.nicID, r.id, ts)
 		return false
 	}
 	if len(frame) > len(d.Buf) {
@@ -181,6 +186,7 @@ func (r *RxRing) dmaWrite(frame []byte, ts vtime.Time, corrupt bool) bool {
 	if corrupt {
 		r.stats.CorruptRx++
 	}
+	r.trace.PktDMA(r.nicID, r.id, idx, ts)
 	if r.onRx != nil {
 		r.onRx(idx)
 	}
