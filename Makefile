@@ -12,17 +12,38 @@
 # `make trace` writes trace.json — a Chrome trace-event export of the
 # chaos_queue_hang scenario with the flight recorder attached; inspect
 # with `go run ./cmd/wiretrace -r trace.json` (or chrome://tracing).
+#
+# `make lint` runs wirelint (the repo's own analyzer suite in
+# internal/lint: walltime, maporder, hotpath, lockdiscipline) over the
+# whole module, then staticcheck when a pinned binary is available
+# (`make staticcheck-install` fetches it; CI always runs it).
 
 GO ?= go
 TRACE_SCENARIO ?= chaos_queue_hang
+STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: ci check fmt-check vet build test race gate bench bench-check baselines chaos trace all
+.PHONY: ci check fmt-check vet build test race gate bench bench-check baselines chaos trace lint wirelint staticcheck staticcheck-install all
 
 all: check
 
-ci: fmt-check vet build test race gate bench-check
+ci: fmt-check vet lint build test race gate bench-check
 
 check: vet build test
+
+lint: wirelint staticcheck
+
+wirelint:
+	$(GO) run ./cmd/wirelint -root .
+
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (run 'make staticcheck-install', CI runs it always)"; \
+	fi
+
+staticcheck-install:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

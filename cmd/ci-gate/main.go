@@ -39,9 +39,9 @@ import (
 	"math"
 	"os"
 	"sort"
-	"time"
 
 	"repro/internal/bench"
+	"repro/internal/walltime"
 )
 
 // Baselines is the committed gate state. Regenerate with -update.
@@ -319,18 +319,14 @@ func compare(base Baselines, reports []bench.RunReport, traced TracedResult, all
 // packets per wall-clock second.
 func measurePerf() float64 {
 	const packets = 200_000
-	start := time.Now()
+	sw := walltime.Start()
 	_, err := bench.RunConstant(bench.ConstantRun{
 		Spec: bench.WireCAPB(256, 100), Packets: packets, X: 300, Seed: 7,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	elapsed := time.Since(start).Seconds()
-	if elapsed <= 0 {
-		elapsed = 1e-9
-	}
-	return packets / elapsed
+	return packets / sw.Seconds()
 }
 
 func fatal(err error) {

@@ -1,0 +1,147 @@
+// Command wirelint runs the repository's static-analysis suite
+// (internal/lint) over the whole module and reports every live finding
+// plus a summary of allowlisted exceptions with their reasons.
+//
+// Usage:
+//
+//	wirelint [-root dir] [-rules walltime,maporder,...] [-json]
+//
+// Exit status: 0 when clean, 1 when findings are live, 2 on load or
+// analysis errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("wirelint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	root := fs.String("root", "", "module root (default: nearest parent directory containing go.mod)")
+	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit findings and summary as JSON")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	dir := *root
+	if dir == "" {
+		var err error
+		dir, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintf(stderr, "wirelint: %v\n", err)
+			return 2
+		}
+	}
+
+	azs, err := selectRules(*rules)
+	if err != nil {
+		fmt.Fprintf(stderr, "wirelint: %v\n", err)
+		return 2
+	}
+
+	mod, err := lint.LoadModule(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "wirelint: %v\n", err)
+		return 2
+	}
+	findings, sum, err := lint.Run(mod, azs)
+	if err != nil {
+		fmt.Fprintf(stderr, "wirelint: %v\n", err)
+		return 2
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Findings []lint.Finding `json:"findings"`
+			Summary  lint.Summary   `json:"summary"`
+		}{findings, sum}); err != nil {
+			fmt.Fprintf(stderr, "wirelint: %v\n", err)
+			return 2
+		}
+	} else {
+		printReport(stdout, findings, sum)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func printReport(out *os.File, findings []lint.Finding, sum lint.Summary) {
+	for _, f := range findings {
+		fmt.Fprintln(out, f)
+	}
+	fmt.Fprintf(out, "wirelint: %d packages, %d findings, %d allowlisted\n",
+		sum.Packages, sum.Findings, sum.Allowed)
+	for _, rule := range sortedKeys(sum.ByRule) {
+		fmt.Fprintf(out, "  %-14s %d\n", rule, sum.ByRule[rule])
+	}
+	if sum.Allowed > 0 {
+		fmt.Fprintln(out, "allowlisted exceptions:")
+		for _, f := range sum.AllowedList {
+			fmt.Fprintf(out, "  %s:%d [%s] %s\n", f.File, f.Line, f.Rule, f.Reason)
+		}
+	}
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func selectRules(csv string) ([]*lint.Analyzer, error) {
+	all := lint.Analyzers()
+	if csv == "" {
+		return all, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var picked []*lint.Analyzer
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (have: walltime, maporder, hotpath, lockdiscipline)", name)
+		}
+		picked = append(picked, a)
+	}
+	return picked, nil
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found in any parent of the working directory (use -root)")
+		}
+		dir = parent
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"sort"
 
 	"repro/internal/engines"
 	"repro/internal/metrics"
@@ -128,7 +129,11 @@ func (rr RunReport) KeyMetrics() map[string]float64 {
 	if v := rr.Totals.ReclaimDrops; v > 0 {
 		m["reclaim_drops"] = float64(v)
 	}
-	for name, key := range map[string]string{
+	// Probe the counter families in sorted name order, never map order:
+	// the wirelint maporder analyzer flags the collect-loop below if the
+	// sort goes missing, so the emission order stays deterministic by
+	// construction.
+	probes := map[string]string{
 		"engine_copies_total":             "copies",
 		"engine_syscalls_total":           "syscalls",
 		"wirecap_chunks_captured_total":   "chunks_captured",
@@ -139,9 +144,15 @@ func (rr RunReport) KeyMetrics() map[string]float64 {
 		"wirecap_handler_failovers_total": "handler_failovers",
 		"wirecap_chunks_reclaimed_total":  "chunks_reclaimed",
 		"wirecap_alloc_retries_total":     "alloc_retries",
-	} {
+	}
+	names := make([]string, 0, len(probes))
+	for name := range probes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		if v := rr.Metrics.CounterTotal(name); v > 0 {
-			m[key] = float64(v)
+			m[probes[name]] = float64(v)
 		}
 	}
 	return m

@@ -456,13 +456,15 @@ func (e *Engine) Name() string {
 
 // arm readies descriptor i with the next pool cell. It returns false, and
 // leaves the descriptor empty, when no cell is available (pool exhausted).
+//
+//wirecap:hotpath
 func (q *wqueue) arm(i int) bool {
 	if q.armChunk == nil || q.armCell == q.armChunk.Cells() {
 		c, err := q.pool.AllocFree()
 		if err != nil {
 			q.noteAllocFailure(err)
 			q.ring.Invalidate(i)
-			q.starved = append(q.starved, i)
+			q.starved = append(q.starved, i) //wirelint:allow hotpath starved list is bounded by ring size; backing array is reused
 			return false
 		}
 		q.armChunk = c
@@ -477,14 +479,18 @@ func (q *wqueue) arm(i int) bool {
 }
 
 // cellRefs is allocated lazily per queue.
+//
+//wirecap:hotpath
 func (q *wqueue) cellOf(i int) *cellRef {
 	if q.cells == nil {
-		q.cells = make([]cellRef, q.ring.Size())
+		q.cells = make([]cellRef, q.ring.Size()) //wirelint:allow hotpath one-time lazy allocation per queue
 	}
 	return &q.cells[i]
 }
 
 // onRx runs after DMA fills descriptor i.
+//
+//wirecap:hotpath
 func (q *wqueue) onRx(i int) {
 	ref := *q.cellOf(i)
 	d := q.ring.Desc(i)
@@ -519,7 +525,7 @@ func (q *wqueue) onRx(i int) {
 	if len(q.starved) > 0 {
 		// Keep strict use-order arming: this descriptor queues behind the
 		// ones already starving.
-		q.starved = append(q.starved, i)
+		q.starved = append(q.starved, i) //wirelint:allow hotpath starved list is bounded by ring size; backing array is reused
 		q.ring.Invalidate(i)
 		q.rearmStarved()
 		return
@@ -583,14 +589,18 @@ func (q *wqueue) flushTimeout() {
 // thread: the full chunk moves to a user-space capture queue by metadata
 // only. The chunk joins capPending; captureDone pops in FIFO order, which
 // matches the server's FIFO completion order.
+//
+//wirecap:hotpath
 func (q *wqueue) scheduleCapture(c *mem.Chunk) {
-	q.capPending = append(q.capPending, c)
-	q.capPendingAt = append(q.capPendingAt, q.e.sched.Now())
+	q.capPending = append(q.capPending, c)                   //wirelint:allow hotpath pending list reaches steady-state capacity after warm-up
+	q.capPendingAt = append(q.capPendingAt, q.e.sched.Now()) //wirelint:allow hotpath pending list reaches steady-state capacity after warm-up
 	q.e.trace.StageCost(q.e.traceName, q.queue, "capture_ioctl", q.e.cfg.Costs.ChunkOp)
 	q.capSv.ChargeAndCall(q.e.cfg.Costs.ChunkOp, q.captureFn)
 }
 
 // captureDone commits the capture ioctl charged by scheduleCapture.
+//
+//wirecap:hotpath
 func (q *wqueue) captureDone() {
 	c := q.capPending[0]
 	copy(q.capPending, q.capPending[1:])
@@ -622,11 +632,13 @@ func (q *wqueue) captureDone() {
 	if target != q {
 		q.stats.ChunksOffloaded++
 	}
-	target.captureQ = append(target.captureQ, h)
+	target.captureQ = append(target.captureQ, h) //wirelint:allow hotpath capture queue reaches steady-state capacity after warm-up
 	target.kick()
 }
 
 // newHanded takes a handedChunk header from the free list, or allocates.
+//
+//wirecap:hotpath
 func (e *Engine) newHanded(meta mem.Meta, c *mem.Chunk, owner *wqueue) *handedChunk {
 	if n := len(e.handedFree); n > 0 {
 		h := e.handedFree[n-1]
@@ -634,20 +646,24 @@ func (e *Engine) newHanded(meta mem.Meta, c *mem.Chunk, owner *wqueue) *handedCh
 		h.meta, h.chunk, h.owner = meta, c, owner
 		return h
 	}
-	return &handedChunk{meta: meta, chunk: c, owner: owner}
+	return &handedChunk{meta: meta, chunk: c, owner: owner} //wirelint:allow hotpath pool miss only; headers recycle through handedFree
 }
 
 // freeHanded zeroes a recycled header (dropping its release closure) and
 // returns it to the free list.
+//
+//wirecap:hotpath
 func (e *Engine) freeHanded(h *handedChunk) {
 	*h = handedChunk{}
-	e.handedFree = append(e.handedFree, h)
+	e.handedFree = append(e.handedFree, h) //wirelint:allow hotpath header free list reaches steady-state capacity
 }
 
 // kick wakes every application thread serving this queue's work-queue
 // pair, and makes sure the watchdog is ticking while there is work it
 // might have to rescue (new chunks can land on a crashed queue while
 // the watchdog sleeps).
+//
+//wirecap:hotpath
 func (q *wqueue) kick() {
 	q.e.armWatchdog()
 	for _, th := range q.threads {
@@ -698,6 +714,8 @@ func (q *wqueue) chooseTarget() *wqueue {
 
 // flush delivers a partially filled frontier chunk by copying its pending
 // packets into a free chunk (§3.2.1 capture operation step 3).
+//
+//wirecap:hotpath
 func (q *wqueue) flush(c *mem.Chunk) {
 	if c.State() != mem.StateAttached || c.PendingCount() == 0 || c.Full() {
 		return
@@ -741,7 +759,7 @@ func (q *wqueue) flush(c *mem.Chunk) {
 	}
 	flushStart := q.e.sched.Now()
 	q.e.trace.StageCost(q.e.traceName, q.queue, "flush_copy", cost)
-	q.capSv.ChargeAndCall(cost, func() {
+	q.capSv.ChargeAndCall(cost, func() { //wirelint:allow hotpath timeout-flush slow path, runs per flush interval not per packet
 		// Validate again at execution time: the chunk may have filled and
 		// been captured while the copy op waited.
 		if c.State() != mem.StateAttached || c.GoodPending() == 0 {
@@ -781,7 +799,7 @@ func (q *wqueue) flush(c *mem.Chunk) {
 		if target != q {
 			q.stats.ChunksOffloaded++
 		}
-		target.captureQ = append(target.captureQ, h)
+		target.captureQ = append(target.captureQ, h) //wirelint:allow hotpath capture queue reaches steady-state capacity after warm-up
 		target.kick()
 	})
 }
@@ -789,6 +807,8 @@ func (q *wqueue) flush(c *mem.Chunk) {
 // fetch is the user-space library path the application thread pulls
 // packets through: chunks come off the capture queue, packets are handed
 // out zero-copy, and exhausted chunks go to the recycle queue.
+//
+//wirecap:hotpath
 func (q *wqueue) fetch() ([]byte, vtime.Time, func(), bool) {
 	for {
 		if q.cur == nil {
@@ -801,7 +821,7 @@ func (q *wqueue) fetch() ([]byte, vtime.Time, func(), bool) {
 			if h := q.cur; h.releaseFn == nil {
 				// One closure serves every packet of the chunk; it dies
 				// with the header when the chunk recycles.
-				h.releaseFn = func() {
+				h.releaseFn = func() { //wirelint:allow hotpath one closure per chunk, amortized over its M packets
 					h.outstanding--
 					if h.dispatched && h.outstanding == 0 {
 						q.enqueueRecycle(h)
@@ -835,14 +855,18 @@ func (q *wqueue) fetch() ([]byte, vtime.Time, func(), bool) {
 
 // enqueueRecycle places a fully consumed chunk on this queue's recycle
 // queue and kicks the capture thread to run the recycle ioctl.
+//
+//wirecap:hotpath
 func (q *wqueue) enqueueRecycle(h *handedChunk) {
 	h.recycleAt = q.e.sched.Now()
-	q.recycleQ = append(q.recycleQ, h)
+	q.recycleQ = append(q.recycleQ, h) //wirelint:allow hotpath recycle queue reaches steady-state capacity after warm-up
 	q.e.trace.StageCost(q.e.traceName, q.queue, "recycle_ioctl", q.e.cfg.Costs.ChunkOp)
 	q.capSv.ChargeAndCall(q.e.cfg.Costs.ChunkOp, q.recycleFn)
 }
 
 // recycleDone commits the recycle ioctl charged by enqueueRecycle.
+//
+//wirecap:hotpath
 func (q *wqueue) recycleDone() {
 	hh := q.recycleQ[0]
 	copy(q.recycleQ, q.recycleQ[1:])

@@ -144,6 +144,7 @@ func (e *DPDK) Name() string {
 	return "DPDK"
 }
 
+//wirecap:hotpath
 func (q *dpdkQueue) kick() {
 	if q.active {
 		return
@@ -164,6 +165,8 @@ func (q *dpdkQueue) backlog() int {
 // it goes, and charges the per-packet poll cost. This is what decouples
 // the hardware ring from the processing rate — DPDK's buffering capacity
 // is the mempool, not the ring.
+//
+//wirecap:hotpath
 func (q *dpdkQueue) pullBurst() {
 	pulled := 0
 	for {
@@ -177,7 +180,7 @@ func (q *dpdkQueue) pullBurst() {
 		// The descriptor is re-armed immediately, so a traced packet's
 		// identity rides the mbuf as a token until it is processed.
 		tid := q.trace.DescClaim(q.nicID, q.queue, idx, q.e.sched.Now())
-		q.rxq = append(q.rxq, dpdkMbuf{data: d.Buf, n: d.Len, ts: d.TS, owner: q, tid: tid})
+		q.rxq = append(q.rxq, dpdkMbuf{data: d.Buf, n: d.Len, ts: d.TS, owner: q, tid: tid}) //wirelint:allow hotpath burst queue reaches steady-state capacity; bounded by mempool size
 		q.rearm(idx)
 		pulled++
 	}
@@ -192,6 +195,8 @@ func (q *dpdkQueue) pullBurst() {
 
 // step is the worker loop: pull a burst, steer if overloaded, then
 // process one packet (peers' steered work first, rte_ring style).
+//
+//wirecap:hotpath
 func (q *dpdkQueue) step() {
 	q.pullBurst()
 	// Application-layer offloading: above the backlog threshold, steer a
@@ -210,8 +215,8 @@ func (q *dpdkQueue) step() {
 			q.rxq = q.rxq[:len(q.rxq)-1]
 			q.steered++
 			q.trace.StageCost(q.traceName, q.queue, "steer", q.steerCost)
-			q.sv.ChargeAndCall(q.steerCost, func() {
-				target.swq = append(target.swq, m)
+			q.sv.ChargeAndCall(q.steerCost, func() { //wirelint:allow hotpath app-offload steering path; closure must capture the steered mbuf
+				target.swq = append(target.swq, m) //wirelint:allow hotpath software ring reaches steady-state capacity after warm-up
 				target.kick()
 				q.step()
 			})
@@ -238,14 +243,16 @@ func (q *dpdkQueue) step() {
 	q.trace.IDDeliver(m.tid, q.e.sched.Now())
 	cost := sync + q.e.h.Cost(q.queue, m.data[:m.n])
 	q.trace.StageCost(q.traceName, q.queue, "process", cost)
-	q.sv.ChargeAndCall(cost, func() {
-		q.e.h.Handle(q.queue, m.data[:m.n], m.ts, func() { m.owner.freeMbuf(m.data) })
+	q.sv.ChargeAndCall(cost, func() { //wirelint:allow hotpath models DPDK per-packet processing; simulator charges cost in vtime
+		q.e.h.Handle(q.queue, m.data[:m.n], m.ts, func() { m.owner.freeMbuf(m.data) }) //wirelint:allow hotpath release must capture the mbuf for zero-copy handoff to TX
 		q.trace.IDProcessed(m.tid, q.e.sched.Now())
 		q.step()
 	})
 }
 
 // rearm gives descriptor idx a fresh mbuf from the mempool.
+//
+//wirecap:hotpath
 func (q *dpdkQueue) rearm(idx int) {
 	if n := len(q.mbufs); n > 0 {
 		buf := q.mbufs[n-1]
@@ -255,15 +262,17 @@ func (q *dpdkQueue) rearm(idx int) {
 	}
 	if q.free > 0 {
 		q.free--
-		q.ring.Refill(idx, make([]byte, 2048))
+		q.ring.Refill(idx, make([]byte, 2048)) //wirelint:allow hotpath mempool is populated lazily up to its fixed budget
 		return
 	}
 	q.ring.Invalidate(idx)
-	q.starved = append(q.starved, idx)
+	q.starved = append(q.starved, idx) //wirelint:allow hotpath starved list is bounded by ring size; backing array is reused
 }
 
 // freeMbuf returns a consumed buffer to the mempool, re-arming a starved
 // descriptor if one is waiting.
+//
+//wirecap:hotpath
 func (q *dpdkQueue) freeMbuf(buf []byte) {
 	if len(q.starved) > 0 {
 		idx := q.starved[0]
@@ -271,7 +280,7 @@ func (q *dpdkQueue) freeMbuf(buf []byte) {
 		q.ring.Refill(idx, buf[:cap(buf)])
 		return
 	}
-	q.mbufs = append(q.mbufs, buf[:cap(buf)])
+	q.mbufs = append(q.mbufs, buf[:cap(buf)]) //wirelint:allow hotpath mempool free list is bounded by the mempool budget
 }
 
 // QueueBusy returns the cumulative CPU time queue q's thread has

@@ -233,6 +233,8 @@ func (a *Thread) SetTrace(rec *obs.Recorder, engine string, nicID int) {
 // Kick wakes the thread if it is blocked; engines call it whenever new
 // data may be available. A thread parked in a stall window stays parked
 // (its wake-up event is already scheduled).
+//
+//wirecap:hotpath
 func (a *Thread) Kick() {
 	if a.active || a.parked {
 		return
@@ -249,6 +251,7 @@ func (a *Thread) Busy() vtime.Time { return a.sv.Charged() }
 // "wedged": a crashed or parked thread is not working.
 func (a *Thread) Working() bool { return a.active }
 
+//wirecap:hotpath
 func (a *Thread) step() {
 	if a.inj != nil {
 		if a.inj.HandlerCrashed(a.injNIC, a.queue) {
@@ -284,6 +287,8 @@ func (a *Thread) step() {
 }
 
 // resume runs at the end of a stall window and picks the backlog back up.
+//
+//wirecap:hotpath
 func (a *Thread) resume() {
 	a.parked = false
 	a.active = true
@@ -292,6 +297,8 @@ func (a *Thread) resume() {
 
 // complete runs at processing-completion time: handler side effects, then
 // the next fetch.
+//
+//wirecap:hotpath
 func (a *Thread) complete() {
 	data, ts, done := a.pendData, a.pendTS, a.pendRelease
 	a.pendData, a.pendRelease = nil, nil

@@ -147,6 +147,8 @@ func (q *pfringQueue) utilizationTick() {
 }
 
 // kickKernel starts the NAPI copy loop if it is idle.
+//
+//wirecap:hotpath
 func (q *pfringQueue) kickKernel() {
 	if !q.tick.Armed() {
 		q.tick.Schedule(utilizationWindow)
@@ -158,6 +160,7 @@ func (q *pfringQueue) kickKernel() {
 	q.kernelStep()
 }
 
+//wirecap:hotpath
 func (q *pfringQueue) kernelStep() {
 	d := q.ring.Desc(q.ktail)
 	if d.State != nic.DescUsed {
@@ -174,6 +177,8 @@ func (q *pfringQueue) kernelStep() {
 
 // kernelCopyDone commits the copy charged by kernelStep and continues the
 // polling loop.
+//
+//wirecap:hotpath
 func (q *pfringQueue) kernelCopyDone() {
 	idx := q.kpend
 	dd := q.ring.Desc(idx)
@@ -201,6 +206,8 @@ func (q *pfringQueue) kernelCopyDone() {
 // fetch pops the next packet from the pf_ring FIFO. The slot stays owned
 // by the application (held) until the release callback runs, so the
 // kernel cannot overwrite a packet that is still being processed.
+//
+//wirecap:hotpath
 func (q *pfringQueue) fetch() ([]byte, vtime.Time, func(), bool) {
 	if q.used == 0 {
 		q.instr.pollsEmpty.Inc()

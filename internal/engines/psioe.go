@@ -92,6 +92,7 @@ func NewPSIOE(sched *vtime.Scheduler, n *nic.NIC, costs CostModel, h Handler) *P
 // Name implements Engine.
 func (e *PSIOE) Name() string { return "PSIOE" }
 
+//wirecap:hotpath
 func (q *psioeQueue) kick() {
 	if q.active || q.parked {
 		return
@@ -101,6 +102,8 @@ func (q *psioeQueue) kick() {
 }
 
 // resume runs at the end of a handler-stall window.
+//
+//wirecap:hotpath
 func (q *psioeQueue) resume() {
 	q.parked = false
 	q.active = true
@@ -112,6 +115,8 @@ func (q *psioeQueue) resume() {
 // loop runs on the application's thread, so a crashed or stalled handler
 // stops the copy side too — PSIOE's cooperative design is exactly why it
 // degrades badly under consumer faults.
+//
+//wirecap:hotpath
 func (q *psioeQueue) step() {
 	if q.inj.HandlerCrashed(q.injNIC, q.queue) {
 		q.active = false
@@ -149,7 +154,7 @@ func (q *psioeQueue) step() {
 		if d.State != nic.DescUsed {
 			break
 		}
-		q.batch = append(q.batch, q.tail)
+		q.batch = append(q.batch, q.tail) //wirelint:allow hotpath batch slice is reused via batch[:0]; bounded by PSIOEBatch
 		q.tail = (q.tail + 1) % q.ring.Size()
 		copyCost += q.e.costs.CopyCost(d.Len)
 	}
@@ -165,6 +170,8 @@ func (q *psioeQueue) step() {
 }
 
 // processDone runs handler side effects for the packet charged in step.
+//
+//wirecap:hotpath
 func (q *psioeQueue) processDone() {
 	data, ts := q.pendData, q.pendTS
 	q.pendData = nil
@@ -174,6 +181,8 @@ func (q *psioeQueue) processDone() {
 }
 
 // copyBatchDone commits the batch copy charged in step.
+//
+//wirecap:hotpath
 func (q *psioeQueue) copyBatchDone() {
 	for _, idx := range q.batch {
 		d := q.ring.Desc(idx)

@@ -86,6 +86,8 @@ func (e *TypeII) Name() string { return e.name }
 // fetch hands the application the packet in the next in-order used
 // descriptor, zero-copy. The release closure reinitializes the descriptor
 // (DNA) or parks it for the next sync batch (NETMAP).
+//
+//wirecap:hotpath
 func (q *typeIIQueue) fetch() ([]byte, vtime.Time, func(), bool) {
 	d := q.ring.Desc(q.tail)
 	if d.State != nic.DescUsed || q.inHand >= q.ring.Size() {
@@ -110,15 +112,18 @@ func (q *typeIIQueue) fetch() ([]byte, vtime.Time, func(), bool) {
 
 // release returns descriptor idx to the NIC (DNA) or parks it for the
 // next sync batch (NETMAP).
+//
+//wirecap:hotpath
 func (q *typeIIQueue) release(idx int) {
 	if q.e.batchRelease {
-		q.pending = append(q.pending, idx)
+		q.pending = append(q.pending, idx) //wirelint:allow hotpath pending list is bounded by ring size; reused per sync batch
 		return
 	}
 	q.inHand--
 	q.ring.Refill(idx, q.ring.Desc(idx).Buf)
 }
 
+//wirecap:hotpath
 func (q *typeIIQueue) releaseBatch() {
 	for _, idx := range q.pending {
 		q.inHand--

@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// RuleDirective is the meta-rule under which malformed, unknown, or
+// unused directives are reported. It is not allowlistable: exceptions
+// to the exception mechanism would be invisible.
+const RuleDirective = "directive"
+
+// allowPrefix and hotpathMarker are the two comment directives wirelint
+// understands. Both use the no-space machine-directive form, like
+// //go:build.
+const (
+	allowPrefix   = "//wirelint:allow"
+	hotpathMarker = "//wirecap:hotpath"
+)
+
+// An allow suppresses findings of the named rules on target line.
+type allow struct {
+	file   string
+	target int
+	rules  []string
+	reason string
+	pos    token.Pos
+	used   bool
+}
+
+// directives is the parsed directive state for one package.
+type directives struct {
+	allows   []*allow
+	findings []Diagnostic
+}
+
+// parseDirectives scans a package's comments for wirelint directives.
+// A directive on a line of its own applies to the following line; a
+// trailing directive applies to its own line. Malformed directives
+// (missing reason, unknown rule) and //wirecap:hotpath markers that are
+// not part of a function's doc comment become findings immediately.
+func parseDirectives(pkg *Package, fset *token.FileSet, known map[string]bool) *directives {
+	d := &directives{}
+	for _, f := range pkg.Files {
+		// Doc-comment ranges of declared functions, to validate that
+		// hotpath markers actually annotate something.
+		var docRanges [][2]token.Pos
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				docRanges = append(docRanges, [2]token.Pos{fd.Doc.Pos(), fd.Doc.End()})
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				switch {
+				case text == hotpathMarker || strings.HasPrefix(text, hotpathMarker+" "):
+					attached := false
+					for _, r := range docRanges {
+						if c.Pos() >= r[0] && c.End() <= r[1] {
+							attached = true
+							break
+						}
+					}
+					if !attached {
+						d.findings = append(d.findings, Diagnostic{
+							Pos:  c.Pos(),
+							Rule: RuleDirective,
+							Message: "//wirecap:hotpath is not part of a function's doc comment; " +
+								"it annotates nothing",
+						})
+					}
+				case strings.HasPrefix(text, allowPrefix):
+					d.parseAllow(pkg, fset, c, known)
+				}
+			}
+		}
+	}
+	return d
+}
+
+func (d *directives) parseAllow(pkg *Package, fset *token.FileSet, c *ast.Comment, known map[string]bool) {
+	rest := strings.TrimPrefix(c.Text, allowPrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return // some other token, e.g. //wirelint:allowfoo
+	}
+	// Anything after a second "//" is commentary, not part of the
+	// directive: //wirelint:allow walltime reason // aside.
+	rest, _, _ = strings.Cut(rest, "//")
+	fields := strings.Fields(rest)
+	pos := fset.Position(c.Slash)
+	if len(fields) == 0 {
+		d.findings = append(d.findings, Diagnostic{
+			Pos: c.Pos(), Rule: RuleDirective,
+			Message: "//wirelint:allow needs a rule list and a reason",
+		})
+		return
+	}
+	rules := strings.Split(fields[0], ",")
+	for _, r := range rules {
+		if r == RuleDirective {
+			d.findings = append(d.findings, Diagnostic{
+				Pos: c.Pos(), Rule: RuleDirective,
+				Message: "the directive rule itself cannot be allowlisted",
+			})
+			return
+		}
+		if !known[r] {
+			d.findings = append(d.findings, Diagnostic{
+				Pos: c.Pos(), Rule: RuleDirective,
+				Message: "//wirelint:allow names unknown rule " + strconvQuote(r),
+			})
+			return
+		}
+	}
+	reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+	if reason == "" {
+		d.findings = append(d.findings, Diagnostic{
+			Pos: c.Pos(), Rule: RuleDirective,
+			Message: "//wirelint:allow " + fields[0] + " is missing a reason; " +
+				"exceptions must say why",
+		})
+		return
+	}
+	target := pos.Line
+	if standaloneComment(pkg.Src[pos.Filename], pos) {
+		target = pos.Line + 1
+	}
+	d.allows = append(d.allows, &allow{
+		file: pos.Filename, target: target, rules: rules, reason: reason, pos: c.Pos(),
+	})
+}
+
+// standaloneComment reports whether only whitespace precedes the
+// comment on its line, in which case the directive governs the next
+// line rather than its own.
+func standaloneComment(src []byte, pos token.Position) bool {
+	if src == nil {
+		return false
+	}
+	start := pos.Offset - (pos.Column - 1)
+	if start < 0 || start > pos.Offset || pos.Offset > len(src) {
+		return false
+	}
+	for _, b := range src[start:pos.Offset] {
+		if b != ' ' && b != '\t' {
+			return false
+		}
+	}
+	return true
+}
+
+// match returns the allow covering (file, line, rule), if any, marking
+// it used.
+func (d *directives) match(file string, line int, rule string) *allow {
+	for _, a := range d.allows {
+		if a.file != file || a.target != line {
+			continue
+		}
+		for _, r := range a.rules {
+			if r == rule {
+				a.used = true
+				return a
+			}
+		}
+	}
+	return nil
+}
+
+// unused returns findings for allows that suppressed nothing, but only
+// for allows whose every rule was actually run (covered), so partial
+// -rules selections do not produce false positives.
+func (d *directives) unused(covered map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range d.allows {
+		if a.used {
+			continue
+		}
+		all := true
+		for _, r := range a.rules {
+			if !covered[r] {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, Diagnostic{
+				Pos: a.pos, Rule: RuleDirective,
+				Message: "//wirelint:allow " + strings.Join(a.rules, ",") +
+					" suppresses nothing; stale exceptions must be removed",
+			})
+		}
+	}
+	return out
+}
+
+func strconvQuote(s string) string { return "\"" + s + "\"" }

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunFixture loads dir as a standalone fixture package, runs the given
+// analyzers (plus directive processing) through the same pipeline as
+// cmd/wirelint, and compares the live findings against `// want "rx"`
+// expectations in the fixture source — the analysistest contract. Each
+// quoted regular expression after want must match a finding message on
+// that line; findings with no matching want, and wants with no matching
+// finding, fail the test.
+func RunFixture(t *testing.T, dir string, azs ...*Analyzer) {
+	t.Helper()
+	m, err := LoadDir(dir, "fix")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	findings, _, err := Run(m, azs)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+	wants := parseWants(t, m)
+	matched := make([]bool, len(findings))
+	for _, w := range wants {
+		found := false
+		for i, f := range findings {
+			if matched[i] || f.File != w.file || f.Line != w.line {
+				continue
+			}
+			if w.rx.MatchString(f.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+	for i, f := range findings {
+		if !matched[i] {
+			t.Errorf("%s: unexpected finding: %s [%s]", dir, f, f.Rule)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+}
+
+func parseWants(t *testing.T, m *Module) []want {
+	t.Helper()
+	var out []want
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, "// want ")
+					if idx < 0 {
+						continue
+					}
+					pos := m.Fset.Position(c.Slash)
+					rxs, err := parseWantPatterns(c.Text[idx+len("// want "):])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+					}
+					for _, rx := range rxs {
+						out = append(out, want{file: relPath(m.Root, pos.Filename), line: pos.Line, rx: rx})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func parseWantPatterns(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' && s[0] != '`' {
+			return nil, fmt.Errorf("expected quoted pattern at %q", s)
+		}
+		// Find the end of this Go-quoted string.
+		var lit string
+		var rest string
+		if s[0] == '`' {
+			end := strings.Index(s[1:], "`")
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated pattern at %q", s)
+			}
+			lit, rest = s[:end+2], s[end+2:]
+		} else {
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				return nil, fmt.Errorf("unterminated pattern at %q", s)
+			}
+			lit, rest = s[:end+1], s[end+1:]
+		}
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("unquoting %s: %w", lit, err)
+		}
+		rx, err := regexp.Compile(unq)
+		if err != nil {
+			return nil, fmt.Errorf("compiling %s: %w", lit, err)
+		}
+		out = append(out, rx)
+		s = strings.TrimSpace(rest)
+	}
+	return out, nil
+}

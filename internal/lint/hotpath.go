@@ -1,0 +1,303 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotpathAnalyzer gives line-level attribution to the allocation-free
+// property that cmd/ci-gate's AllocsPerRun budgets check only in
+// aggregate. Functions on the capture/poll/copy/recycle paths carry a
+// //wirecap:hotpath marker in their doc comment; inside them the
+// analyzer flags the constructs that allocate or box on the Go heap:
+// function literals (closure capture), implicit interface conversions,
+// fmt calls, string concatenation and string<->[]byte conversions,
+// append, make/new, and map/slice literals. Blocks that end in panic
+// are treated as cold — a corruption guard may format its death
+// message.
+var HotpathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Doc:  "flag allocation-causing constructs in //wirecap:hotpath functions",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			sig, _ := pass.Info.Defs[fd.Name].Type().(*types.Signature)
+			checkHotBody(pass, fd.Body, sig)
+		}
+	}
+	return nil
+}
+
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == hotpathMarker || strings.HasPrefix(c.Text, hotpathMarker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// coldRanges collects the position ranges of blocks that terminate in
+// panic; findings inside them are suppressed.
+func coldRanges(body *ast.BlockStmt) [][2]token.Pos {
+	var out [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		b, ok := n.(*ast.BlockStmt)
+		if !ok || len(b.List) == 0 {
+			return true
+		}
+		if es, ok := b.List[len(b.List)-1].(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					out = append(out, [2]token.Pos{b.Pos(), b.End()})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func checkHotBody(pass *Pass, body *ast.BlockStmt, declSig *types.Signature) {
+	cold := coldRanges(body)
+	inCold := func(pos token.Pos) bool {
+		for _, r := range cold {
+			if r[0] <= pos && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Stack of enclosing nodes, to resolve the signature governing a
+	// return statement and to tell method values from method calls.
+	var stack []ast.Node
+	calledFun := make(map[ast.Expr]bool)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if inCold(n.Pos()) {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "function literal in hot path allocates a closure; hoist it or pre-bind it (vtime.Timer pattern)")
+		case *ast.CallExpr:
+			calledFun[n.Fun] = true
+			checkHotCall(pass, n)
+		case *ast.SelectorExpr:
+			if !calledFun[n] {
+				if sel := pass.Info.Selections[n]; sel != nil && sel.Kind() == types.MethodVal {
+					// A method value not being called is a bound-closure
+					// allocation (x.M as a value).
+					pass.Reportf(n.Pos(), "method value %s allocates a bound closure in hot path", types.ExprString(n))
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(pass.Info.Types[n].Type) {
+				pass.Reportf(n.Pos(), "string concatenation allocates in hot path")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(pass.Info.Types[n.Lhs[0]].Type) {
+				pass.Reportf(n.Pos(), "string concatenation allocates in hot path")
+			}
+			checkHotAssign(pass, n)
+		case *ast.ReturnStmt:
+			sig := declSig
+			for i := len(stack) - 2; i >= 0; i-- {
+				if lit, ok := stack[i].(*ast.FuncLit); ok {
+					sig, _ = pass.Info.Types[lit].Type.(*types.Signature)
+					break
+				}
+			}
+			checkHotReturn(pass, n, sig)
+		case *ast.CompositeLit:
+			t := pass.Info.Types[n].Type
+			if t == nil {
+				break
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates in hot path")
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates in hot path")
+			case *types.Struct:
+				if len(stack) >= 2 {
+					if u, ok := stack[len(stack)-2].(*ast.UnaryExpr); ok && u.Op == token.AND {
+						pass.Reportf(u.Pos(), "&%s literal escapes and allocates in hot path", types.ExprString(n.Type))
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type == nil {
+				break
+			}
+			t := pass.Info.Types[n.Type].Type
+			for _, v := range n.Values {
+				if boxes(pass, t, v) {
+					pass.Reportf(v.Pos(), "%s is implicitly converted to %s in hot path (interface boxing allocates)",
+						types.ExprString(v), t.String())
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr) {
+	// fmt.* — always an allocation (and boxing) machine.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				pass.Reportf(call.Pos(), "fmt.%s allocates and boxes its arguments in hot path", sel.Sel.Name)
+				return
+			}
+		}
+	}
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				pass.Reportf(call.Pos(), "append in hot path may grow its backing array; preallocate or reuse pooled storage")
+			case "make":
+				if len(call.Args) == 1 {
+					pass.Reportf(call.Pos(), "unsized make(%s) in hot path allocates; size it and hoist it out of the hot path", types.ExprString(call.Args[0]))
+				} else {
+					pass.Reportf(call.Pos(), "make in hot path allocates per call; hoist or pool the buffer")
+				}
+			case "new":
+				pass.Reportf(call.Pos(), "new in hot path allocates; reuse pooled objects")
+			}
+			return
+		}
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	// Conversions: string<->[]byte copy, and conversions to interface.
+	if tv.IsType() {
+		if len(call.Args) != 1 {
+			return
+		}
+		to := tv.Type
+		from := pass.Info.Types[call.Args[0]].Type
+		switch {
+		case boxes(pass, to, call.Args[0]):
+			pass.Reportf(call.Pos(), "conversion to %s in hot path boxes (allocates)", to.String())
+		case isStringType(to) && isByteSlice(from), isByteSlice(to) && isStringType(from):
+			pass.Reportf(call.Pos(), "%s<->%s conversion copies and allocates in hot path", from.String(), to.String())
+		}
+		return
+	}
+	// Ordinary call: implicit interface conversions at the call boundary.
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if boxes(pass, pt, arg) {
+			pass.Reportf(arg.Pos(), "argument %s is implicitly converted to %s in hot path (interface boxing allocates)",
+				types.ExprString(arg), pt.String())
+		}
+	}
+}
+
+func checkHotAssign(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		var lt types.Type
+		if as.Tok == token.DEFINE {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := pass.Info.Defs[id]; obj != nil {
+					lt = obj.Type()
+				}
+			}
+			// := infers the concrete type; boxing cannot happen unless
+			// the variable was already declared with an interface type.
+			if lt == nil {
+				continue
+			}
+		} else if tv, ok := pass.Info.Types[lhs]; ok {
+			lt = tv.Type
+		}
+		if boxes(pass, lt, as.Rhs[i]) {
+			pass.Reportf(as.Rhs[i].Pos(), "%s is implicitly converted to %s in hot path (interface boxing allocates)",
+				types.ExprString(as.Rhs[i]), lt.String())
+		}
+	}
+}
+
+func checkHotReturn(pass *Pass, ret *ast.ReturnStmt, sig *types.Signature) {
+	if sig == nil || len(ret.Results) != sig.Results().Len() {
+		return
+	}
+	for i, res := range ret.Results {
+		rt := sig.Results().At(i).Type()
+		if boxes(pass, rt, res) {
+			pass.Reportf(res.Pos(), "return value %s is implicitly converted to %s in hot path (interface boxing allocates)",
+				types.ExprString(res), rt.String())
+		}
+	}
+}
+
+// boxes reports whether assigning arg to a destination of type to would
+// convert a concrete value to an interface — a heap allocation on every
+// execution in the general case.
+func boxes(pass *Pass, to types.Type, arg ast.Expr) bool {
+	if to == nil || !types.IsInterface(to) {
+		return false
+	}
+	tv, ok := pass.Info.Types[arg]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return false
+	}
+	return !types.IsInterface(tv.Type)
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune)
+}

@@ -1,0 +1,28 @@
+package lint
+
+import "testing"
+
+// TestModuleClean runs the full analyzer suite over the whole module and
+// requires zero live findings: every violation is either fixed or carries
+// a //wirelint:allow directive with a reason. This is the same contract
+// `make lint` enforces in CI.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	m, err := LoadModule("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, sum, err := Run(m, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) == 0 && sum.Packages == 0 {
+		t.Fatal("no packages analyzed — loader found nothing")
+	}
+	t.Logf("analyzed %d packages, %d allowlisted exceptions", sum.Packages, sum.Allowed)
+}

@@ -1,0 +1,550 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockAnalyzer enforces the repo's locking discipline, including the
+// recursion-guard rule behind the labels_overflowed fix: a method that
+// runs with its receiver's lock held must never call back into a method
+// that re-acquires it. Concretely it checks, per function:
+//
+//   - every sync.Mutex/RWMutex Lock/RLock is released on every path —
+//     by an Unlock on the path or a defer (deferring inside a loop does
+//     not count: it releases at function return, not iteration end);
+//   - no path returns while a non-deferred lock is held;
+//   - no call re-acquires a mutex the caller already holds, where
+//     "re-acquires" includes calling any method of this package that
+//     (transitively) locks the same receiver field — the self-deadlock
+//     that metric registration or chunk-pool calls under the registry
+//     or pool lock would cause;
+//   - functions whose name ends in "Locked" (the convention for
+//     run-with-lock-held helpers) must not call locking methods of
+//     their own receiver at all.
+//
+// The path analysis is deliberately conservative: branch-local locking
+// is tracked within the branch, and states merge by intersection, so a
+// finding means a concrete path, while exotic-but-correct patterns
+// (conditional lock handoff between functions) take a //wirelint:allow
+// lockdiscipline directive with a reason.
+var LockAnalyzer = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "check Lock/Unlock pairing on all paths and re-entrant acquisition",
+	Run:  runLock,
+}
+
+type heldLock struct {
+	pos      token.Pos
+	deferred bool
+	// acquiredHere marks locks taken within the current loop body, for
+	// the not-released-by-iteration-end check.
+	acquiredHere bool
+}
+
+type lockChecker struct {
+	pass *Pass
+	// locking maps a method object to the receiver-relative path of the
+	// mutex it (transitively) acquires, e.g. ".mu" — or "" when the
+	// mutex is embedded in the receiver itself.
+	locking map[*types.Func]string
+	inLoop  bool
+}
+
+func runLock(pass *Pass) error {
+	c := &lockChecker{pass: pass, locking: lockingMethods(pass)}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(fd)
+		}
+	}
+	return nil
+}
+
+// mutexOp classifies a call as a sync.Mutex/RWMutex operation. The key
+// identifies the mutex by the source expression it is reached through
+// ("r.mu", "mu"), with an "/r" suffix for the read side of an RWMutex.
+func (c *lockChecker) mutexOp(call *ast.CallExpr) (key string, lock, unlock bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	s := c.pass.Info.Selections[sel]
+	if s == nil {
+		return "", false, false
+	}
+	obj := s.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	key = types.ExprString(sel.X)
+	switch obj.Name() {
+	case "Lock":
+		return key, true, false
+	case "Unlock":
+		return key, false, true
+	case "RLock":
+		return key + "/r", true, false
+	case "RUnlock":
+		return key + "/r", false, true
+	}
+	return "", false, false
+}
+
+// lockingMethods computes, to a fixpoint, which methods of this package
+// acquire a mutex reachable from their receiver, and through which
+// field path.
+func lockingMethods(pass *Pass) map[*types.Func]string {
+	out := make(map[*types.Func]string)
+	type mdecl struct {
+		fn   *types.Func
+		recv types.Object
+		body *ast.BlockStmt
+	}
+	var methods []mdecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+				continue
+			}
+			fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			recv := pass.Info.Defs[fd.Recv.List[0].Names[0]]
+			if fn == nil || recv == nil {
+				continue
+			}
+			methods = append(methods, mdecl{fn, recv, fd.Body})
+		}
+	}
+	recvRel := func(recv types.Object, x ast.Expr) (string, bool) {
+		full := types.ExprString(x)
+		if full == recv.Name() {
+			return "", true
+		}
+		if rest, ok := strings.CutPrefix(full, recv.Name()+"."); ok {
+			return "." + rest, true
+		}
+		return "", false
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, m := range methods {
+			if _, done := out[m.fn]; done {
+				continue
+			}
+			found := ""
+			ok := false
+			ast.Inspect(m.body, func(n ast.Node) bool {
+				if ok {
+					return false
+				}
+				call, isCall := n.(*ast.CallExpr)
+				if !isCall {
+					return true
+				}
+				sel, isSel := call.Fun.(*ast.SelectorExpr)
+				if !isSel {
+					return true
+				}
+				// Direct mutex acquisition through the receiver.
+				if s := pass.Info.Selections[sel]; s != nil {
+					obj := s.Obj()
+					if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && (obj.Name() == "Lock" || obj.Name() == "RLock") {
+						if rel, hit := recvRel(m.recv, sel.X); hit {
+							found, ok = rel, true
+							return false
+						}
+					}
+				}
+				// A call to another locking method on the receiver.
+				if callee, isFn := pass.Info.Uses[sel.Sel].(*types.Func); isFn {
+					if rel, isLocking := out[callee]; isLocking {
+						if base, hit := recvRel(m.recv, sel.X); hit && base == "" {
+							found, ok = rel, true
+							return false
+						}
+					}
+				}
+				return true
+			})
+			if ok {
+				out[m.fn] = found
+				changed = true
+			}
+		}
+	}
+	return out
+}
+
+func (c *lockChecker) checkFunc(fd *ast.FuncDecl) {
+	var recv types.Object
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		recv = c.pass.Info.Defs[fd.Recv.List[0].Names[0]]
+	}
+	held := make(map[string]*heldLock)
+	c.inLoop = false
+	c.walkStmts(fd.Body.List, held)
+	for key, h := range held {
+		if !h.deferred {
+			c.pass.Reportf(h.pos, "%s is not released on every path; Unlock before returning or defer the Unlock", lockName(key))
+		}
+	}
+	if recv != nil && strings.HasSuffix(fd.Name.Name, "Locked") {
+		c.checkLockedConvention(fd, recv)
+	}
+}
+
+// checkLockedConvention flags calls from a ...Locked helper to anything
+// that (re-)acquires its receiver's locks — the static form of the
+// registration-under-lock recursion guard.
+func (c *lockChecker) checkLockedConvention(fd *ast.FuncDecl, recv types.Object) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, isIdent := sel.X.(*ast.Ident)
+		if !isIdent || c.pass.Info.Uses[base] != recv {
+			return true
+		}
+		if callee, ok := c.pass.Info.Uses[sel.Sel].(*types.Func); ok {
+			if _, locking := c.locking[callee]; locking {
+				c.pass.Reportf(call.Pos(),
+					"%s runs with the lock held (Locked suffix) but calls %s.%s, which re-acquires it; use the *Locked variant or restructure",
+					fd.Name.Name, base.Name, sel.Sel.Name)
+			}
+		}
+		if s := c.pass.Info.Selections[sel]; s != nil {
+			obj := s.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && (obj.Name() == "Lock" || obj.Name() == "RLock") {
+				c.pass.Reportf(call.Pos(),
+					"%s runs with the lock held (Locked suffix) but re-acquires %s", fd.Name.Name, types.ExprString(sel.X))
+			}
+		}
+		return true
+	})
+}
+
+func cloneHeld(held map[string]*heldLock) map[string]*heldLock {
+	out := make(map[string]*heldLock, len(held))
+	for k, v := range held {
+		cp := *v
+		out[k] = &cp
+	}
+	return out
+}
+
+// terminates reports whether a statement list cannot fall through.
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch s := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.IfStmt:
+		if s.Else != nil {
+			eb, ok := s.Else.(*ast.BlockStmt)
+			return terminates(s.Body.List) && ok && terminates(eb.List)
+		}
+	case *ast.BlockStmt:
+		return terminates(s.List)
+	}
+	return false
+}
+
+func (c *lockChecker) walkStmts(stmts []ast.Stmt, held map[string]*heldLock) {
+	for _, s := range stmts {
+		c.walkStmt(s, held)
+	}
+}
+
+func (c *lockChecker) walkStmt(s ast.Stmt, held map[string]*heldLock) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		c.scanExpr(s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.scanExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			c.scanExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.scanExpr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		c.scanExpr(s.X, held)
+	case *ast.SendStmt:
+		c.scanExpr(s.Chan, held)
+		c.scanExpr(s.Value, held)
+	case *ast.DeferStmt:
+		c.walkDefer(s, held)
+	case *ast.GoStmt:
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.checkFuncLit(lit)
+		}
+		for _, a := range s.Call.Args {
+			c.scanExpr(a, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.scanExpr(e, held)
+		}
+		for key, h := range held {
+			if !h.deferred {
+				c.pass.Reportf(s.Pos(), "return while %s is held (locked at line %d); Unlock on this path or defer the Unlock",
+					strings.TrimSuffix(key, "/r"), c.pass.Fset.Position(h.pos).Line)
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, held)
+		}
+		c.scanExpr(s.Cond, held)
+		thenHeld := cloneHeld(held)
+		c.walkStmts(s.Body.List, thenHeld)
+		elseHeld := cloneHeld(held)
+		if s.Else != nil {
+			c.walkStmt(s.Else, elseHeld)
+		}
+		// Merge: if one arm terminates, the fallthrough state is the
+		// other arm's; otherwise keep what both arms agree is held.
+		switch {
+		case terminates(s.Body.List):
+			replaceHeld(held, elseHeld)
+		case s.Else != nil && terminatesStmt(s.Else):
+			replaceHeld(held, thenHeld)
+		default:
+			intersectHeld(held, thenHeld, elseHeld)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			c.scanExpr(s.Cond, held)
+		}
+		c.walkLoopBody(s.Body, held)
+	case *ast.RangeStmt:
+		c.scanExpr(s.X, held)
+		c.walkLoopBody(s.Body, held)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.scanExpr(s.Tag, held)
+		}
+		c.walkClauses(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, held)
+		}
+		c.walkClauses(s.Body, held)
+	case *ast.SelectStmt:
+		c.walkClauses(s.Body, held)
+	case *ast.BlockStmt:
+		c.walkStmts(s.List, held)
+	case *ast.LabeledStmt:
+		c.walkStmt(s.Stmt, held)
+	}
+}
+
+func terminatesStmt(s ast.Stmt) bool {
+	if b, ok := s.(*ast.BlockStmt); ok {
+		return terminates(b.List)
+	}
+	return terminates([]ast.Stmt{s})
+}
+
+func replaceHeld(dst, src map[string]*heldLock) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func intersectHeld(dst, a, b map[string]*heldLock) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			cp := *va
+			cp.deferred = va.deferred && vb.deferred
+			dst[k] = &cp
+		}
+	}
+}
+
+// walkLoopBody analyzes a loop body in a child state and flags locks
+// the iteration acquires but does not release.
+func (c *lockChecker) walkLoopBody(body *ast.BlockStmt, held map[string]*heldLock) {
+	inner := cloneHeld(held)
+	for _, h := range inner {
+		h.acquiredHere = false
+	}
+	saved := c.inLoop
+	c.inLoop = true
+	c.walkStmts(body.List, inner)
+	c.inLoop = saved
+	for key, h := range inner {
+		if h.acquiredHere && !h.deferred {
+			c.pass.Reportf(h.pos, "%s inside the loop is not released by the end of the iteration",
+				lockName(key))
+		}
+	}
+}
+
+func (c *lockChecker) walkClauses(body *ast.BlockStmt, held map[string]*heldLock) {
+	for _, cl := range body.List {
+		inner := cloneHeld(held)
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				c.scanExpr(e, inner)
+			}
+			c.walkStmts(cl.Body, inner)
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				c.walkStmt(cl.Comm, inner)
+			}
+			c.walkStmts(cl.Body, inner)
+		}
+	}
+}
+
+func (c *lockChecker) walkDefer(s *ast.DeferStmt, held map[string]*heldLock) {
+	if c.inLoop {
+		if key, _, unlock := c.mutexOp(s.Call); unlock {
+			c.pass.Reportf(s.Pos(), "defer %s in a loop releases at function return, not iteration end", types.ExprString(s.Call.Fun))
+			if h, ok := held[key]; ok {
+				h.deferred = true
+			}
+			return
+		}
+	}
+	if key, _, unlock := c.mutexOp(s.Call); unlock {
+		if h, ok := held[key]; ok {
+			h.deferred = true
+		}
+		return
+	}
+	// defer func() { ...; mu.Unlock(); ... }() — scan the literal for
+	// releases and treat them as deferred.
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if key, _, unlock := c.mutexOp(call); unlock {
+					if h, ok := held[key]; ok {
+						h.deferred = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// scanExpr processes the calls inside an expression in source order:
+// mutex operations update the held set, and calls that would re-acquire
+// a held mutex are flagged. Function literals are checked as their own
+// functions.
+func (c *lockChecker) scanExpr(e ast.Expr, held map[string]*heldLock) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.checkFuncLit(n)
+			return false
+		case *ast.CallExpr:
+			key, lock, unlock := c.mutexOp(n)
+			switch {
+			case lock:
+				if h, exists := held[key]; exists && !h.deferred {
+					c.pass.Reportf(n.Pos(), "%s is locked again while already held (locked at line %d)",
+						strings.TrimSuffix(key, "/r"), c.pass.Fset.Position(h.pos).Line)
+				}
+				held[key] = &heldLock{pos: n.Pos(), acquiredHere: true}
+			case unlock:
+				delete(held, key)
+			default:
+				c.checkReacquire(n, held)
+			}
+		}
+		return true
+	})
+}
+
+// checkReacquire flags a call to a locking method whose mutex the
+// caller already holds.
+func (c *lockChecker) checkReacquire(call *ast.CallExpr, held map[string]*heldLock) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	callee, ok := c.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	rel, locking := c.locking[callee]
+	if !locking {
+		return
+	}
+	key := types.ExprString(sel.X) + rel
+	if h, heldNow := held[key]; heldNow && !strings.HasSuffix(key, "/r") {
+		_ = h
+		c.pass.Reportf(call.Pos(),
+			"%s.%s re-acquires %s, which is already held here — self-deadlock (registration/pool calls must not run under this lock)",
+			types.ExprString(sel.X), sel.Sel.Name, key)
+	}
+}
+
+func (c *lockChecker) checkFuncLit(lit *ast.FuncLit) {
+	held := make(map[string]*heldLock)
+	saved := c.inLoop
+	c.inLoop = false
+	c.walkStmts(lit.Body.List, held)
+	c.inLoop = saved
+	for key, h := range held {
+		if !h.deferred {
+			c.pass.Reportf(h.pos, "%s is not released on every path; Unlock before returning or defer the Unlock", lockName(key))
+		}
+	}
+}
+
+// lockName renders a held-set key back to the acquiring call.
+func lockName(key string) string {
+	if base, ok := strings.CutSuffix(key, "/r"); ok {
+		return base + ".RLock()"
+	}
+	return key + ".Lock()"
+}

@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MaporderAnalyzer guards the byte-identical-runs invariant against
+// Go's randomized map iteration. A `range` over a map is flagged when
+// what happens inside the loop is order-sensitive: values flow into a
+// slice append that is never sorted afterwards in the same function, or
+// straight into an ordered sink (fmt.Fprint*, Write/WriteString/Encode
+// methods, hash writes — the paths by which digests, metrics snapshots,
+// and JSON/text exports are built). Writes into another map and
+// per-iteration local accumulators are order-insensitive and stay
+// legal, as does the canonical collect-keys-then-sort idiom.
+var MaporderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration whose order can leak into exported bytes",
+	Run:  runMaporder,
+}
+
+// emitNames are method names treated as ordered sinks. They cover
+// strings.Builder, bytes.Buffer, io.Writer, hash.Hash, and the
+// encoding/json encoder.
+var emitNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Encode": true,
+}
+
+// emitFmt are the fmt functions that produce ordered output directly.
+// The Sprint family is pure and therefore not a sink by itself.
+var emitFmt = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func runMaporder(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Walk with enough context to find the function body enclosing
+		// each range statement, so "is the append sorted later?" can be
+		// answered within that scope.
+		var funcBodies []*ast.BlockStmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case nil:
+				return true
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					funcBodies = append(funcBodies, n.Body)
+				}
+			case *ast.FuncLit:
+				funcBodies = append(funcBodies, n.Body)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n, enclosingBody(funcBodies, n))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingBody returns the innermost collected function body that
+// contains n.
+func enclosingBody(bodies []*ast.BlockStmt, n ast.Node) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	for _, b := range bodies {
+		if b.Pos() <= n.Pos() && n.End() <= b.End() {
+			if best == nil || b.Pos() > best.Pos() {
+				best = b
+			}
+		}
+	}
+	return best
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	tv, ok := pass.Info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	// Without key/value variables the body cannot depend on which
+	// element is current, so order cannot leak.
+	if rs.Key == nil && rs.Value == nil {
+		return
+	}
+	mapName := types.ExprString(rs.X)
+
+	reportedEmit := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if b, ok := pass.Info.Uses[fun].(*types.Builtin); ok && b.Name() == "append" && len(call.Args) > 0 {
+				target := call.Args[0]
+				if localToRange(pass, target, rs) {
+					return true
+				}
+				if !sortedAfter(pass, fnBody, rs, target) {
+					pass.Reportf(rs.For,
+						"iterating map %s appends to %s in map order; sort %s after the loop or iterate sorted keys",
+						mapName, types.ExprString(target), types.ExprString(target))
+				}
+			}
+		case *ast.SelectorExpr:
+			if reportedEmit {
+				return true
+			}
+			name := fun.Sel.Name
+			if id, ok := fun.X.(*ast.Ident); ok {
+				if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+					if pn.Imported().Path() == "fmt" && emitFmt[name] {
+						pass.Reportf(rs.For,
+							"iterating map %s emits output via fmt.%s in map order; iterate sorted keys instead",
+							mapName, name)
+						reportedEmit = true
+					}
+					return true
+				}
+			}
+			if emitNames[name] && pass.Info.Selections[fun] != nil && !localToRange(pass, fun.X, rs) {
+				pass.Reportf(rs.For,
+					"iterating map %s writes to %s in map order; iterate sorted keys instead",
+					mapName, types.ExprString(fun.X))
+				reportedEmit = true
+			}
+		}
+		return true
+	})
+}
+
+// localToRange reports whether expr's base identifier is declared
+// inside the range body — a per-iteration accumulator whose content
+// cannot carry cross-iteration map order.
+func localToRange(pass *Pass, expr ast.Expr, rs *ast.RangeStmt) bool {
+	base := expr
+	for {
+		if sel, ok := base.(*ast.SelectorExpr); ok {
+			base = sel.X
+			continue
+		}
+		if ix, ok := base.(*ast.IndexExpr); ok {
+			base = ix.X
+			continue
+		}
+		break
+	}
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Info.Defs[id]
+	}
+	return obj != nil && rs.Body.Pos() <= obj.Pos() && obj.Pos() <= rs.Body.End()
+}
+
+// sortFuncs are the sort entry points that restore a deterministic
+// order; seeing one applied to the append target after the loop makes
+// the iteration safe.
+var sortFuncs = map[string]bool{
+	"Strings": true, "Ints": true, "Float64s": true,
+	"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	"SortFunc": true, "SortStableFunc": true,
+}
+
+func sortedAfter(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, target ast.Expr) bool {
+	if fnBody == nil {
+		return false
+	}
+	want := types.ExprString(target)
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !sortFuncs[sel.Sel.Name] {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.Info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if types.ExprString(arg) == want {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+)
+
+// A Summary is the roll-up the driver prints: how much was checked, how
+// many findings are live, and — so exceptions stay visible — every
+// allowlisted finding with its reason.
+type Summary struct {
+	Packages      int            `json:"packages"`
+	Findings      int            `json:"findings"`
+	Allowed       int            `json:"allowed"`
+	ByRule        map[string]int `json:"by_rule,omitempty"`
+	AllowedByRule map[string]int `json:"allowed_by_rule,omitempty"`
+	AllowedList   []Finding      `json:"allowed_list,omitempty"`
+}
+
+// Run executes the analyzers over every package of the module, applies
+// //wirelint:allow directives, and returns live findings (sorted by
+// position) plus the summary. Directive hygiene — missing reasons,
+// unknown rules, markers that annotate nothing, allows that suppress
+// nothing — is reported under the "directive" rule alongside the
+// analyzers' own findings.
+func Run(m *Module, azs []*Analyzer) ([]Finding, Summary, error) {
+	covered := make(map[string]bool, len(azs))
+	for _, a := range azs {
+		covered[a.Name] = true
+	}
+	known := KnownRules()
+	sum := Summary{
+		Packages:      len(m.Pkgs),
+		ByRule:        make(map[string]int),
+		AllowedByRule: make(map[string]int),
+	}
+	var live []Finding
+	seen := make(map[string]bool)
+	for _, pkg := range m.Pkgs {
+		var diags []Diagnostic
+		for _, a := range azs {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     m.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				PkgPath:  pkg.PkgPath,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, sum, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+		dirs := parseDirectives(pkg, m.Fset, known)
+		for _, d := range diags {
+			pos := m.Fset.Position(d.Pos)
+			f := Finding{
+				File: relPath(m.Root, pos.Filename), Line: pos.Line, Col: pos.Column,
+				Rule: d.Rule, Message: d.Message,
+			}
+			if a := dirs.match(pos.Filename, pos.Line, d.Rule); a != nil {
+				f.Allowed = true
+				f.Reason = a.reason
+				sum.Allowed++
+				sum.AllowedByRule[d.Rule]++
+				sum.AllowedList = append(sum.AllowedList, f)
+				continue
+			}
+			key := f.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			live = append(live, f)
+		}
+		diags = append(dirs.findings, dirs.unused(covered)...)
+		for _, d := range diags {
+			pos := m.Fset.Position(d.Pos)
+			f := Finding{
+				File: relPath(m.Root, pos.Filename), Line: pos.Line, Col: pos.Column,
+				Rule: d.Rule, Message: d.Message,
+			}
+			key := f.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			live = append(live, f)
+		}
+	}
+	sortFindings(live)
+	sortFindings(sum.AllowedList)
+	for _, f := range live {
+		sum.ByRule[f.Rule]++
+	}
+	sum.Findings = len(live)
+	return live, sum, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+}
+
+func relPath(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+		return rel
+	}
+	return file
+}

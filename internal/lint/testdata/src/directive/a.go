@@ -1,0 +1,38 @@
+package fix
+
+import "time"
+
+// allowedTrailing: a trailing directive with a reason suppresses the
+// finding on its own line.
+func allowedTrailing() time.Time {
+	return time.Now() //wirelint:allow walltime fixture exercises trailing form
+}
+
+// allowedStandalone: a directive alone on a line governs the next line.
+func allowedStandalone() time.Time {
+	//wirelint:allow walltime fixture exercises standalone form
+	return time.Now()
+}
+
+// missingReason: an allow without a reason is itself a finding, and
+// suppresses nothing.
+func missingReason() time.Time {
+	return time.Now() //wirelint:allow walltime // want `is missing a reason` `time\.Now reads the wall clock`
+}
+
+// unknownRule: naming a rule that does not exist is a finding.
+func unknownRule() {
+	_ = 0 //wirelint:allow nosuchrule because reasons // want `unknown rule "nosuchrule"`
+}
+
+// unusedAllow: an allow that suppresses nothing must be removed.
+func unusedAllow() {
+	_ = 1 //wirelint:allow walltime nothing here reads the clock // want `suppresses nothing`
+}
+
+// danglingHotpath: a hotpath marker that annotates no function is a
+// finding.
+func danglingHotpath() {
+	//wirecap:hotpath // want `annotates nothing`
+	_ = 2
+}

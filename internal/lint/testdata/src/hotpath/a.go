@@ -1,0 +1,60 @@
+package fix
+
+import "fmt"
+
+type queue struct {
+	buf []byte
+	n   int
+}
+
+var sink func()
+
+func consume(x interface{}) { _ = x }
+
+// hotViolations exercises every allocation check.
+//
+//wirecap:hotpath
+func hotViolations(q *queue, vals []int) int {
+	s := fmt.Sprintf("%d", len(vals)) // want `fmt\.Sprintf allocates and boxes`
+	_ = s
+	sink = func() { q.n++ }  // want `function literal in hot path allocates a closure`
+	q.buf = append(q.buf, 1) // want `append in hot path may grow its backing array`
+	m := make(map[int]int)   // want `unsized make\(map\[int\]int\) in hot path allocates`
+	m[1] = 1
+	b := make([]byte, q.n) // want `make in hot path allocates per call`
+	_ = b
+	var box interface{} = q.n // want `interface boxing`
+	_ = box
+	consume(q.n)                // want `argument q\.n is implicitly converted to`
+	name := "q" + string(q.buf) // want `string concatenation allocates in hot path` `\[\]byte<->string conversion copies and allocates`
+	_ = name
+	return q.n
+}
+
+// hotConforming is a real hot-path shape: indexing, copying into
+// preallocated storage, integer arithmetic — and a panic guard whose
+// formatting is cold.
+//
+//wirecap:hotpath
+func hotConforming(q *queue, frame []byte) int {
+	n := copy(q.buf, frame)
+	q.n += n
+	if q.n < 0 {
+		panic(fmt.Sprintf("impossible count %d", q.n))
+	}
+	return n
+}
+
+func (q *queue) val() int { return q.n }
+
+// hotMethodValue: binding a method as a value allocates a closure.
+//
+//wirecap:hotpath
+func hotMethodValue(q *queue) func() int {
+	return q.val // want `method value q\.val allocates a bound closure`
+}
+
+// notAnnotated allocates freely; only annotated functions are checked.
+func notAnnotated() string {
+	return fmt.Sprintf("%d", 1)
+}

@@ -1,0 +1,139 @@
+package fix
+
+import "sync"
+
+type registry struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// get is the canonical lock/defer-unlock shape.
+func (r *registry) get(k string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m[k]
+}
+
+// okBothPaths releases inline on every path.
+func (r *registry) okBothPaths(k string) int {
+	r.mu.Lock()
+	if v, ok := r.m[k]; ok {
+		r.mu.Unlock()
+		return v
+	}
+	r.mu.Unlock()
+	return 0
+}
+
+// missingUnlock never releases.
+func (r *registry) missingUnlock(k string) {
+	r.mu.Lock() // want `r\.mu\.Lock\(\) is not released on every path`
+	r.m[k] = 1
+}
+
+// returnWhileHeld leaks the lock on the early-return path.
+func (r *registry) returnWhileHeld(k string) int {
+	r.mu.Lock()
+	if v, ok := r.m[k]; ok {
+		return v // want `return while r\.mu is held`
+	}
+	r.mu.Unlock()
+	return 0
+}
+
+// doubleLock self-deadlocks immediately.
+func (r *registry) doubleLock() {
+	r.mu.Lock()
+	r.mu.Lock() // want `r\.mu is locked again while already held`
+	r.mu.Unlock()
+}
+
+// deferInLoop releases only at function return — iterations pile up.
+func (r *registry) deferInLoop(keys []string) {
+	for _, k := range keys {
+		r.mu.Lock()
+		defer r.mu.Unlock() // want `defer r\.mu\.Unlock in a loop releases at function return`
+		r.m[k] = 1
+	}
+}
+
+// lockInLoopNoUnlock deadlocks on the second iteration.
+func (r *registry) lockInLoopNoUnlock(keys []string) {
+	for _, k := range keys {
+		r.mu.Lock() // want `r\.mu\.Lock\(\) inside the loop is not released by the end of the iteration`
+		r.m[k] = 1
+	}
+}
+
+// Register acquires the registry lock — callers must not hold it.
+func (r *registry) Register(k string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[k]++
+}
+
+// deadlockViaMethod calls back into a locking method under the lock:
+// the registration-under-lock recursion bug.
+func (r *registry) deadlockViaMethod(k string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.Register(k) // want `r\.Register re-acquires r\.mu`
+}
+
+// bumpLocked violates the Locked-suffix convention.
+func (r *registry) bumpLocked(k string) {
+	r.Register(k) // want `calls r\.Register, which re-acquires it`
+}
+
+// incLocked is the conforming Locked-suffix helper: plain field work.
+func (r *registry) incLocked(k string) {
+	r.m[k]++
+}
+
+type embeddedReg struct {
+	sync.Mutex
+	n int
+}
+
+// inc locks through the embedded mutex and releases inline.
+func (e *embeddedReg) inc() {
+	e.Lock()
+	e.n++
+	e.Unlock()
+}
+
+var pkgMu sync.Mutex
+
+// okClosure: a literal with its own locking is analyzed on its own.
+func okClosure(fn func()) func() {
+	return func() {
+		pkgMu.Lock()
+		defer pkgMu.Unlock()
+		fn()
+	}
+}
+
+// badClosure leaks inside the literal.
+func badClosure() func() {
+	return func() {
+		pkgMu.Lock() // want `pkgMu\.Lock\(\) is not released on every path`
+	}
+}
+
+type rwReg struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// read uses the read side correctly.
+func (r *rwReg) read(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}
+
+// leakRead leaks the read lock.
+func (r *rwReg) leakRead(k string) int {
+	r.mu.RLock()  // want `r\.mu\.RLock\(\) is not released on every path`
+	return r.m[k] // want `return while r\.mu is held`
+}

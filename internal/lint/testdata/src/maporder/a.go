@@ -1,0 +1,94 @@
+package fix
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// violatingAppend leaks map order into the returned slice.
+func violatingAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `iterating map m appends to keys in map order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// conformingSorted is the canonical collect-then-sort idiom.
+func conformingSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// violatingFprintf emits key/value lines in map order.
+func violatingFprintf(m map[string]int) string {
+	var sb strings.Builder
+	for k, v := range m { // want `iterating map m emits output via fmt\.Fprintf in map order`
+		fmt.Fprintf(&sb, "%s=%d\n", k, v)
+	}
+	return sb.String()
+}
+
+// violatingWriteString streams keys into a builder in map order.
+func violatingWriteString(m map[string]int, sb *strings.Builder) {
+	for k := range m { // want `iterating map m writes to sb in map order`
+		sb.WriteString(k)
+	}
+}
+
+// conformingMapWrite: writing into another map is order-insensitive.
+func conformingMapWrite(src map[string]int) map[string]string {
+	out := make(map[string]string, len(src))
+	for k, v := range src {
+		out[k] = fmt.Sprint(v)
+	}
+	return out
+}
+
+// conformingLocal: a per-iteration accumulator cannot carry
+// cross-iteration order.
+func conformingLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// conformingNoVars: without iteration variables, order cannot leak.
+func conformingNoVars(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+type report struct {
+	Rows []string
+}
+
+// conformingSelectorSort: sorting a struct field after the loop also
+// counts.
+func conformingSelectorSort(m map[string]bool) report {
+	var r report
+	for k := range m {
+		r.Rows = append(r.Rows, k)
+	}
+	sort.Slice(r.Rows, func(i, j int) bool { return r.Rows[i] < r.Rows[j] })
+	return r
+}
+
+// violatingHash: digest input in map order is the golden-digest bug.
+func violatingHash(m map[string]uint64, h interface{ Write([]byte) (int, error) }) {
+	for k := range m { // want `iterating map m writes to h in map order`
+		h.Write([]byte(k))
+	}
+}

@@ -1,0 +1,34 @@
+package fix
+
+import (
+	"math/rand"
+	"time"
+
+	wall "time"
+)
+
+// violations: every banned wall-clock entry point and the
+// process-seeded rand globals.
+func violations() {
+	_ = time.Now()                     // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond)       // want `time\.Sleep blocks on the wall clock`
+	_ = time.Since(time.Time{})        // want `time\.Since reads the wall clock`
+	<-time.After(time.Second)          // want `time\.After blocks on the wall clock`
+	_ = time.NewTicker(time.Second)    // want `time\.NewTicker ticks on the wall clock`
+	_ = time.NewTimer(time.Second)     // want `time\.NewTimer schedules on the wall clock`
+	_ = wall.Now()                     // want `time\.Now reads the wall clock`
+	_ = rand.Intn(10)                  // want `rand\.Intn draws from the process-seeded global source`
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle draws from the process-seeded global source`
+	_ = rand.Float64()                 // want `rand\.Float64 draws from the process-seeded global source`
+}
+
+// conforming: time's pure types and arithmetic, and explicitly seeded
+// generators, are fine.
+func conforming() {
+	var d time.Duration = 5 * time.Millisecond
+	_ = d.Nanoseconds()
+	var t0 time.Time
+	_ = t0.IsZero()
+	r := rand.New(rand.NewSource(42))
+	_ = r.Intn(10)
+}

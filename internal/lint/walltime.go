@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WalltimeAnalyzer enforces the simulator's founding rule (DESIGN.md
+// §1): every cost is charged in virtual time. Reading the wall clock or
+// blocking on it inside simulator code makes runs timing-dependent and
+// breaks the golden-digest guarantee, so time.Now and friends are
+// banned outside _test.go files; the process-seeded math/rand globals
+// are banned everywhere for the same reason (vtime.Rand is the seeded,
+// version-stable generator). Genuine wall-clock needs — self-timing a
+// CI gate, say — carry a //wirelint:allow walltime directive with a
+// reason, which keeps the exception list explicit and reviewable.
+var WalltimeAnalyzer = &Analyzer{
+	Name: "walltime",
+	Doc:  "forbid wall-clock time and process-seeded randomness in simulator code",
+	Run:  runWalltime,
+}
+
+// bannedTime are the package time entry points that read or wait on the
+// wall clock. Pure types and arithmetic (time.Duration, time.Time) stay
+// legal: converting a vtime quantity for display is fine, sampling the
+// host clock is not.
+var bannedTime = map[string]string{
+	"Now":       "reads the wall clock",
+	"Since":     "reads the wall clock",
+	"Until":     "reads the wall clock",
+	"Sleep":     "blocks on the wall clock",
+	"After":     "blocks on the wall clock",
+	"AfterFunc": "schedules on the wall clock",
+	"Tick":      "ticks on the wall clock",
+	"NewTicker": "ticks on the wall clock",
+	"NewTimer":  "schedules on the wall clock",
+}
+
+// bannedRand are the math/rand (and v2) top-level convenience functions
+// that draw from the shared process-seeded source. Constructing an
+// explicitly seeded generator (rand.New, rand.NewSource) is not flagged
+// — though vtime.Rand is the house generator precisely because its
+// stream is stable across Go releases.
+var bannedRand = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint32": true, "Uint64": true, "Uint32N": true, "Uint64N": true,
+	"UintN": true, "Uint": true, "Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true, "Perm": true,
+	"Shuffle": true, "Read": true, "Seed": true,
+}
+
+func runWalltime(pass *Pass) error {
+	for _, f := range pass.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "time":
+				if why, bad := bannedTime[sel.Sel.Name]; bad {
+					pass.Reportf(sel.Pos(),
+						"time.%s %s; simulator code charges virtual time via internal/vtime (wall-clock exceptions need //wirelint:allow walltime <reason>)",
+						sel.Sel.Name, why)
+				}
+			case "math/rand", "math/rand/v2":
+				if bannedRand[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"rand.%s draws from the process-seeded global source; use a seeded vtime.Rand so runs are reproducible",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

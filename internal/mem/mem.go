@@ -152,6 +152,8 @@ func (c *Chunk) Packet(i int) ([]byte, vtime.Time) {
 // SetPacket records that cell i now holds n valid bytes received at ts.
 // The NIC's DMA engine calls it; the bytes themselves were written through
 // the cell slice. Cells must be filled in order.
+//
+//wirecap:hotpath
 func (c *Chunk) SetPacket(i, n int, ts vtime.Time) {
 	if i != c.count {
 		panic(fmt.Sprintf("mem: out-of-order cell fill %d (count %d) in %v", i, c.count, c.id))
@@ -166,6 +168,8 @@ func (c *Chunk) SetPacket(i, n int, ts vtime.Time) {
 // invariant holds — but holds no deliverable packet. Tombstones count in
 // the chunk's metadata pkt_count, so capture/recycle validation is
 // unchanged; delivery paths skip them via Bad.
+//
+//wirecap:hotpath
 func (c *Chunk) MarkBad(i int, ts vtime.Time) {
 	if i != c.count {
 		panic(fmt.Sprintf("mem: out-of-order cell fill %d (count %d) in %v", i, c.count, c.id))
@@ -376,6 +380,8 @@ func (p *Pool) SetTrace(rec *obs.Recorder, now func() vtime.Time) {
 // fault fails the call with ErrTransientAlloc before the free list is
 // consulted — the chunk is there, the allocator just cannot produce it
 // right now, so the caller should retry with backoff.
+//
+//wirecap:hotpath
 func (p *Pool) AllocFree() (*Chunk, error) {
 	if p.allocFault != nil && p.allocFault() {
 		p.stats.TransientAllocFail++
@@ -406,12 +412,14 @@ func (p *Pool) AllocFree() (*Chunk, error) {
 // Capture transitions an attached chunk to captured and returns the
 // metadata handed to user space. It fails if the pool is not mapped: user
 // space could not address the chunk.
+//
+//wirecap:hotpath
 func (p *Pool) Capture(c *Chunk) (Meta, error) {
 	if !p.mapped {
 		return Meta{}, ErrNotMapped
 	}
 	if c.state != StateAttached {
-		return Meta{}, fmt.Errorf("mem: capture of %v in state %v", c.id, c.state)
+		return Meta{}, fmt.Errorf("mem: capture of %v in state %v", c.id, c.state) //wirelint:allow hotpath rejection path is cold; runs once per invalid capture
 	}
 	c.state = StateCaptured
 	p.stats.Captured++
@@ -422,33 +430,35 @@ func (p *Pool) Capture(c *Chunk) (Meta, error) {
 // free list (captured -> free). Validation is strict: unknown IDs, wrong
 // state, forged addresses, wrong counts, and chunks with outstanding
 // transmit references are all rejected without touching kernel state.
+//
+//wirecap:hotpath
 func (p *Pool) Recycle(m Meta) error {
 	if m.ID.NIC != p.nicID || m.ID.Ring != p.ringID ||
 		m.ID.Chunk < 0 || m.ID.Chunk >= len(p.chunks) {
 		p.stats.RecycleRejected++
-		return fmt.Errorf("%w: %v", ErrUnknownChunk, m.ID)
+		return fmt.Errorf("%w: %v", ErrUnknownChunk, m.ID) //wirelint:allow hotpath rejection path is cold; runs once per invalid recycle
 	}
 	c := p.chunks[m.ID.Chunk]
 	if c.state != StateCaptured {
 		p.stats.RecycleRejected++
-		return fmt.Errorf("%w: %v is %v", ErrNotCaptured, m.ID, c.state)
+		return fmt.Errorf("%w: %v is %v", ErrNotCaptured, m.ID, c.state) //wirelint:allow hotpath rejection path is cold; runs once per invalid recycle
 	}
 	if m.ProcAddr != c.ProcAddr(0) {
 		p.stats.RecycleRejected++
-		return fmt.Errorf("%w: %v", ErrBadProcAddr, m.ID)
+		return fmt.Errorf("%w: %v", ErrBadProcAddr, m.ID) //wirelint:allow hotpath rejection path is cold; runs once per invalid recycle
 	}
 	if m.PktCount != c.count-c.base {
 		p.stats.RecycleRejected++
-		return fmt.Errorf("%w: %v: meta %d, chunk %d", ErrBadPktCount, m.ID, m.PktCount, c.count-c.base)
+		return fmt.Errorf("%w: %v: meta %d, chunk %d", ErrBadPktCount, m.ID, m.PktCount, c.count-c.base) //wirelint:allow hotpath rejection path is cold; runs once per invalid recycle
 	}
 	if c.refs > 0 {
 		p.stats.RecycleRejected++
-		return fmt.Errorf("%w: %v has %d refs", ErrStillRef, m.ID, c.refs)
+		return fmt.Errorf("%w: %v has %d refs", ErrStillRef, m.ID, c.refs) //wirelint:allow hotpath rejection path is cold; runs once per invalid recycle
 	}
 	c.state = StateFree
 	c.count = 0
 	c.base = 0
-	p.free = append(p.free, c)
+	p.free = append(p.free, c) //wirelint:allow hotpath free list capacity R is preallocated at pool construction
 	p.stats.Recycled++
 	return nil
 }

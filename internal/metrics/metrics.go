@@ -74,9 +74,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//wirecap:hotpath
 func (c *Counter) Inc() { c.v++ }
 
 // Add adds n.
+//
+//wirecap:hotpath
 func (c *Counter) Add(n uint64) { c.v += n }
 
 // Value returns the current count.
@@ -88,9 +92,13 @@ type Gauge struct {
 }
 
 // Set replaces the gauge value.
+//
+//wirecap:hotpath
 func (g *Gauge) Set(v int64) { g.v = v }
 
 // Add moves the gauge by d.
+//
+//wirecap:hotpath
 func (g *Gauge) Add(d int64) { g.v += d }
 
 // Value returns the current level.
@@ -104,6 +112,8 @@ type Histogram struct {
 }
 
 // Record adds one sample.
+//
+//wirecap:hotpath
 func (h *Histogram) Record(v int64) { h.h.Record(v) }
 
 // Count returns the number of samples recorded.

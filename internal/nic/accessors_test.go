@@ -52,11 +52,18 @@ func TestStatsTotalsHelpers(t *testing.T) {
 }
 
 func TestDescStateStrings(t *testing.T) {
-	for st, want := range map[DescState]string{
-		DescEmpty: "empty", DescReady: "ready", DescUsed: "used", DescState(9): "DescState(9)",
+	// An ordered table, not a map: failures report in a stable order.
+	for _, tc := range []struct {
+		st   DescState
+		want string
+	}{
+		{DescEmpty, "empty"},
+		{DescReady, "ready"},
+		{DescUsed, "used"},
+		{DescState(9), "DescState(9)"},
 	} {
-		if got := st.String(); got != want {
-			t.Errorf("%d.String() = %q, want %q", st, got, want)
+		if got := tc.st.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", tc.st, got, tc.want)
 		}
 	}
 }

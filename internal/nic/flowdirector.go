@@ -52,6 +52,8 @@ func (f *FlowDirector) Learn(flow packet.FlowKey, q int) {
 }
 
 // Queue implements Steering.
+//
+//wirecap:hotpath
 func (f *FlowDirector) Queue(d *packet.Decoded) (int, bool) {
 	if q, ok := f.table[d.Flow]; ok {
 		f.hits++

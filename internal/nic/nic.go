@@ -243,6 +243,8 @@ func (n *NIC) LineRateBps() float64 { return n.cfg.LineRateBps }
 // the MAC filter, classifies the frame onto a receive queue, charges the
 // bus, and DMA-writes into the queue's ring. The return value reports
 // whether the frame reached host memory.
+//
+//wirecap:hotpath
 func (n *NIC) Deliver(frame []byte, ts vtime.Time) bool {
 	n.delivered++
 	if !n.faults.LinkUp(n.cfg.ID) {

@@ -124,6 +124,8 @@ func (r *RxRing) SetBusOverhead(bytes int) {
 func (r *RxRing) BusOverhead() int { return r.busOverhead }
 
 // Refill arms descriptor i with an empty buffer (-> ready).
+//
+//wirecap:hotpath
 func (r *RxRing) Refill(i int, buf []byte) {
 	if len(buf) == 0 {
 		panic("nic: Refill with empty buffer")
@@ -161,6 +163,8 @@ func (r *RxRing) ReadyCount() int {
 // strictly in order, like hardware. corrupt marks the descriptor's
 // integrity-error bit (the frame bytes were already damaged in place by
 // the fault injector before the copy).
+//
+//wirecap:hotpath
 func (r *RxRing) dmaWrite(frame []byte, ts vtime.Time, corrupt bool) bool {
 	d := &r.desc[r.fill]
 	if d.State != DescReady {
@@ -260,6 +264,7 @@ func (t *TxRing) serialization(frameLen int) vtime.Time {
 	return vtime.Time(float64(frameLen+wireOverhead) / t.bytesPerSec * float64(vtime.Second))
 }
 
+//wirecap:hotpath
 func (t *TxRing) drainOne() {
 	p := t.queue[0]
 	copy(t.queue, t.queue[1:])

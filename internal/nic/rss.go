@@ -93,6 +93,8 @@ func newToeplitzTable(key []byte) *toeplitzTable {
 }
 
 // hashFlow mirrors RSSHash over the precomputed table.
+//
+//wirecap:hotpath
 func (t *toeplitzTable) hashFlow(flow packet.FlowKey) uint32 {
 	h := t[0][flow.Src[0]] ^ t[1][flow.Src[1]] ^ t[2][flow.Src[2]] ^ t[3][flow.Src[3]] ^
 		t[4][flow.Dst[0]] ^ t[5][flow.Dst[1]] ^ t[6][flow.Dst[2]] ^ t[7][flow.Dst[3]]
@@ -175,6 +177,8 @@ func (s *RSSSteering) ReSteerQueue(dead int, healthy []int) int {
 }
 
 // Queue implements Steering.
+//
+//wirecap:hotpath
 func (s *RSSSteering) Queue(d *packet.Decoded) (int, bool) {
 	if d.IPVersion != 4 && d.IPVersion != 6 {
 		return 0, false

@@ -312,6 +312,8 @@ func New(cfg Config) *Recorder {
 }
 
 // Sampled reports whether the recorder traces the flow.
+//
+//wirecap:hotpath
 func (r *Recorder) Sampled(flow packet.FlowKey) bool {
 	if r == nil {
 		return false
@@ -335,25 +337,30 @@ func (r *Recorder) openFault(nic, queue int) int32 {
 	return -1
 }
 
+//wirecap:hotpath
 func (r *Recorder) ledger(cause DropCause, nic, queue int, pkt int64, count uint64, ts vtime.Time) {
 	r.dropTotals[cause] += count
 	if len(r.drops) >= r.cfg.MaxDrops {
 		r.truncDrops++
 		return
 	}
-	r.drops = append(r.drops, DropRecord{
+	r.drops = append(r.drops, DropRecord{ //wirelint:allow hotpath drop ledger is bounded by MaxDrops; recorder is opt-in per run
 		At: ts, Cause: cause.String(), NIC: nic, Queue: queue,
 		Pkt: pkt, Count: count, Fault: r.openFault(nic, queue),
 	})
 }
 
 // stamp appends a stage transition to trace pi.
+//
+//wirecap:hotpath
 func (r *Recorder) stamp(pi int32, s Stage, ts vtime.Time) {
 	p := &r.pkts[pi]
-	p.Stamps = append(p.Stamps, StageStamp{Stage: s, At: ts})
+	p.Stamps = append(p.Stamps, StageStamp{Stage: s, At: ts}) //wirelint:allow hotpath stamps exist only for sampled packets on traced runs
 }
 
 // finish terminates trace pi with a drop stamp and cause.
+//
+//wirecap:hotpath
 func (r *Recorder) finish(pi int32, cause DropCause, ts vtime.Time) {
 	r.stamp(pi, StageDrop, ts)
 	r.pkts[pi].Drop = cause.String()
@@ -364,6 +371,8 @@ func (r *Recorder) finish(pi int32, cause DropCause, ts vtime.Time) {
 // PktArrive records a decoded arrival steered to queue. It assigns the
 // packet its global sequence id and, when the flow is sampled, opens a
 // trace and parks it in the pending slot for PktDMA / PendingDrop.
+//
+//wirecap:hotpath
 func (r *Recorder) PktArrive(nic, queue int, flow packet.FlowKey, frameLen int, ts vtime.Time) {
 	if r == nil {
 		return
@@ -378,16 +387,18 @@ func (r *Recorder) PktArrive(nic, queue int, flow packet.FlowKey, frameLen int, 
 		r.truncPk++
 		return
 	}
-	r.pkts = append(r.pkts, PacketTrace{
+	r.pkts = append(r.pkts, PacketTrace{ //wirelint:allow hotpath trace store is bounded by MaxPackets; recorder is opt-in per run
 		ID: id, Flow: flow, FlowS: flow.String(), Hash: r.cfg.FlowHash(flow),
 		NIC: nic, Queue: queue, Len: frameLen,
-		Stamps: []StageStamp{{Stage: StageWire, At: ts}},
+		Stamps: []StageStamp{{Stage: StageWire, At: ts}}, //wirelint:allow hotpath per sampled packet on traced runs only
 	})
 	r.pending = int32(len(r.pkts) - 1)
 }
 
 // PendingDrop drops the packet parked by PktArrive (or an unsampled
 // one: the ledger entry is written either way).
+//
+//wirecap:hotpath
 func (r *Recorder) PendingDrop(cause DropCause, nic, queue int, ts vtime.Time) {
 	if r == nil {
 		return
@@ -403,6 +414,8 @@ func (r *Recorder) PendingDrop(cause DropCause, nic, queue int, ts vtime.Time) {
 
 // DropN records n untraced packet drops (link down, MAC filter —
 // causes that fire before the frame is decoded, so no trace exists).
+//
+//wirecap:hotpath
 func (r *Recorder) DropN(cause DropCause, nic, queue int, n uint64, ts vtime.Time) {
 	if r == nil || n == 0 {
 		return
@@ -412,6 +425,8 @@ func (r *Recorder) DropN(cause DropCause, nic, queue int, n uint64, ts vtime.Tim
 
 // PktDMA binds the pending arrival to ring descriptor desc and stamps
 // the DMA write.
+//
+//wirecap:hotpath
 func (r *Recorder) PktDMA(nic, ring, desc int, ts vtime.Time) {
 	if r == nil || r.pending < 0 {
 		return
@@ -425,6 +440,8 @@ func (r *Recorder) PktDMA(nic, ring, desc int, ts vtime.Time) {
 
 // DescDrop drops the packet bound to a descriptor (delivery-FIFO
 // overflow, corrupt tombstone) and writes the ledger entry.
+//
+//wirecap:hotpath
 func (r *Recorder) DescDrop(cause DropCause, nic, ring, desc int, ts vtime.Time) {
 	if r == nil {
 		return
@@ -442,6 +459,8 @@ func (r *Recorder) DescDrop(cause DropCause, nic, ring, desc int, ts vtime.Time)
 // DescToFifo records the copy of a descriptor's frame into an
 // engine-side slot (Type-I kernel copy, PSIOE user copy): the trace
 // moves from descriptor to slot ownership and gains a copy stamp.
+//
+//wirecap:hotpath
 func (r *Recorder) DescToFifo(nic, ring, desc, slot int, ts vtime.Time) {
 	if r == nil {
 		return
@@ -458,6 +477,8 @@ func (r *Recorder) DescToFifo(nic, ring, desc, slot int, ts vtime.Time) {
 
 // FifoDeliver records delivery of an engine-slot packet to the handler
 // and queues it for the matching Processed stamp.
+//
+//wirecap:hotpath
 func (r *Recorder) FifoDeliver(nic, ring, slot int, ts vtime.Time) {
 	if r == nil {
 		return
@@ -473,6 +494,8 @@ func (r *Recorder) FifoDeliver(nic, ring, slot int, ts vtime.Time) {
 
 // DescDeliver records zero-copy delivery straight from the descriptor
 // (Type-II engines: the app reads the DMA buffer in place).
+//
+//wirecap:hotpath
 func (r *Recorder) DescDeliver(nic, ring, desc int, ts vtime.Time) {
 	if r == nil {
 		return
@@ -486,16 +509,19 @@ func (r *Recorder) DescDeliver(nic, ring, desc int, ts vtime.Time) {
 	r.deliver(pi, nic, ring, ts)
 }
 
+//wirecap:hotpath
 func (r *Recorder) deliver(pi int32, nic, queue int, ts vtime.Time) {
 	r.stamp(pi, StageDeliver, ts)
 	pk := procKey{nic, queue}
-	r.proc[pk] = append(r.proc[pk], pi)
+	r.proc[pk] = append(r.proc[pk], pi) //wirelint:allow hotpath per sampled packet on traced runs only
 }
 
 // DescClaim transfers descriptor ownership to a caller-held token
 // (DPDK mbufs, whose staging queues reindex as they drain, so slot
 // keys cannot name them). Returns the token: trace index + 1, 0 when
 // the descriptor carries no trace. Stamps nothing.
+//
+//wirecap:hotpath
 func (r *Recorder) DescClaim(nic, ring, desc int, ts vtime.Time) int32 {
 	if r == nil {
 		return 0
@@ -510,6 +536,8 @@ func (r *Recorder) DescClaim(nic, ring, desc int, ts vtime.Time) int32 {
 }
 
 // IDDeliver stamps delivery for a DescClaim token.
+//
+//wirecap:hotpath
 func (r *Recorder) IDDeliver(tid int32, ts vtime.Time) {
 	if r == nil || tid == 0 {
 		return
@@ -518,6 +546,8 @@ func (r *Recorder) IDDeliver(tid int32, ts vtime.Time) {
 }
 
 // IDProcessed stamps handler completion for a DescClaim token.
+//
+//wirecap:hotpath
 func (r *Recorder) IDProcessed(tid int32, ts vtime.Time) {
 	if r == nil || tid == 0 {
 		return
@@ -530,6 +560,8 @@ func (r *Recorder) IDProcessed(tid int32, ts vtime.Time) {
 // queue (the configuration every CI scenario runs) delivery order is
 // completion order, so the FIFO match is exact; with more threads it
 // is an order approximation over the same set of packets.
+//
+//wirecap:hotpath
 func (r *Recorder) Processed(nic, queue int, ts vtime.Time) {
 	if r == nil {
 		return
@@ -558,6 +590,8 @@ func ChunkID(ring, chunk int) uint64 {
 // DescToCell binds a descriptor's packet to a chunk cell (WireCAP's
 // onRx: the descriptor's buffer IS the cell, so this is the
 // "descriptor ready / consumed" transition, not a copy).
+//
+//wirecap:hotpath
 func (r *Recorder) DescToCell(nic, ring, desc int, chunk uint64, cell int, ts vtime.Time) {
 	if r == nil {
 		return
@@ -571,11 +605,13 @@ func (r *Recorder) DescToCell(nic, ring, desc int, chunk uint64, cell int, ts vt
 	r.stamp(pi, StageDescReady, ts)
 	r.byCell[cellKey{nic, chunk, cell}] = pi
 	ck := chunkKey{nic, chunk}
-	r.cells[ck] = append(r.cells[ck], cellEntry{cell: cell, pkt: pi})
+	r.cells[ck] = append(r.cells[ck], cellEntry{cell: cell, pkt: pi}) //wirelint:allow hotpath per sampled packet on traced runs only
 }
 
 // CellMove records flush compaction: the packet in (fromChunk,
 // fromCell) is copied into (toChunk, toCell) and gains a copy stamp.
+//
+//wirecap:hotpath
 func (r *Recorder) CellMove(nic int, fromChunk uint64, fromCell int, toChunk uint64, toCell int, ts vtime.Time) {
 	if r == nil {
 		return
@@ -601,11 +637,13 @@ func (r *Recorder) CellMove(nic int, fromChunk uint64, fromCell int, toChunk uin
 	r.stamp(pi, StageCopy, ts)
 	r.byCell[cellKey{nic, toChunk, toCell}] = pi
 	tck := chunkKey{nic, toChunk}
-	r.cells[tck] = append(r.cells[tck], cellEntry{cell: toCell, pkt: pi})
+	r.cells[tck] = append(r.cells[tck], cellEntry{cell: toCell, pkt: pi}) //wirelint:allow hotpath per sampled packet on traced runs only
 }
 
 // ChunkStage stamps a stage (typically StageChunkHandoff) on every
 // undelivered packet still bound to the chunk.
+//
+//wirecap:hotpath
 func (r *Recorder) ChunkStage(nic int, chunk uint64, s Stage, ts vtime.Time) {
 	if r == nil {
 		return
@@ -620,6 +658,8 @@ func (r *Recorder) ChunkStage(nic int, chunk uint64, s Stage, ts vtime.Time) {
 
 // CellDeliver records delivery of one chunk cell to a handler thread
 // on (procNIC, procQueue) and queues it for its Processed stamp.
+//
+//wirecap:hotpath
 func (r *Recorder) CellDeliver(nic int, chunk uint64, cell int, procNIC, procQueue int, ts vtime.Time) {
 	if r == nil {
 		return
@@ -639,6 +679,8 @@ func (r *Recorder) CellDeliver(nic int, chunk uint64, cell int, procNIC, procQue
 // (reclamation, quarantine backlog) and writes one ledger record
 // covering count packets. count may exceed the traced cells — the
 // ledger counts all packets, traces only sampled ones.
+//
+//wirecap:hotpath
 func (r *Recorder) ChunkDrop(cause DropCause, nic, queue int, chunk uint64, count uint64, ts vtime.Time) {
 	if r == nil {
 		return
@@ -650,7 +692,7 @@ func (r *Recorder) ChunkDrop(cause DropCause, nic, queue int, chunk uint64, coun
 	for i := range ents {
 		e := ents[i]
 		if e.delivered {
-			kept = append(kept, e)
+			kept = append(kept, e) //wirelint:allow hotpath compaction reuses the backing array via kept[:0]
 			continue
 		}
 		if pkt == -1 {
@@ -671,6 +713,8 @@ func (r *Recorder) ChunkDrop(cause DropCause, nic, queue int, chunk uint64, coun
 
 // ChunkRecycle stamps recycle on every packet still bound to the chunk
 // and forgets the chunk (end of those packets' traces).
+//
+//wirecap:hotpath
 func (r *Recorder) ChunkRecycle(nic int, chunk uint64, ts vtime.Time) {
 	if r == nil {
 		return
@@ -744,6 +788,8 @@ func (r *Recorder) Action(kind string, nic, queue int, arg int64, ts vtime.Time)
 // StageCost charges d virtual nanoseconds to the (engine, queue,
 // stage) profiler bucket. Call it where the simulator charges the
 // matching virtual cost; engine and stage must be constant strings.
+//
+//wirecap:hotpath
 func (r *Recorder) StageCost(engine string, queue int, stage string, d vtime.Time) {
 	if r == nil {
 		return
@@ -751,7 +797,7 @@ func (r *Recorder) StageCost(engine string, queue int, stage string, d vtime.Tim
 	k := profKey{engine, queue, stage}
 	e := r.prof[k]
 	if e == nil {
-		e = &profEntry{}
+		e = &profEntry{} //wirelint:allow hotpath one entry per (engine, queue, stage); reused thereafter
 		r.prof[k] = e
 	}
 	e.ns += d

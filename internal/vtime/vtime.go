@@ -102,11 +102,15 @@ type Scheduler struct {
 func NewScheduler() *Scheduler { return &Scheduler{} }
 
 // Now returns the current virtual time.
+//
+//wirecap:hotpath
 func (s *Scheduler) Now() Time { return s.now }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // (t < Now) panics: it always indicates a modeling bug, and silently
 // clamping it would hide causality violations.
+//
+//wirecap:hotpath
 func (s *Scheduler) At(t Time, fn func()) EventID {
 	if t < s.now {
 		panic(fmt.Sprintf("vtime: scheduling event at %v before now %v", t, s.now))
@@ -119,7 +123,7 @@ func (s *Scheduler) At(t Time, fn func()) EventID {
 		si = s.free - 1
 		s.free = s.slots[si].next
 	} else {
-		s.slots = append(s.slots, slot{gen: 1})
+		s.slots = append(s.slots, slot{gen: 1}) //wirelint:allow hotpath slot pool grows amortized; steady state pops the free list
 		si = int32(len(s.slots) - 1)
 	}
 	sl := &s.slots[si]
@@ -131,6 +135,8 @@ func (s *Scheduler) At(t Time, fn func()) EventID {
 }
 
 // After schedules fn to run d nanoseconds from now.
+//
+//wirecap:hotpath
 func (s *Scheduler) After(d Time, fn func()) EventID {
 	if d < 0 {
 		d = 0
@@ -140,6 +146,8 @@ func (s *Scheduler) After(d Time, fn func()) EventID {
 
 // freeSlot retires slot si: the generation bump invalidates any
 // outstanding EventID and heap entry, and the slot joins the free list.
+//
+//wirecap:hotpath
 func (s *Scheduler) freeSlot(si int32) {
 	sl := &s.slots[si]
 	sl.fn = nil
@@ -154,6 +162,8 @@ func (s *Scheduler) freeSlot(si int32) {
 // Cancel removes a pending event. Cancelling an already-fired or
 // already-cancelled event is a no-op and returns false. The event's heap
 // entry is left in place and discarded lazily when it surfaces.
+//
+//wirecap:hotpath
 func (s *Scheduler) Cancel(id EventID) bool {
 	if id.slot <= 0 || int(id.slot) > len(s.slots) {
 		return false
@@ -215,6 +225,8 @@ func (s *Scheduler) peek() (entry, bool) {
 
 // Step runs the single earliest pending event, advancing the clock to its
 // timestamp. It returns false if no events are pending.
+//
+//wirecap:hotpath
 func (s *Scheduler) Step() bool {
 	e, ok := s.peek()
 	if !ok {

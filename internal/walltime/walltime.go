@@ -1,0 +1,33 @@
+// Package walltime is the one sanctioned doorway to the wall clock.
+//
+// Simulator code charges virtual time through internal/vtime, and the
+// wirelint walltime analyzer rejects direct time.Now / time.Since calls
+// everywhere outside tests. A few tools legitimately need real elapsed
+// time — the CI gate's perf floor measures simulated packets per *wall*
+// second — and they take it from here, so the allowlisted exceptions
+// live in exactly one file instead of scattering //wirelint:allow
+// directives across callers.
+package walltime
+
+import "time"
+
+// A Stopwatch measures real elapsed time. The zero value is unstarted;
+// use Start.
+type Stopwatch struct {
+	start time.Time
+}
+
+// Start returns a running stopwatch.
+func Start() Stopwatch {
+	return Stopwatch{start: time.Now()} //wirelint:allow walltime sanctioned wall-clock doorway; perf floors measure real elapsed seconds
+}
+
+// Seconds reports the wall-clock seconds since Start, clamped to a
+// small positive value so callers can divide by it.
+func (s Stopwatch) Seconds() float64 {
+	elapsed := time.Since(s.start).Seconds() //wirelint:allow walltime sanctioned wall-clock doorway; perf floors measure real elapsed seconds
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	return elapsed
+}
