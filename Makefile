@@ -14,19 +14,20 @@
 # with `go run ./cmd/wiretrace -r trace.json` (or chrome://tracing).
 #
 # `make lint` runs wirelint (the repo's own analyzer suite in
-# internal/lint: walltime, maporder, hotpath, lockdiscipline) over the
-# whole module, then staticcheck when a pinned binary is available
+# internal/lint: walltime, maporder, hotpath, lockdiscipline,
+# concurrency) over the whole module, then staticcheck when a pinned
+# binary is available
 # (`make staticcheck-install` fetches it; CI always runs it).
 
 GO ?= go
 TRACE_SCENARIO ?= chaos_queue_hang
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: ci check fmt-check vet build test race gate bench bench-check baselines chaos trace lint wirelint staticcheck staticcheck-install all
+.PHONY: ci check fmt-check vet build test race race-stress gate bench bench-check baselines chaos trace lint wirelint staticcheck staticcheck-install all
 
 all: check
 
-ci: fmt-check vet lint build test race gate bench-check
+ci: fmt-check vet lint build test race race-stress gate bench-check
 
 check: vet build test
 
@@ -60,6 +61,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Repeated race-detector runs over the parallel executive: the domain
+# runtime itself plus every placement-equivalence test in the bench
+# package. Scheduling nondeterminism across goroutines is exactly what
+# these tests exist to prove harmless, so they get extra repetitions.
+race-stress:
+	$(GO) test -race -count=5 ./internal/vtime/domain/...
+	$(GO) test -race -count=5 -run 'Fleet|Domains' ./internal/bench/...
 
 gate:
 	$(GO) run ./cmd/ci-gate

@@ -18,6 +18,12 @@
 //     attached; its digest must equal the scenario's baseline digest
 //     (the recorder is a pure observer) and two traced runs must export
 //     byte-identical Chrome traces.
+//   - Parallel equivalence: every scenario re-runs through the parallel
+//     discrete-event executive with -domains time domains, and a fleet
+//     probe runs the multi-host mailbox workload sequentially and in
+//     parallel; every digest must equal its sequential counterpart
+//     byte for byte. Parallelism is an execution detail — baselines.json
+//     is shared with the sequential runs, never forked.
 //   - Performance floor: simulated packets per wall-clock second must
 //     stay above a deliberately conservative floor (the baseline records
 //     measured/8), so only order-of-magnitude slowdowns trip it. Skip on
@@ -25,7 +31,7 @@
 //
 // Usage:
 //
-//	ci-gate [-baselines FILE] [-update] [-skip-perf] [-v]
+//	ci-gate [-baselines FILE] [-update] [-skip-perf] [-domains N] [-v]
 //
 // Exit status 0 when every check passes, 1 on any regression, 2 on
 // operational errors (unreadable baseline, scenario failure).
@@ -78,6 +84,7 @@ func main() {
 	baselinesPath := flag.String("baselines", "baselines.json", "committed baseline file")
 	update := flag.Bool("update", false, "regenerate the baseline file from the current build")
 	skipPerf := flag.Bool("skip-perf", false, "skip the wall-clock throughput floor")
+	domains := flag.Int("domains", 4, "time domains for the parallel-equivalence family (0 skips it)")
 	verbose := flag.Bool("v", false, "print every check, not just failures")
 	flag.Parse()
 
@@ -88,6 +95,13 @@ func main() {
 	traced, err := measureTraced()
 	if err != nil {
 		fatal(err)
+	}
+	var par ParallelResult
+	if *domains > 0 && !*update {
+		par, err = measureParallel(*domains)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	allocs := measureAllocs()
 	var perf float64
@@ -119,7 +133,7 @@ func main() {
 		fatal(fmt.Errorf("parsing %s: %w", *baselinesPath, err))
 	}
 
-	failures, checks := compare(base, reports, traced, allocs, perf, *skipPerf)
+	failures, checks := compare(base, reports, traced, par, allocs, perf, *skipPerf)
 	if *verbose {
 		for _, c := range checks {
 			fmt.Println("  ok:", c)
@@ -196,6 +210,54 @@ func measureTraced() (TracedResult, error) {
 	return TracedResult{Digest: da, Stable: da == db && bytes.Equal(ea, eb)}, nil
 }
 
+// ParallelResult is the parallel-equivalence family's outcome.
+type ParallelResult struct {
+	// Domains is the domain count the family ran at (0: skipped).
+	Domains int
+	// Digests maps scenario name to the digest of its run through the
+	// parallel executive; each must equal the committed baseline digest.
+	Digests map[string]string
+	// FleetSeq / FleetPar are the multi-host mailbox probe's digests at
+	// one domain and at Domains domains; they must be equal. The fleet
+	// has no baselines.json entry — equivalence between the two fresh
+	// runs is the whole check.
+	FleetSeq string
+	FleetPar string
+}
+
+// measureParallel re-runs every CI scenario through the parallel
+// executive with n time domains and runs the fleet probe sequentially
+// and in parallel.
+func measureParallel(n int) (ParallelResult, error) {
+	res := ParallelResult{Domains: n, Digests: make(map[string]string)}
+	for _, sc := range bench.CIScenarios() {
+		rep, err := sc.RunDomains(n)
+		if err != nil {
+			return ParallelResult{}, fmt.Errorf("scenario %s at %d domains: %w", sc.Name, n, err)
+		}
+		res.Digests[sc.Name] = rep.Digest()
+	}
+	fleet := func(domains int) (string, error) {
+		out, err := bench.RunFleet("ci_fleet", bench.FleetRun{
+			Spec: bench.WireCAPA(64, 32, 60), Hosts: 2 * n, Queues: 2, X: 300,
+			Packets: 3_000, PacketsPerSec: 60_000, Seed: 41,
+			MilestoneEvery: 500, Domains: domains,
+		})
+		if err != nil {
+			return "", fmt.Errorf("fleet probe at %d domains: %w", domains, err)
+		}
+		return out.Report.Digest(), nil
+	}
+	var err error
+	if res.FleetSeq, err = fleet(1); err != nil {
+		return ParallelResult{}, err
+	}
+	if res.FleetPar, err = fleet(n); err != nil {
+		return ParallelResult{}, err
+	}
+	return res, nil
+}
+
 // buildBaselines snapshots the current build's behavior. Alloc budgets
 // are committed exactly as measured (the hot paths are zero-allocation
 // by design, so any budget > 0 is already meaningful); the perf floor
@@ -224,7 +286,7 @@ func buildBaselines(reports []bench.RunReport, allocs map[string]float64, perf f
 // compare returns human-readable failure lines and the names of all
 // checks performed. Deterministic metrics are compared exactly; alloc
 // budgets as measured <= budget; perf as measured >= floor.
-func compare(base Baselines, reports []bench.RunReport, traced TracedResult, allocs map[string]float64, perf float64, skipPerf bool) (failures, checks []string) {
+func compare(base Baselines, reports []bench.RunReport, traced TracedResult, par ParallelResult, allocs map[string]float64, perf float64, skipPerf bool) (failures, checks []string) {
 	byName := make(map[string]bench.RunReport, len(reports))
 	for _, rep := range reports {
 		byName[rep.Scenario] = rep
@@ -302,6 +364,29 @@ func compare(base Baselines, reports []bench.RunReport, traced TracedResult, all
 		if !traced.Stable {
 			failures = append(failures, fmt.Sprintf(
 				"traced %s: two seeded runs exported different Chrome traces", tracedScenario))
+		}
+	}
+
+	if par.Domains > 0 {
+		for _, sb := range base.Scenarios {
+			got, ok := par.Digests[sb.Name]
+			checks = append(checks, fmt.Sprintf("domains=%d digest %s", par.Domains, sb.Name))
+			if !ok {
+				failures = append(failures, fmt.Sprintf(
+					"domains=%d %s: scenario not produced by the parallel family", par.Domains, sb.Name))
+				continue
+			}
+			if got != sb.Digest {
+				failures = append(failures, fmt.Sprintf(
+					"domains=%d %s: digest %s != baseline %s (the parallel executive changed the run)",
+					par.Domains, sb.Name, got, sb.Digest))
+			}
+		}
+		checks = append(checks, fmt.Sprintf("domains=%d fleet equivalence", par.Domains))
+		if par.FleetSeq != par.FleetPar {
+			failures = append(failures, fmt.Sprintf(
+				"domains=%d fleet: parallel digest %s != sequential %s (placement leaked into the mailbox fabric)",
+				par.Domains, par.FleetPar, par.FleetSeq))
 		}
 	}
 

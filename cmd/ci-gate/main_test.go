@@ -40,7 +40,7 @@ func cleanBaseline(t *testing.T) Baselines {
 func TestGatePassesClean(t *testing.T) {
 	rep := report(t)
 	allocs := map[string]float64{"metrics_counter_inc": 0}
-	failures, checks := compare(cleanBaseline(t), []bench.RunReport{rep}, TracedResult{}, allocs, 100, false)
+	failures, checks := compare(cleanBaseline(t), []bench.RunReport{rep}, TracedResult{}, ParallelResult{}, allocs, 100, false)
 	if len(failures) != 0 {
 		t.Fatalf("clean comparison failed: %v", failures)
 	}
@@ -105,7 +105,7 @@ func TestGateDetectsSeededRegressions(t *testing.T) {
 			if perf == 0 {
 				perf = 100
 			}
-			failures, _ := compare(base, []bench.RunReport{rep}, TracedResult{}, a, perf, tc.skip)
+			failures, _ := compare(base, []bench.RunReport{rep}, TracedResult{}, ParallelResult{}, a, perf, tc.skip)
 			if len(failures) == 0 {
 				t.Fatal("tampered baseline passed the gate")
 			}
@@ -130,7 +130,7 @@ func TestSkipPerfSuppressesFloor(t *testing.T) {
 	base := cleanBaseline(t)
 	base.Perf.MinSimPktsPerSec = 1e18
 	allocs := map[string]float64{"metrics_counter_inc": 0}
-	failures, _ := compare(base, []bench.RunReport{rep}, TracedResult{}, allocs, 1, true)
+	failures, _ := compare(base, []bench.RunReport{rep}, TracedResult{}, ParallelResult{}, allocs, 1, true)
 	if len(failures) != 0 {
 		t.Fatalf("skip-perf still failed: %v", failures)
 	}
@@ -142,7 +142,7 @@ func TestSkipPerfSuppressesFloor(t *testing.T) {
 func TestTracedStabilityChecks(t *testing.T) {
 	base := Baselines{Scenarios: []ScenarioBaseline{{Name: tracedScenario, Digest: "abc"}}}
 	tracedFailures := func(tr TracedResult) []string {
-		failures, _ := compare(base, nil, tr, nil, 0, true)
+		failures, _ := compare(base, nil, tr, ParallelResult{}, nil, 0, true)
 		var out []string
 		for _, f := range failures {
 			if strings.Contains(f, "traced") {
@@ -160,6 +160,51 @@ func TestTracedStabilityChecks(t *testing.T) {
 	}
 	if !strings.Contains(fs[0], "perturbed") || !strings.Contains(fs[1], "different Chrome traces") {
 		t.Fatalf("unexpected traced failure wording: %v", fs)
+	}
+}
+
+// TestParallelEquivalenceChecks: when the parallel family ran, the gate
+// must flag a scenario whose parallel digest drifts from the committed
+// baseline, a scenario the family failed to produce, and a fleet probe
+// whose sequential and parallel digests disagree — and pass a matching
+// probe silently.
+func TestParallelEquivalenceChecks(t *testing.T) {
+	base := Baselines{Scenarios: []ScenarioBaseline{{Name: "constant_rate", Digest: "abc"}}}
+	parFailures := func(par ParallelResult) []string {
+		failures, _ := compare(base, nil, TracedResult{}, par, nil, 0, true)
+		var out []string
+		for _, f := range failures {
+			if strings.Contains(f, "domains=") {
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+	clean := ParallelResult{
+		Domains:  2,
+		Digests:  map[string]string{"constant_rate": "abc"},
+		FleetSeq: "f1", FleetPar: "f1",
+	}
+	if fs := parFailures(clean); len(fs) != 0 {
+		t.Fatalf("matching parallel family failed: %v", fs)
+	}
+	drift := clean
+	drift.Digests = map[string]string{"constant_rate": "xyz"}
+	if fs := parFailures(drift); len(fs) != 1 || !strings.Contains(fs[0], "parallel executive changed the run") {
+		t.Fatalf("digest drift not flagged: %v", fs)
+	}
+	missing := clean
+	missing.Digests = map[string]string{}
+	if fs := parFailures(missing); len(fs) != 1 || !strings.Contains(fs[0], "not produced by the parallel family") {
+		t.Fatalf("missing scenario not flagged: %v", fs)
+	}
+	leak := clean
+	leak.FleetPar = "f2"
+	if fs := parFailures(leak); len(fs) != 1 || !strings.Contains(fs[0], "placement leaked") {
+		t.Fatalf("fleet divergence not flagged: %v", fs)
+	}
+	if fs := parFailures(ParallelResult{}); len(fs) != 0 {
+		t.Fatalf("skipped family still produced failures: %v", fs)
 	}
 }
 

@@ -122,7 +122,11 @@ func selectRules(csv string) ([]*lint.Analyzer, error) {
 		name = strings.TrimSpace(name)
 		a, ok := byName[name]
 		if !ok {
-			return nil, fmt.Errorf("unknown rule %q (have: walltime, maporder, hotpath, lockdiscipline)", name)
+			have := make([]string, len(all))
+			for i, a := range all {
+				have[i] = a.Name
+			}
+			return nil, fmt.Errorf("unknown rule %q (have: %s)", name, strings.Join(have, ", "))
 		}
 		picked = append(picked, a)
 	}

@@ -1,0 +1,297 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/engines"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/nic"
+	"repro/internal/obs"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+	"repro/internal/vtime/domain"
+)
+
+// FleetRun is the multi-host workload the parallel executive was built
+// for: H independent capture hosts — each a full NIC + engine +
+// pkt_handler stack with its own seeded traffic, registry, and (for
+// chaos fleets) fault injector — reporting to one aggregation plane
+// over the cross-domain mailbox fabric. It scales the paper's
+// single-host experiments to the deployment the paper motivates
+// (§1: commodity capture boxes at multiple vantage points feeding a
+// central monitor).
+//
+// Hosts are the *logical* domains: host h is structurally independent
+// of every other host and talks to the collector only through Send.
+// Config.Domains is the *execution* domain count — logical domain h
+// runs on execution domain h mod Domains — and is pure placement: the
+// FleetReport is byte-identical for every Domains and Workers setting.
+type FleetRun struct {
+	Spec EngineSpec
+	// Hosts is the number of capture hosts (default 2).
+	Hosts int
+	// Queues per host NIC (default 1) and handler load X, as elsewhere.
+	Queues int
+	X      int
+	// Packets is the per-host offered packet count.
+	Packets uint64
+	// FrameLen (default 60) and PacketsPerSec (default wire rate), per
+	// host.
+	FrameLen      int
+	PacketsPerSec float64
+	// Seed is the fleet seed; host h derives its private traffic stream
+	// with vtime.SplitSeed(Seed, h), so host workloads are decorrelated
+	// but placement-independent.
+	Seed uint64
+
+	// Domains is the execution domain count (default 1: sequential).
+	// Workers bounds in-window parallelism (0: the shared budget).
+	Domains int
+	Workers int
+
+	// MilestoneEvery makes each host report a progress milestone to the
+	// collector every that-many processed packets (default 1000).
+	MilestoneEvery uint64
+	// LinkLatency is the host-to-collector mailbox latency (default
+	// 10 µs). It is the executive's conservative lookahead, so it also
+	// sets the parallel window width.
+	LinkLatency vtime.Time
+
+	// Faults, when non-empty, installs the schedule on every host with
+	// injector seed vtime.SplitSeed(FaultSeed, h); recovery actions are
+	// then reported to the collector over the same mailbox fabric.
+	Faults    faults.Schedule
+	FaultSeed uint64
+
+	// Traced attaches a flight recorder to every host; the per-host
+	// records are merged into FleetResult.Record in canonical order.
+	Traced bool
+}
+
+// fleetMsg is one aggregation-bus message: a progress milestone or a
+// recovery action observed on a host.
+type fleetMsg struct {
+	host int
+	kind string // "milestone" or a recovery action kind
+	arg  uint64
+}
+
+// fleetCollector is the aggregation plane. It lives in execution
+// domain 0 and consumes the canonical merged delivery stream; its
+// ledger checksum is order-sensitive, so it witnesses not just message
+// conservation but the exact cross-domain delivery order.
+type fleetCollector struct {
+	ledger     *fnvWriter
+	milestones uint64
+	actions    uint64
+	processed  []uint64 // per-host milestone high-water mark
+}
+
+func (c *fleetCollector) receive(at vtime.Time, payload any) {
+	m := payload.(fleetMsg)
+	fmt.Fprintf(c.ledger, "%d|%d|%s|%d\n", at, m.host, m.kind, m.arg)
+	if m.kind == "milestone" {
+		c.milestones++
+		if m.arg > c.processed[m.host] {
+			c.processed[m.host] = m.arg
+		}
+		return
+	}
+	c.actions++
+}
+
+// fnvWriter is an io.Writer over an FNV-1a state.
+type fnvWriter struct{ h uint64 }
+
+func newFNVWriter() *fnvWriter { return &fnvWriter{h: 0xcbf29ce484222325} }
+
+func (w *fnvWriter) Write(p []byte) (int, error) {
+	h := w.h
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= 0x100000001b3
+	}
+	w.h = h
+	return len(p), nil
+}
+
+func (w *fnvWriter) sum() string { return fmt.Sprintf("%016x", w.h) }
+
+// FleetReport is the deterministic record of a fleet run: aggregate
+// outcome, the collector's view of the cross-domain traffic, and the
+// full per-host run reports. Byte-identical for every execution domain
+// and worker count — the property TestFleetPlacementEquivalence and
+// the pdes_scaling bench digests pin.
+type FleetReport struct {
+	Scenario string `json:"scenario"`
+	Engine   string `json:"engine"`
+	Hosts    int    `json:"hosts"`
+
+	Sent      uint64     `json:"sent"`
+	Delivered uint64     `json:"delivered"`
+	Processed uint64     `json:"processed"`
+	Drops     uint64     `json:"drops"`
+	EndNs     vtime.Time `json:"end_ns"`
+
+	// Milestones / Actions count collector deliveries; Ledger is the
+	// order-sensitive FNV-1a checksum of the collector's delivery
+	// transcript.
+	Milestones uint64 `json:"milestones"`
+	Actions    uint64 `json:"actions,omitempty"`
+	Ledger     string `json:"ledger"`
+
+	PerHost []RunReport `json:"per_host"`
+}
+
+// Digest is the report's stable fingerprint, as RunReport.Digest.
+func (fr FleetReport) Digest() string {
+	b, err := json.Marshal(fr)
+	if err != nil {
+		panic(fmt.Sprintf("bench: marshaling FleetReport: %v", err))
+	}
+	w := newFNVWriter()
+	w.Write(b) //nolint:errcheck // fnvWriter cannot fail
+	return w.sum()
+}
+
+// FleetResult carries the report plus the merged flight-recorder record
+// of a traced fleet run.
+type FleetResult struct {
+	Report FleetReport
+	// Record is the canonical merge of the per-host records (zero when
+	// the run was untraced). Each sub-record's Domain field is the
+	// *host* index — the logical domain — never the execution domain,
+	// which must not leak into output.
+	Record obs.Record
+}
+
+// RunFleet executes a fleet run to completion.
+func RunFleet(name string, cfg FleetRun) (FleetResult, error) {
+	hosts := cfg.Hosts
+	if hosts <= 0 {
+		hosts = 2
+	}
+	queues := cfg.Queues
+	if queues <= 0 {
+		queues = 1
+	}
+	milestone := cfg.MilestoneEvery
+	if milestone == 0 {
+		milestone = 1000
+	}
+	link := cfg.LinkLatency
+	if link == 0 {
+		link = 10 * vtime.Microsecond
+	}
+	frameLen := cfg.FrameLen
+	if frameLen == 0 {
+		frameLen = 60
+	}
+
+	sim := domain.New(domain.Config{Domains: cfg.Domains, Workers: cfg.Workers})
+	col := &fleetCollector{ledger: newFNVWriter(), processed: make([]uint64, hosts)}
+	port := sim.NewPort(sim.Domain(0), link, col.receive)
+
+	costs := engines.DefaultCosts()
+	type host struct {
+		handler *app.PktHandler
+		eng     engines.Engine
+		reg     *metrics.Registry
+		rec     *obs.Recorder
+		sent    *trace.DriveStats
+	}
+	hs := make([]host, hosts)
+	// Construction order is the canonical placement-independent order:
+	// hosts by index, one Tx per host (so tx id == host index + stable
+	// offset), every component built against the host's domain
+	// scheduler and nothing else.
+	for h := 0; h < hosts; h++ {
+		d := sim.Domain(h % sim.Domains())
+		sched := d.Scheduler()
+		reg := metrics.NewRegistry()
+		var rec *obs.Recorder
+		if cfg.Traced {
+			rec = NewRecorder()
+		}
+		var inj *faults.Injector
+		if len(cfg.Faults) > 0 {
+			inj = faults.NewInjector(sched, vtime.SplitSeed(cfg.FaultSeed, uint64(h)))
+			inj.Register(reg)
+			inj.SetTrace(rec)
+			inj.Install(cfg.Faults)
+		}
+		n := nic.New(sched, nic.Config{
+			ID: h, RxQueues: queues, RingSize: 1024, Promiscuous: true,
+			Metrics: reg, Faults: inj, Trace: rec, Domain: h,
+		})
+		handler := app.NewPktHandler(cfg.X, costs, queues)
+		tx := sim.NewTx(d)
+		hostIdx := h
+		handler.OnProcessed = func(total uint64) {
+			if total%milestone == 0 {
+				tx.Send(port, fleetMsg{host: hostIdx, kind: "milestone", arg: total})
+			}
+		}
+		eng, err := cfg.Spec.BuildWith(sched, n, costs, handler, func(c *core.Config) {
+			c.Domain = hostIdx
+			c.OnAction = func(kind string, queue int, at vtime.Time) {
+				tx.Send(port, fleetMsg{host: hostIdx, kind: kind, arg: uint64(queue)})
+			}
+		})
+		if err != nil {
+			return FleetResult{}, fmt.Errorf("bench: fleet host %d: %w", h, err)
+		}
+		rate := n.LineRateBps()
+		if cfg.PacketsPerSec > 0 {
+			rate = cfg.PacketsPerSec * float64(frameLen+24) * 8
+		}
+		src := trace.NewConstantRate(trace.ConstantRateConfig{
+			Packets:     cfg.Packets,
+			FrameLen:    frameLen,
+			LineRateBps: rate,
+			Queues:      queues,
+			Seed:        vtime.SplitSeed(cfg.Seed, uint64(h)),
+		})
+		st := trace.Drive(sched, n, src, nil)
+		hs[h] = host{handler: handler, eng: eng, reg: reg, rec: rec, sent: st}
+	}
+
+	sim.Run()
+
+	// Every host reports against the global drain time: per-domain
+	// clocks stop wherever their last local event fell, which depends
+	// on placement; the fleet-wide maximum does not.
+	end := sim.Now()
+	fr := FleetReport{
+		Scenario: name, Engine: cfg.Spec.Name(), Hosts: hosts, EndNs: end,
+		Milestones: col.milestones, Actions: col.actions,
+		Ledger: col.ledger.sum(),
+	}
+	var records []obs.Record
+	for h := range hs {
+		res := Result{
+			Spec: cfg.Spec, Sent: hs[h].sent.Sent, Stats: hs[h].eng.Stats(),
+			Handler: hs[h].handler, Metrics: hs[h].reg, End: end,
+		}
+		rep := res.Report(fmt.Sprintf("%s/host%d", name, h))
+		fr.Sent += rep.Sent
+		fr.Delivered += rep.Totals.Delivered
+		fr.Processed += rep.Handler.Processed
+		fr.Drops += rep.Totals.TotalDrops()
+		fr.PerHost = append(fr.PerHost, rep)
+		if cfg.Traced {
+			r := hs[h].rec.Record(rep.Scenario, end)
+			r.Tag(h)
+			records = append(records, r)
+		}
+	}
+	out := FleetResult{Report: fr}
+	if cfg.Traced {
+		out.Record = obs.MergeRecords(name, end, records)
+	}
+	return out, nil
+}

@@ -52,6 +52,46 @@ func TestGoldenDeterminism(t *testing.T) {
 	}
 }
 
+// TestGoldenDomainsEquivalence extends the golden guard across the
+// parallel executive: the same workload routed through Sim with any
+// domain count must produce the bit-identical Result — not just the
+// same digest, the same full observable state — as the plain scheduler.
+func TestGoldenDomainsEquivalence(t *testing.T) {
+	constant := func(domains int) string {
+		res, err := RunConstant(ConstantRun{
+			Spec: WireCAPB(256, 100), Packets: 50_000, X: 300, Seed: 7,
+			Domains: domains,
+		})
+		if err != nil {
+			t.Fatalf("RunConstant(domains=%d): %v", domains, err)
+		}
+		return digest(res)
+	}
+	ref := constant(0)
+	for _, d := range []int{1, 2, 4} {
+		if got := constant(d); got != ref {
+			t.Errorf("constant run diverged at domains=%d:\n  %s\n  %s", d, got, ref)
+		}
+	}
+
+	border := func(domains int) string {
+		res, offered, err := RunBorder(BorderRun{
+			Spec: WireCAPA(256, 100, 60), Queues: 4, X: 300,
+			Seconds: 0.5, Seed: 11, Domains: domains,
+		})
+		if err != nil {
+			t.Fatalf("RunBorder(domains=%d): %v", domains, err)
+		}
+		return digest(res) + fmt.Sprintf(" offered=%v", offered)
+	}
+	bref := border(0)
+	for _, d := range []int{3} {
+		if got := border(d); got != bref {
+			t.Errorf("border run diverged at domains=%d:\n  %s\n  %s", d, got, bref)
+		}
+	}
+}
+
 // TestRunReportDeterminism extends the golden guard to the exported
 // RunReport: two identically seeded runs must serialize to byte-equal
 // JSON (metrics snapshot included) and therefore equal digests. This is

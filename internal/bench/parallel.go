@@ -1,9 +1,7 @@
 package bench
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
+	"repro/internal/vtime/domain"
 )
 
 // forEach runs n independent jobs on up to GOMAXPROCS workers and returns
@@ -12,56 +10,19 @@ import (
 // is what makes the full-scale `-run all` pass tractable on a multicore
 // host.
 //
-// After any job fails, the shared stop flag is checked between jobs, so
-// already-running workers finish at their current job boundary instead of
-// draining the remaining work.
+// The fan-out draws workers from the process-wide budget in
+// internal/vtime/domain — the same pool the parallel discrete-event
+// executive uses for in-run domain windows — so nested parallelism
+// (parallel runs of parallel simulations) shares one worker budget
+// instead of oversubscribing cores: whichever layer grabs workers first
+// parallelizes, and the other degrades to sequential execution.
+//
+// After any job fails, workers finish at their current job boundary
+// instead of draining the remaining work.
 func forEach(n int, job func(i int) error) error {
-	return forEachWorkers(n, runtime.GOMAXPROCS(0), job)
+	return domain.ForEach(n, 0, job)
 }
 
 func forEachWorkers(n, workers int, job func(i int) error) error {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := job(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		stop     atomic.Bool
-		next     atomic.Int64
-	)
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
-		stop.Store(true)
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for !stop.Load() {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				if err := job(i); err != nil {
-					fail(err)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	return domain.ForEach(n, workers, job)
 }

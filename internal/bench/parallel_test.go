@@ -2,6 +2,7 @@ package bench
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -49,6 +50,11 @@ func TestForEachSerialStopsOnError(t *testing.T) {
 // run.
 func TestForEachStopsWorkersAfterError(t *testing.T) {
 	const workers = 4
+	// Workers now come from the process-wide budget in
+	// internal/vtime/domain, which is capped by GOMAXPROCS; widen it so
+	// all four really run concurrently even on a small machine.
+	prev := runtime.GOMAXPROCS(workers)
+	defer runtime.GOMAXPROCS(prev)
 	boom := errors.New("boom")
 	var started atomic.Int32
 	var gate sync.WaitGroup

@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/vtime"
+)
+
+// fleetCfg is the shared base fleet every placement-equivalence test
+// perturbs: six hosts so domain counts 1/2/3/6 all divide the work
+// differently, offered under per-queue capacity so the steady state is
+// clean, and small enough to run many placements per test.
+func fleetCfg() FleetRun {
+	return FleetRun{
+		Spec: WireCAPA(64, 32, 60), Hosts: 6, Queues: 2, X: 300,
+		Packets: 2_000, PacketsPerSec: 60_000, Seed: 41,
+		MilestoneEvery: 250,
+	}
+}
+
+// TestFleetPlacementEquivalence pins the tentpole property on the fleet
+// workload, where cross-domain mailbox traffic is real: the FleetReport
+// — per-host reports, collector counters, and the order-sensitive
+// ledger checksum — is byte-identical for every execution domain and
+// worker count.
+func TestFleetPlacementEquivalence(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	run := func(domains, workers int) ([]byte, string) {
+		cfg := fleetCfg()
+		cfg.Domains = domains
+		cfg.Workers = workers
+		res, err := RunFleet("fleet_equiv", cfg)
+		if err != nil {
+			t.Fatalf("RunFleet(domains=%d): %v", domains, err)
+		}
+		b, err := json.Marshal(res.Report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b, res.Report.Digest()
+	}
+	refJSON, refDigest := run(1, 1)
+	for _, c := range []struct{ domains, workers int }{
+		{1, 4}, {2, 1}, {2, 4}, {3, 4}, {6, 1}, {6, 4},
+	} {
+		gotJSON, gotDigest := run(c.domains, c.workers)
+		if gotDigest != refDigest {
+			t.Errorf("domains=%d workers=%d digest %s != sequential %s",
+				c.domains, c.workers, gotDigest, refDigest)
+		}
+		if !bytes.Equal(gotJSON, refJSON) {
+			t.Errorf("domains=%d workers=%d report JSON diverged from sequential", c.domains, c.workers)
+		}
+	}
+}
+
+// TestFleetTracedMergeEquivalence extends placement equivalence to the
+// merged flight-recorder record: per-host recorders tagged by host and
+// merged canonically must export byte-identical JSON for every
+// placement, and tracing must not perturb the report digest.
+func TestFleetTracedMergeEquivalence(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	run := func(domains int, traced bool) (string, []byte) {
+		cfg := fleetCfg()
+		cfg.Domains = domains
+		cfg.Traced = traced
+		res, err := RunFleet("fleet_traced", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec []byte
+		if traced {
+			rec, err = json.Marshal(res.Record)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return res.Report.Digest(), rec
+	}
+	untraced, _ := run(1, false)
+	seqDigest, seqRec := run(1, true)
+	if seqDigest != untraced {
+		t.Errorf("tracing perturbed the fleet digest: %s vs %s", seqDigest, untraced)
+	}
+	if len(seqRec) == 0 {
+		t.Fatal("traced fleet produced an empty merged record")
+	}
+	for _, domains := range []int{2, 3, 6} {
+		gotDigest, gotRec := run(domains, true)
+		if gotDigest != seqDigest {
+			t.Errorf("domains=%d traced digest %s != sequential %s", domains, gotDigest, seqDigest)
+		}
+		if !bytes.Equal(gotRec, seqRec) {
+			t.Errorf("domains=%d merged record JSON diverged from sequential", domains)
+		}
+	}
+}
+
+// TestFleetChaosEquivalence runs the fleet under a fault storm: every
+// host takes a queue hang plus a consumer stall, recovery actions
+// travel the mailbox fabric to the collector, and the whole thing must
+// still be placement-independent.
+func TestFleetChaosEquivalence(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	run := func(domains int) FleetReport {
+		cfg := fleetCfg()
+		cfg.Domains = domains
+		cfg.Packets = 3_000
+		cfg.FaultSeed = 97
+		cfg.Faults = faults.Schedule{
+			{At: 5 * vtime.Millisecond, Kind: faults.QueueHang, Queue: 1},
+			{At: 8 * vtime.Millisecond, Dur: 20 * vtime.Millisecond, Kind: faults.HandlerStall, Queue: 0},
+		}
+		res, err := RunFleet("fleet_chaos", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Report
+	}
+	seq := run(1)
+	if seq.Actions == 0 {
+		t.Fatal("chaos fleet reported no recovery actions; the cross-domain action path is dead")
+	}
+	for _, domains := range []int{2, 4, 6} {
+		got := run(domains)
+		if got.Digest() != seq.Digest() {
+			t.Errorf("domains=%d chaos digest %s != sequential %s", domains, got.Digest(), seq.Digest())
+		}
+	}
+}
+
+// TestFleetLedgerConservation checks the collector's books against the
+// hosts' ground truth for several placements: every K-th processed
+// packet sends exactly one milestone, all mailboxes drain before Run
+// returns, and the collector's per-host high-water mark can never
+// exceed what the host actually processed.
+func TestFleetLedgerConservation(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	for _, domains := range []int{1, 3, 6} {
+		cfg := fleetCfg()
+		cfg.Domains = domains
+		res, err := RunFleet("fleet_ledger", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := res.Report
+		var want uint64
+		for _, h := range rep.PerHost {
+			want += h.Handler.Processed / cfg.MilestoneEvery
+		}
+		if rep.Milestones != want {
+			t.Errorf("domains=%d: collector saw %d milestones, hosts emitted %d",
+				domains, rep.Milestones, want)
+		}
+		if rep.Milestones == 0 {
+			t.Errorf("domains=%d: no milestones delivered; the mailbox fabric is dead", domains)
+		}
+		var processed uint64
+		for _, h := range rep.PerHost {
+			processed += h.Handler.Processed
+		}
+		if rep.Processed != processed {
+			t.Errorf("domains=%d: aggregate processed %d != per-host sum %d",
+				domains, rep.Processed, processed)
+		}
+	}
+}
+
+// TestScenarioDomainsEquivalence replays every CI scenario — the five
+// steady-state ones and the three chaos storms — through the parallel
+// executive and requires the digest to match the plain sequential run
+// exactly. A single-host scenario occupies one domain, so this pins
+// that routing a run through Sim is observationally invisible, the
+// contract cmd/ci-gate's -domains check enforces in CI.
+func TestScenarioDomainsEquivalence(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	for i, sc := range CIScenarios() {
+		sc := sc
+		domains := []int{2, 3, 5}[i%3]
+		t.Run(sc.Name, func(t *testing.T) {
+			ref, err := sc.Report()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sc.RunDomains(domains)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refJSON, err := ref.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotJSON, err := got.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(refJSON, gotJSON) {
+				t.Errorf("domains=%d report diverged from sequential run", domains)
+			}
+			if ref.Digest() != got.Digest() {
+				t.Errorf("domains=%d digest %s != sequential %s", domains, got.Digest(), ref.Digest())
+			}
+		})
+	}
+}
+
+// TestFleetDigestSensitivity proves the fleet digest covers the run:
+// perturbing the offered rate (different pacing, different delay
+// distribution), the host count, or the milestone cadence must change
+// it. (The traffic seed alone only renames the constant-rate flows —
+// a lossless paced run is invariant to it by design, which is why the
+// single-run sensitivity test uses the bursty border workload.)
+func TestFleetDigestSensitivity(t *testing.T) {
+	run := func(mutate func(*FleetRun)) string {
+		cfg := fleetCfg()
+		cfg.Packets = 1_000
+		mutate(&cfg)
+		res, err := RunFleet("fleet_sens", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Report.Digest()
+	}
+	base := run(func(*FleetRun) {})
+	if run(func(c *FleetRun) { c.PacketsPerSec = 45_000 }) == base {
+		t.Error("fleet digest unchanged across offered rates")
+	}
+	if run(func(c *FleetRun) { c.Hosts = 5 }) == base {
+		t.Error("fleet digest unchanged across host counts")
+	}
+	if run(func(c *FleetRun) { c.MilestoneEvery = 125 }) == base {
+		t.Error("fleet digest unchanged across milestone cadence")
+	}
+}

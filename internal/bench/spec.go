@@ -77,6 +77,20 @@ func (s EngineSpec) Name() string {
 
 // Build constructs the engine over NIC n delivering to h.
 func (s EngineSpec) Build(sched *vtime.Scheduler, n *nic.NIC, costs engines.CostModel, h engines.Handler) (engines.Engine, error) {
+	return s.BuildWith(sched, n, costs, h, nil)
+}
+
+// BuildWith constructs the engine like Build, letting mutate adjust the
+// WireCAP core configuration first (it is ignored for non-WireCAP
+// kinds, which have no config). Fleet runs use it to install the
+// cross-domain recovery hook and the host's logical-domain label.
+func (s EngineSpec) BuildWith(sched *vtime.Scheduler, n *nic.NIC, costs engines.CostModel, h engines.Handler, mutate func(*core.Config)) (engines.Engine, error) {
+	build := func(cfg core.Config) (engines.Engine, error) {
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		return core.New(sched, n, cfg, h)
+	}
 	switch s.Kind {
 	case KindDNA:
 		return engines.NewDNA(sched, n, costs, h), nil
@@ -89,11 +103,11 @@ func (s EngineSpec) Build(sched *vtime.Scheduler, n *nic.NIC, costs engines.Cost
 	case KindRawSocket:
 		return engines.NewRawSocket(sched, n, costs, h), nil
 	case KindWireCAPBasic:
-		return core.New(sched, n, core.Config{M: s.M, R: s.R, Costs: costs}, h)
+		return build(core.Config{M: s.M, R: s.R, Costs: costs})
 	case KindWireCAPAdvanced:
-		return core.New(sched, n, core.Config{
+		return build(core.Config{
 			M: s.M, R: s.R, Mode: core.Advanced, ThresholdPct: s.T, Costs: costs,
-		}, h)
+		})
 	default:
 		return nil, fmt.Errorf("bench: unknown engine kind %d", s.Kind)
 	}

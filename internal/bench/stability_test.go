@@ -11,16 +11,19 @@ import (
 // report — the class of bug the wirelint maporder analyzer hunts — shows
 // up here as a byte diff.
 func TestReportByteStability(t *testing.T) {
-	run := func() RunReport {
+	run := func(domains int) RunReport {
 		res, err := RunConstant(ConstantRun{
 			Spec: WireCAPB(64, 100), Packets: 20_000, X: 300, Seed: 11,
+			Domains: domains,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
 		return res.Report("stability")
 	}
-	a, b := run(), run()
+	// One plain run, one through the parallel executive: byte stability
+	// must hold across runs AND across execution substrates.
+	a, b := run(0), run(3)
 
 	aj, err := a.JSON()
 	if err != nil {

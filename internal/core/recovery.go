@@ -62,6 +62,18 @@ const (
 	maxFlushRetries = 8
 )
 
+// action records one recovery action in the flight recorder and, when
+// the engine has a cross-domain action hook (fleet runs), publishes it
+// there too — the "cross-domain recovery path" that lets an aggregation
+// plane in another time domain watch a host heal itself.
+func (e *Engine) action(kind string, queue int, arg int64) {
+	now := e.sched.Now()
+	e.trace.Action(kind, e.nicID, queue, arg, now)
+	if e.cfg.OnAction != nil {
+		e.cfg.OnAction(kind, queue, now)
+	}
+}
+
 // armWatchdog (re)starts the watchdog if recovery is on and it is not
 // already ticking. Called from fault activations (via OnActivate) and
 // from every queue kick, the two deterministic moments new trouble can
@@ -164,7 +176,7 @@ func (e *Engine) watch(q *wqueue) bool {
 func (e *Engine) quarantine(q *wqueue) {
 	q.dead = true
 	q.stats.Quarantines++
-	e.trace.Action("quarantine", e.nicID, q.queue, 0, e.sched.Now())
+	e.action("quarantine", q.queue, 0)
 	q.flushTimer.Stop()
 	q.flushTarget = nil
 	if q.retryTimer != nil {
@@ -250,7 +262,7 @@ func (e *Engine) quarantine(q *wqueue) {
 	if rs, ok := e.n.Steering().(nic.QueueReSteerer); ok && len(healthy) > 0 {
 		moved := rs.ReSteerQueue(q.queue, healthy)
 		q.stats.ReSteeredEntries += uint64(moved)
-		e.trace.Action("re_steer", e.nicID, q.queue, int64(moved), e.sched.Now())
+		e.action("re_steer", q.queue, int64(moved))
 	}
 }
 
@@ -307,7 +319,7 @@ func (e *Engine) failover(q, b *wqueue) {
 	q.rerouted = true
 	q.rerouteTo = b
 	q.stats.HandlerFailovers++
-	e.trace.Action("failover", e.nicID, q.queue, int64(b.queue), e.sched.Now())
+	e.action("failover", q.queue, int64(b.queue))
 	moved := false
 	if q.cur != nil {
 		b.captureQ = append(b.captureQ, q.cur)
@@ -330,7 +342,7 @@ func (e *Engine) failover(q, b *wqueue) {
 // ring may be reading its cells); the next tick collects it once the
 // last release runs.
 func (e *Engine) reclaimBacklog(q *wqueue) {
-	e.trace.Action("reclaim_backlog", e.nicID, q.queue, int64(len(q.captureQ)), e.sched.Now())
+	e.action("reclaim_backlog", q.queue, int64(len(q.captureQ)))
 	for _, h := range q.captureQ {
 		good := goodRemaining(h)
 		q.stats.ReclaimDrops += good
@@ -371,7 +383,7 @@ func (q *wqueue) scheduleAllocRetry() {
 	d := allocRetryBase << q.retryAttempt
 	q.retryAttempt++
 	q.stats.AllocRetries++
-	q.e.trace.Action("alloc_retry", q.e.nicID, q.queue, int64(q.retryAttempt), q.e.sched.Now())
+	q.e.action("alloc_retry", q.queue, int64(q.retryAttempt))
 	q.retryTimer.Schedule(d)
 }
 

@@ -114,6 +114,20 @@ type Config struct {
 	// integrity validation are off — the ablation configuration that
 	// shows what the recovery machinery buys.
 	DisableRecovery bool
+	// Domain is the time-domain affinity label of this engine in a
+	// multi-domain (PDES) simulation: the index of the domain whose
+	// scheduler the engine was built against. Purely informational —
+	// fleet runs use it to tag merged observability output — and 0 in
+	// every single-domain run.
+	Domain int
+	// OnAction, when non-nil, observes every recovery action the engine
+	// takes (quarantine, re_steer, failover, reclaim_backlog,
+	// alloc_retry) at the virtual time it happens. Fleet runs bind this
+	// to a cross-domain mailbox so a host's recovery becomes visible on
+	// the fleet aggregation plane; the hook must be deterministic. It
+	// fires in addition to (never instead of) flight-recorder Action
+	// records.
+	OnAction func(kind string, queue int, at vtime.Time)
 }
 
 // DefaultFlushTimeout keeps delivery latency bounded at a fraction of the

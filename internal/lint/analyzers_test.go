@@ -23,6 +23,10 @@ func TestLockdisciplineFixture(t *testing.T) {
 	RunFixture(t, fixture("lockdiscipline"), LockAnalyzer)
 }
 
+func TestConcurrencyFixture(t *testing.T) {
+	RunFixture(t, fixture("concurrency"), ConcurrencyAnalyzer)
+}
+
 // TestDirectiveFixture runs the full suite so allow directives for any
 // rule resolve, and checks the malformed/unused directive findings.
 func TestDirectiveFixture(t *testing.T) {

@@ -94,7 +94,7 @@ func (f Finding) String() string {
 
 // Analyzers returns the full wirelint suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{WalltimeAnalyzer, MaporderAnalyzer, HotpathAnalyzer, LockAnalyzer}
+	return []*Analyzer{WalltimeAnalyzer, MaporderAnalyzer, HotpathAnalyzer, LockAnalyzer, ConcurrencyAnalyzer}
 }
 
 // KnownRules returns the rule names valid in //wirelint:allow

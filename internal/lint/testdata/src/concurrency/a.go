@@ -1,0 +1,33 @@
+package fix
+
+// violations: every raw concurrency primitive the domain runtime is
+// supposed to own exclusively.
+func violations() {
+	ch := make(chan int, 1) // want `make\(chan\) outside the domain runtime`
+	go func() {             // want `go statement outside the domain runtime`
+		ch <- 1 // want `channel send outside the domain runtime`
+	}()
+	_ = <-ch // want `channel receive outside the domain runtime`
+
+	done := make(chan struct{}) // want `make\(chan\) outside the domain runtime`
+	select {                    // want `select statement outside the domain runtime`
+	case <-done: // select cases report once, at the select
+	default:
+	}
+
+	for range ch { // want `range over channel outside the domain runtime`
+	}
+}
+
+// conforming: slices and maps make freely, arrow-free control flow is
+// untouched, and declaring a channel type (without making or using one)
+// is legal — interfaces over the domain package mention them.
+func conforming() {
+	s := make([]int, 4)
+	m := make(map[string]int)
+	_ = append(s, len(m))
+	var _ chan int
+	for i := range s {
+		_ = i
+	}
+}

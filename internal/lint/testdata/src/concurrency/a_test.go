@@ -1,0 +1,12 @@
+package fix
+
+import "testing"
+
+// Test files may use raw concurrency freely: stress harnesses and
+// race-detector tests exist precisely to hammer the domain runtime
+// from many goroutines.
+func TestConcurrencyAllowedInTests(t *testing.T) {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

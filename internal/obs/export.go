@@ -18,6 +18,11 @@ type Record struct {
 	Scenario    string     `json:"scenario"`
 	End         vtime.Time `json:"end_ns"`
 	SampleEvery uint32     `json:"sample_every"`
+	// Domain is the time domain that produced this record, when it is a
+	// per-domain slice of a fleet run (see Tag / MergeRecords). 0 — and
+	// omitted from JSON — for ordinary single-domain records, keeping
+	// their exports byte-identical.
+	Domain int `json:"domain,omitempty"`
 
 	Packets      []PacketTrace       `json:"packets"`
 	Drops        []DropRecord        `json:"drops"`

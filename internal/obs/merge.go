@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"sort"
+
+	"repro/internal/vtime"
+)
+
+// This file is the observability half of the parallel simulation
+// (DESIGN.md §11): each time domain owns a private Recorder (recorders
+// are single-threaded by design, like everything else inside a domain),
+// and after the run the per-domain Records are merged into one
+// fleet-wide Record in canonical order. The merge is pure data
+// plumbing — sort keys only, no clocks, no maps iterated unsorted — so
+// the merged export is byte-identical for any domain count, worker
+// count, or machine.
+
+// Tag labels the record and every sub-record in it with the time domain
+// that produced it. Domain 0 marshals as absent (omitempty), so
+// single-domain exports are byte-identical to pre-parallel ones.
+func (rec *Record) Tag(domain int) {
+	rec.Domain = domain
+	for i := range rec.Packets {
+		rec.Packets[i].Domain = domain
+	}
+	for i := range rec.Drops {
+		rec.Drops[i].Domain = domain
+	}
+	for i := range rec.FaultWindows {
+		rec.FaultWindows[i].Domain = domain
+	}
+	for i := range rec.Actions {
+		rec.Actions[i].Domain = domain
+	}
+}
+
+// MergeRecords merges per-domain records into one record in canonical
+// order: every event slice sorts by (virtual time, domain, original
+// position), packets by (first-stamp time, domain, id), the stage
+// profile by summed bucket key, and drop totals by summed cause. Fault
+// window ids stay per-domain scoped (a DropRecord's Fault refers to a
+// window with the same Domain), exactly as queue numbers stay per-NIC
+// scoped.
+//
+// Sorting is stable and every tiebreak ends in a key that is unique
+// within its domain, so the result is a pure function of the inputs —
+// independent of placement, worker count, and merge call order.
+func MergeRecords(scenario string, end vtime.Time, recs []Record) Record {
+	out := Record{
+		Scenario:    scenario,
+		End:         end,
+		SampleEvery: 1,
+		DropTotals:  map[string]uint64{},
+	}
+	for i := range recs {
+		r := &recs[i]
+		if r.SampleEvery > out.SampleEvery {
+			out.SampleEvery = r.SampleEvery
+		}
+		out.Packets = append(out.Packets, r.Packets...)
+		out.Drops = append(out.Drops, r.Drops...)
+		out.FaultWindows = append(out.FaultWindows, r.FaultWindows...)
+		out.Actions = append(out.Actions, r.Actions...)
+		out.StageProfile = append(out.StageProfile, r.StageProfile...)
+		out.TruncatedPackets += r.TruncatedPackets
+		out.TruncatedDrops += r.TruncatedDrops
+		for k, v := range r.DropTotals {
+			out.DropTotals[k] += v
+		}
+	}
+
+	sort.SliceStable(out.Packets, func(i, j int) bool {
+		a, b := &out.Packets[i], &out.Packets[j]
+		at, bt := packetStart(a), packetStart(b)
+		if at != bt {
+			return at < bt
+		}
+		if a.Domain != b.Domain {
+			return a.Domain < b.Domain
+		}
+		return a.ID < b.ID
+	})
+	sort.SliceStable(out.Drops, func(i, j int) bool {
+		a, b := &out.Drops[i], &out.Drops[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		return a.Domain < b.Domain
+	})
+	sort.SliceStable(out.FaultWindows, func(i, j int) bool {
+		a, b := &out.FaultWindows[i], &out.FaultWindows[j]
+		if a.Open != b.Open {
+			return a.Open < b.Open
+		}
+		if a.Domain != b.Domain {
+			return a.Domain < b.Domain
+		}
+		return a.ID < b.ID
+	})
+	sort.SliceStable(out.Actions, func(i, j int) bool {
+		a, b := &out.Actions[i], &out.Actions[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		return a.Domain < b.Domain
+	})
+
+	// Sum stage-profile buckets across domains: the profile answers
+	// "where does virtual time go per stage", which aggregates the same
+	// way the metric counters do.
+	type bucket struct {
+		ns    vtime.Time
+		count uint64
+	}
+	sums := map[profKey]*bucket{}
+	for _, e := range out.StageProfile {
+		k := profKey{engine: e.Engine, queue: e.Queue, stage: e.Stage}
+		b := sums[k]
+		if b == nil {
+			b = &bucket{}
+			sums[k] = b
+		}
+		b.ns += e.Ns
+		b.count += e.Count
+	}
+	out.StageProfile = out.StageProfile[:0]
+	for k, b := range sums {
+		out.StageProfile = append(out.StageProfile, StageProfileEntry{
+			Engine: k.engine, Queue: k.queue, Stage: k.stage, Ns: b.ns, Count: b.count,
+		})
+	}
+	sort.Slice(out.StageProfile, func(i, j int) bool {
+		a, b := out.StageProfile[i], out.StageProfile[j]
+		if a.Engine != b.Engine {
+			return a.Engine < b.Engine
+		}
+		if a.Queue != b.Queue {
+			return a.Queue < b.Queue
+		}
+		return a.Stage < b.Stage
+	})
+	return out
+}
+
+// packetStart is a packet's wire-arrival time (its first stamp).
+func packetStart(p *PacketTrace) vtime.Time {
+	if len(p.Stamps) == 0 {
+		return 0
+	}
+	return p.Stamps[0].At
+}

@@ -158,6 +158,9 @@ type PacketTrace struct {
 	Stamps []StageStamp   `json:"stamps"`
 	// Drop is the drop cause name when the trace ended in a drop, "".
 	Drop string `json:"drop,omitempty"`
+	// Domain is the time domain that recorded the trace in a merged
+	// fleet record; 0 (omitted) in single-domain runs.
+	Domain int `json:"domain,omitempty"`
 }
 
 // DropRecord is one entry in the drop-forensics ledger.
@@ -173,8 +176,11 @@ type DropRecord struct {
 	// cover every good packet left in the chunk).
 	Count uint64 `json:"count"`
 	// Fault is the id of the fault window open over this (nic, queue)
-	// when the drop happened, -1 when none was.
+	// when the drop happened, -1 when none was. In a merged fleet
+	// record it refers to the window with the same Domain.
 	Fault int32 `json:"fault"`
+	// Domain is the recording time domain (0 / omitted outside fleets).
+	Domain int `json:"domain,omitempty"`
 }
 
 // FaultWindow is one fault activation interval.
@@ -185,6 +191,8 @@ type FaultWindow struct {
 	Queue int        `json:"queue"` // -1 for NIC-scoped faults
 	Open  vtime.Time `json:"open"`
 	Close vtime.Time `json:"close"` // -1 while/if never closed
+	// Domain is the recording time domain (0 / omitted outside fleets).
+	Domain int `json:"domain,omitempty"`
 }
 
 // ActionRecord is one annotated recovery or pool event (quarantine,
@@ -195,6 +203,8 @@ type ActionRecord struct {
 	NIC   int        `json:"nic"`
 	Queue int        `json:"queue"`
 	Arg   int64      `json:"arg"`
+	// Domain is the recording time domain (0 / omitted outside fleets).
+	Domain int `json:"domain,omitempty"`
 }
 
 // StageProfileEntry is accumulated virtual time for one

@@ -26,6 +26,21 @@ func NewRand(seed uint64) *Rand {
 	return r
 }
 
+// SplitSeed derives an independent child seed from a root seed and a
+// stream index, so a multi-domain simulation can give every domain (or
+// host, or injector) its own full-quality deterministic stream that
+// depends only on the root seed and the stream's stable identity — never
+// on which goroutine or time domain ends up running it. The derivation
+// is a splitmix64 mix of the root with a golden-ratio-spaced stream
+// offset, the same construction NewRand uses internally.
+func SplitSeed(seed, stream uint64) uint64 {
+	x := seed + (stream+1)*0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.

@@ -96,6 +96,13 @@ type Scheduler struct {
 	live    int
 	stale   int // cancelled events whose heap entries remain
 	stopped bool
+	// horizon, when nonzero, is an externally imposed bound the clock may
+	// not cross via AdvanceIfIdle: the domain runtime sets it to the
+	// earlier of the current lookahead window's end and the next pending
+	// cross-domain delivery, so hot-path batching can never skip over a
+	// mailbox message or a barrier. Zero means unbounded (the default,
+	// single-scheduler behavior).
+	horizon Time
 }
 
 // NewScheduler returns a scheduler starting at virtual time zero.
@@ -204,6 +211,36 @@ func (s *Scheduler) compact() {
 // Pending reports the number of events waiting to run.
 func (s *Scheduler) Pending() int { return s.live }
 
+// NextAt returns the timestamp of the earliest pending event, or false
+// when the queue is empty. It does not run anything or move the clock;
+// the domain runtime uses it to compute conservative lookahead windows.
+func (s *Scheduler) NextAt() (Time, bool) {
+	e, ok := s.peek()
+	return e.at, ok
+}
+
+// AdvanceTo moves the clock to t without running anything. It panics if
+// t is in the past or if an event is pending before t — skipping work
+// would be a causality violation, exactly like scheduling into the past.
+// The domain runtime uses it to stamp the clock at a cross-domain
+// delivery time before invoking the delivery handler.
+func (s *Scheduler) AdvanceTo(t Time) {
+	if t < s.now {
+		panic(fmt.Sprintf("vtime: AdvanceTo %v before now %v", t, s.now))
+	}
+	if e, ok := s.peek(); ok && e.at < t {
+		panic(fmt.Sprintf("vtime: AdvanceTo %v would skip event at %v", t, e.at))
+	}
+	s.now = t
+}
+
+// SetHorizon bounds AdvanceIfIdle: with a nonzero horizon the clock will
+// not batch-advance to any t >= horizon, forcing callers back onto real
+// scheduled events that the domain runtime's window loop can see. Pass 0
+// to clear. Only the domain runtime should need this; within a single
+// free-running scheduler the horizon stays 0 and batching is unbounded.
+func (s *Scheduler) SetHorizon(t Time) { s.horizon = t }
+
 // Stop makes the currently executing Run/RunUntil return after the current
 // event completes. Pending events remain queued.
 func (s *Scheduler) Stop() { s.stopped = true }
@@ -284,6 +321,9 @@ func (s *Scheduler) AdvanceIfIdle(t Time) bool {
 		return false
 	}
 	if s.stopped {
+		return false
+	}
+	if s.horizon != 0 && t >= s.horizon {
 		return false
 	}
 	if e, ok := s.peek(); ok && e.at <= t {
