@@ -1,6 +1,7 @@
 # Developer checks for the WireCAP reproduction. `make ci` mirrors the
 # GitHub Actions pipeline exactly: formatting, vet, build, tests, the
-# race detector across every package, and the deterministic regression
+# race detector across every package, a time-bounded fuzz pass over the
+# BPF backend-equivalence property, and the deterministic regression
 # gate (cmd/ci-gate against the committed baselines.json). `make check`
 # is the quick subset for inner-loop development.
 #
@@ -23,11 +24,11 @@ GO ?= go
 TRACE_SCENARIO ?= chaos_queue_hang
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: ci check fmt-check vet build test race race-stress gate bench bench-check baselines chaos trace lint wirelint staticcheck staticcheck-install all
+.PHONY: ci check fmt-check vet build test race race-stress fuzz gate bench bench-check baselines chaos trace lint wirelint staticcheck staticcheck-install all
 
 all: check
 
-ci: fmt-check vet lint build test race race-stress gate bench-check
+ci: fmt-check vet lint build test race race-stress fuzz gate bench-check
 
 check: vet build test
 
@@ -69,6 +70,12 @@ race:
 race-stress:
 	$(GO) test -race -count=5 ./internal/vtime/domain/...
 	$(GO) test -race -count=5 -run 'Fleet|Domains' ./internal/bench/...
+
+# Time-bounded coverage-guided fuzzing of the BPF backend-equivalence
+# property: interpreter, closure JIT, flattened bytecode, and fused
+# predicates must agree on every (expression, packet) the fuzzer finds.
+fuzz:
+	$(GO) test -fuzz=FuzzBackendsAgree -fuzztime=30s ./internal/bpf
 
 gate:
 	$(GO) run ./cmd/ci-gate

@@ -3,9 +3,12 @@ package main
 import (
 	"testing"
 
+	"repro/internal/analytics"
+	"repro/internal/bpf"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/packet"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -51,6 +54,47 @@ func measureAllocs() map[string]float64 {
 		rec.StageCost("e", 0, "s", 1)
 		_ = rec.DescClaim(0, 0, 1, 1)
 		_ = rec.Sampled(flow)
+	})
+
+	// The analytics stage's steady-state update: warm the bounded
+	// tables over the flow set first, so the measured iterations take
+	// the sketch/heavy-hitter/flow-table update paths without growth.
+	stage := analytics.New(analytics.Config{}, nil, nil)
+	decs := make([]packet.Decoded, 64)
+	for i := range decs {
+		decs[i] = packet.Decoded{
+			Flow: packet.FlowKey{
+				Src: packet.IPv4{10, 0, byte(i >> 4), byte(i)}, Dst: packet.IPv4{10, 1, 2, 3},
+				SrcPort: uint16(1024 + i), DstPort: 53, Proto: packet.ProtoUDP,
+			},
+			Frame: make([]byte, 60),
+		}
+		stage.Update(0, &decs[i], vtime.Time(i))
+	}
+	var di int
+	out["analytics_update"] = testing.AllocsPerRun(1000, func() {
+		stage.Update(0, &decs[di&63], vtime.Time(di))
+		di++
+	})
+
+	// The batch filter entry point over a border-trace chunk: the
+	// accept bitmap is caller-owned, so the call itself allocates
+	// nothing regardless of the fused/bytecode backend split.
+	src := trace.NewBorder(trace.BorderConfig{Queues: 1, Duration: vtime.Second, Seed: 9})
+	frames := make([][]byte, 0, 256)
+	for len(frames) < 256 {
+		f, _, ok := src.Next()
+		if !ok {
+			break
+		}
+		cp := make([]byte, len(f))
+		copy(cp, f)
+		frames = append(frames, cp)
+	}
+	flt := bpf.MustCompileFlat("udp and net 131.225.2", 65535)
+	accept := make([]uint64, (len(frames)+63)/64)
+	out["bpf_filter_chunk"] = testing.AllocsPerRun(200, func() {
+		flt.FilterChunk(frames, accept)
 	})
 
 	return out

@@ -31,7 +31,7 @@
 //
 // Usage:
 //
-//	ci-gate [-baselines FILE] [-update] [-skip-perf] [-domains N] [-v]
+//	ci-gate [-baselines FILE] [-update] [-skip-perf] [-domains N] [-summary FILE] [-v]
 //
 // Exit status 0 when every check passes, 1 on any regression, 2 on
 // operational errors (unreadable baseline, scenario failure).
@@ -85,6 +85,7 @@ func main() {
 	update := flag.Bool("update", false, "regenerate the baseline file from the current build")
 	skipPerf := flag.Bool("skip-perf", false, "skip the wall-clock throughput floor")
 	domains := flag.Int("domains", 4, "time domains for the parallel-equivalence family (0 skips it)")
+	summary := flag.String("summary", "", "write a plain-text check summary to FILE (for CI artifacts)")
 	verbose := flag.Bool("v", false, "print every check, not just failures")
 	flag.Parse()
 
@@ -134,6 +135,11 @@ func main() {
 	}
 
 	failures, checks := compare(base, reports, traced, par, allocs, perf, *skipPerf)
+	if *summary != "" {
+		if err := writeSummary(*summary, *domains, checks, failures); err != nil {
+			fatal(err)
+		}
+	}
 	if *verbose {
 		for _, c := range checks {
 			fmt.Println("  ok:", c)
@@ -150,6 +156,26 @@ func main() {
 	fmt.Printf("ci-gate: %d checks passed (%d scenarios, %d alloc budgets%s)\n",
 		len(checks), len(reports), len(base.Allocs),
 		map[bool]string{true: ", perf skipped", false: ", perf floor"}[*skipPerf])
+}
+
+// writeSummary records every check's verdict in a plain-text file CI
+// uploads as an artifact, so a failed gate run is diagnosable from the
+// artifact alone. Failed checks lead; the full pass list follows.
+func writeSummary(path string, domains int, checks, failures []string) error {
+	var buf bytes.Buffer
+	verdict := "PASS"
+	if len(failures) > 0 {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&buf, "ci-gate %s: %d checks, %d failure(s), domains=%d\n",
+		verdict, len(checks), len(failures), domains)
+	for _, f := range failures {
+		fmt.Fprintf(&buf, "FAIL %s\n", f)
+	}
+	for _, c := range checks {
+		fmt.Fprintf(&buf, "ok   %s\n", c)
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
 }
 
 func runScenarios() ([]bench.RunReport, error) {

@@ -1,0 +1,249 @@
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"testing"
+
+	"repro/internal/bpf"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// ---- filter_path: BPF backend comparison over the matcher corpus ----
+//
+// The same expression corpus runs over the same border-trace frames on
+// every backend — interpreter, closure JIT, flattened bytecode, and the
+// flattened per-chunk batch entry point. Each entry's digest covers the
+// full (program x frame) accept matrix, so -check pins that all four
+// backends agree bit for bit (the differential property, re-proven on
+// every CI run) before comparing speed. The headline gate: flattened
+// must hold >= 3x over the interpreter on this corpus.
+
+// filterExprs is the matcher corpus: the expression shapes real
+// deployments filter by (protocols, nets, ports, and the compound
+// web/DNS/subnet filters that dominate in practice), each exercising a
+// different fusion or flattening path.
+var filterExprs = []string{
+	"ip",
+	"udp",
+	"tcp",
+	"udp and net 131.225.2",
+	"tcp port 80 or tcp port 443",
+	"src net 10.0.0.0/8 and dst port 53",
+	"host 131.225.2.4",
+	"udp dst port 53",
+	"greater 128",
+	"tcp and (port 80 or port 443) and net 131.225.0.0/16",
+	"tcp port 80 or tcp port 443 or tcp port 8080 or udp port 53",
+	"udp and dst net 224.0.0.0/4",
+	"src net 131.225.0.0/16 and tcp",
+}
+
+const (
+	filterFrameCount = 2048
+	filterChunkM     = 256
+	// filterTolerance is the committed -check window for this family:
+	// sub-microsecond match loops wobble more than the 4x default
+	// assumes, and the exact regression signal is the digest anyway.
+	filterTolerance = 6.0
+	// filterSpeedupFloor is the flattened-over-interpreter gate.
+	filterSpeedupFloor = 3.0
+)
+
+// filterFrames materializes the border-trace frame corpus once,
+// copying each frame out of the generator's reused scratch.
+func filterFrames() [][]byte {
+	src := trace.NewBorder(trace.BorderConfig{
+		Queues: 4, Duration: 2 * vtime.Second, Seed: 42,
+	})
+	frames := make([][]byte, 0, filterFrameCount)
+	for len(frames) < filterFrameCount {
+		f, _, ok := src.Next()
+		if !ok {
+			break
+		}
+		cp := make([]byte, len(f))
+		copy(cp, f)
+		frames = append(frames, cp)
+	}
+	return frames
+}
+
+// acceptDigest fingerprints a (program x frame) accept matrix.
+func acceptDigest(bits []byte) string {
+	h := fnv.New64a()
+	h.Write(bits)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// measureFilter benchmarks one per-packet backend: an op is the full
+// corpus sweep (every program over every frame). The digest is computed
+// from the match function outside the timed loop, in (program, frame)
+// order on every backend. The caller supplies the timed sweep so each
+// backend's Run is a direct method call — the measurement compares
+// match code, not a shared dispatch closure — and the sweep must walk
+// frame-major (each frame through all programs while cache-hot, the
+// order the engine's consumer path sees).
+func measureFilter(name string, frames [][]byte, progs int, match func(prog int, frame []byte) bool, sweep func()) Record {
+	bits := make([]byte, 0, progs*len(frames))
+	for p := 0; p < progs; p++ {
+		for _, f := range frames {
+			if match(p, f) {
+				bits = append(bits, 1)
+			} else {
+				bits = append(bits, 0)
+			}
+		}
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sweep()
+		}
+	})
+	cur := Entry{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Digest:      acceptDigest(bits),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Tolerance:   filterTolerance,
+	}
+	// matches per second of simulated filtering work
+	cur.SimPktsPerSec = float64(progs*len(frames)) / (cur.NsPerOp / 1e9)
+	return Record{Name: name, Current: cur}
+}
+
+// measureFilterChunk benchmarks the batch entry point: frames are
+// filtered filterChunkM at a time through FilterChunk, the shape the
+// engine's consumer path uses per handed chunk.
+func measureFilterChunk(frames [][]byte, flats []*bpf.FlatProgram) Record {
+	accept := make([]uint64, (filterChunkM+63)/64)
+	bits := make([]byte, 0, len(flats)*len(frames))
+	sweep := func(record bool) {
+		for _, fp := range flats {
+			for base := 0; base < len(frames); base += filterChunkM {
+				end := base + filterChunkM
+				if end > len(frames) {
+					end = len(frames)
+				}
+				batch := frames[base:end]
+				fp.FilterChunk(batch, accept)
+				if record {
+					for i := range batch {
+						bits = append(bits, byte(accept[i>>6]>>(uint(i)&63)&1))
+					}
+				}
+			}
+		}
+	}
+	sweep(true)
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sweep(false)
+		}
+	})
+	cur := Entry{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Digest:      acceptDigest(bits),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Tolerance:   filterTolerance,
+	}
+	cur.SimPktsPerSec = float64(len(flats)*len(frames)) / (cur.NsPerOp / 1e9)
+	return Record{Name: "filter_path_chunk", Current: cur}
+}
+
+// filterPathRecords measures every backend over the shared corpus.
+func filterPathRecords() []Record {
+	frames := filterFrames()
+	n := len(filterExprs)
+	vms := make([]*bpf.VM, n)
+	jits := make([]*bpf.JITProgram, n)
+	flats := make([]*bpf.FlatProgram, n)
+	for i, expr := range filterExprs {
+		prog := bpf.MustCompile(expr, 65535)
+		vm, err := bpf.NewVM(prog)
+		if err != nil {
+			panic(err)
+		}
+		jit, err := bpf.JITCompile(prog)
+		if err != nil {
+			panic(err)
+		}
+		vms[i], jits[i] = vm, jit
+		flats[i] = bpf.MustCompileFlat(expr, 65535)
+	}
+	return []Record{
+		measureFilter("filter_path_interp", frames, n, func(p int, f []byte) bool {
+			return vms[p].Run(f) != 0
+		}, func() {
+			for _, f := range frames {
+				for _, vm := range vms {
+					vm.Run(f)
+				}
+			}
+		}),
+		measureFilter("filter_path_jit", frames, n, func(p int, f []byte) bool {
+			return jits[p].Run(f) != 0
+		}, func() {
+			for _, f := range frames {
+				for _, jit := range jits {
+					jit.Run(f)
+				}
+			}
+		}),
+		measureFilter("filter_path_flat", frames, n, func(p int, f []byte) bool {
+			return flats[p].Run(f) != 0
+		}, func() {
+			for _, f := range frames {
+				for _, fp := range flats {
+					fp.Run(f)
+				}
+			}
+		}),
+		measureFilterChunk(frames, flats),
+	}
+}
+
+// checkFilterPath enforces the backend-equivalence and speedup gates on
+// the fresh filter_path measurements themselves: all four digests must
+// be identical (any divergence is a correctness bug, not noise), and
+// flattened must hold the committed speedup floor over the interpreter.
+func checkFilterPath(records []Record) int {
+	byName := make(map[string]Entry, len(records))
+	for _, r := range records {
+		byName[r.Name] = r.Current
+	}
+	interp, ok := byName["filter_path_interp"]
+	if !ok {
+		return 0
+	}
+	status := 0
+	for _, name := range []string{"filter_path_jit", "filter_path_flat", "filter_path_chunk"} {
+		e, ok := byName[name]
+		if !ok {
+			continue
+		}
+		if e.Digest != interp.Digest {
+			fmt.Printf("FAIL %-26s digest %s != interpreter's %s (backend divergence)\n",
+				name, e.Digest, interp.Digest)
+			status = 1
+		}
+	}
+	if flat, ok := byName["filter_path_flat"]; ok {
+		speedup := interp.NsPerOp / flat.NsPerOp
+		if speedup < filterSpeedupFloor {
+			fmt.Printf("FAIL filter_path_flat speedup %.2fx over interpreter, want >= %.1fx\n",
+				speedup, filterSpeedupFloor)
+			status = 1
+		} else {
+			fmt.Printf("ok   filter speedup gate: flattened %.2fx over interpreter\n", speedup)
+		}
+	}
+	return status
+}

@@ -62,6 +62,11 @@ type Entry struct {
 	// are only meaningful relative to it, and the -check speedup gate is
 	// waived below 4 usable CPUs.
 	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	// Tolerance, when > 0, overrides the global -tolerance factor for
+	// this entry in -check mode. Families whose wall-clock noise differs
+	// structurally (tight microbench loops vs goroutine fan-out) commit
+	// their own window instead of sharing one fixed 4x band.
+	Tolerance float64 `json:"tolerance,omitempty"`
 }
 
 // Record pairs a current measurement with its pre-rewrite baseline.
@@ -159,6 +164,10 @@ func benchRunConstant(b *testing.B) {
 
 const fleetHosts = 8
 
+// pdesTolerance is the committed -check window for the pdes_scaling
+// family (see Entry.Tolerance).
+const pdesTolerance = 8.0
+
 func fleetRun(domains int, chaos bool) bench.FleetRun {
 	cfg := bench.FleetRun{
 		Spec: bench.WireCAPA(64, 32, 60), Hosts: fleetHosts, Queues: 2, X: 300,
@@ -203,6 +212,9 @@ func measurePDES(name string, domains int, chaos bool) Record {
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		Digest:      digest,
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		// Goroutine fan-out makes these entries the noisiest family in
+		// the file; their exact regression signal is the digest.
+		Tolerance: pdesTolerance,
 	}
 	cur.SimPktsPerSec = float64(fleetHosts) * 20_000 / (cur.NsPerOp / 1e9)
 	return Record{Name: name, Current: cur}
@@ -275,7 +287,7 @@ func check(records []Record, committedPath string, tolerance float64) int {
 		// the digest, which covers every observable of the run.
 		pdes := strings.HasPrefix(r.Name, "pdes_")
 		switch {
-		case !pdes && r.Current.AllocsPerOp > want.AllocsPerOp:
+		case !pdes && r.Current.AllocsPerOp > allocBudget(want.AllocsPerOp):
 			fmt.Printf("FAIL %-26s %d allocs/op, committed %d\n",
 				r.Name, r.Current.AllocsPerOp, want.AllocsPerOp)
 			status = 1
@@ -283,9 +295,9 @@ func check(records []Record, committedPath string, tolerance float64) int {
 			fmt.Printf("FAIL %-26s digest %s, committed %s (determinism regression)\n",
 				r.Name, r.Current.Digest, want.Digest)
 			status = 1
-		case want.NsPerOp > 0 && r.Current.NsPerOp > want.NsPerOp*tolerance:
+		case want.NsPerOp > 0 && r.Current.NsPerOp > want.NsPerOp*tol(want, tolerance):
 			fmt.Printf("FAIL %-26s %.1f ns/op exceeds committed %.1f x tolerance %.1f\n",
-				r.Name, r.Current.NsPerOp, want.NsPerOp, tolerance)
+				r.Name, r.Current.NsPerOp, want.NsPerOp, tol(want, tolerance))
 			status = 1
 		default:
 			fmt.Printf("ok   %-26s %12.1f ns/op  %3d allocs/op  (committed %12.1f, %d)\n",
@@ -295,10 +307,38 @@ func check(records []Record, committedPath string, tolerance float64) int {
 	if s := checkPDES(records); s > status {
 		status = s
 	}
+	if s := checkFilterPath(records); s > status {
+		status = s
+	}
 	if status == 1 {
 		fmt.Printf("If intentional, regenerate with `go run ./cmd/vtime-bench -o %s` and commit the diff.\n", committedPath)
 	}
 	return status
+}
+
+// tol returns the entry's committed tolerance window, falling back to
+// the global -tolerance flag.
+func tol(e Entry, global float64) float64 {
+	if e.Tolerance > 0 {
+		return e.Tolerance
+	}
+	return global
+}
+
+// allocBudget is the allocation ceiling for a committed count: exact
+// for zero-alloc entries (the hot-path guarantee), plus 1% headroom
+// (minimum 2) otherwise — large runs jitter by a few allocations with
+// runtime internals (stack growth, map rehash timing) that are not
+// regressions.
+func allocBudget(committed int64) int64 {
+	if committed == 0 {
+		return 0
+	}
+	slack := committed / 100
+	if slack < 2 {
+		slack = 2
+	}
+	return committed + slack
 }
 
 // checkPDES enforces the parallel-executive properties across the fresh
@@ -368,6 +408,7 @@ func main() {
 		measure("schedule_step_1m_pending", benchScheduleStep),
 		measure("run_constant_200k", benchRunConstant),
 	}
+	records = append(records, filterPathRecords()...)
 	records = append(records, pdesRecords()...)
 	if *checkMode {
 		os.Exit(check(records, *checkPath, *tolerance))

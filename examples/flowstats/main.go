@@ -1,24 +1,21 @@
 // Flowstats: a packet-based network performance analysis application (the
-// paper's second motivating workload class). It decodes every captured
-// packet zero-copy, aggregates per-flow counters, and prints the top
-// talkers — the kind of tool that "uses ring buffer pools as its own data
-// buffers and processes the captured packets directly from there".
+// paper's second motivating workload class), rebuilt on the streaming
+// analytics stage. Every captured packet is decoded zero-copy and fed to
+// internal/analytics, which maintains a count-min sketch, a space-saving
+// heavy-hitter table, a superspreader tracker, and a bounded exact flow
+// table — all with zero allocations per packet on the steady state, so
+// the consumer keeps up at line rate instead of growing an unbounded map.
 package main
 
 import (
 	"fmt"
 	"log"
-	"sort"
 
+	"repro/internal/analytics"
 	"repro/internal/packet"
+	"repro/internal/vtime"
 	"repro/wirecap"
 )
-
-type flowStat struct {
-	key     packet.FlowKey
-	packets uint64
-	bytes   uint64
-}
 
 func main() {
 	sim := wirecap.NewSim()
@@ -28,22 +25,21 @@ func main() {
 		log.Fatal(err)
 	}
 
-	flows := make(map[packet.FlowKey]*flowStat)
-	var undecodable uint64
+	// One stage shared across queues: handles deliver sequentially inside
+	// one simulated time domain, so no locking is needed here.
+	stage := analytics.New(analytics.Config{
+		FlowCapacity: 4096,
+		TopK:         16,
+	}, nil, nil)
 	for q := 0; q < nic.Queues(); q++ {
+		queue := q
 		var dec packet.Decoded // per-queue scratch, reused zero-alloc
 		eng.Queue(q).Loop(func(p *wirecap.Packet) {
 			if err := packet.Decode(p.Data, &dec); err != nil {
-				undecodable++
+				stage.NoteUndecodable()
 				return
 			}
-			st := flows[dec.Flow]
-			if st == nil {
-				st = &flowStat{key: dec.Flow}
-				flows[dec.Flow] = st
-			}
-			st.packets++
-			st.bytes += uint64(len(p.Data))
+			stage.Update(queue, &dec, vtime.Time(p.Timestamp))
 		})
 	}
 
@@ -51,21 +47,30 @@ func main() {
 	sim.Run()
 
 	st := eng.Stats()
-	fmt.Printf("offered %d packets, captured %d, %d flows, %d undecodable\n\n",
-		traffic.Sent(), st.Received, len(flows), undecodable)
+	rep := stage.Report()
+	fmt.Printf("offered %d packets, captured %d, analyzed %d (%d bytes), %d undecodable\n",
+		traffic.Sent(), st.Received, rep.Updates, rep.Bytes, rep.Undecodable)
+	fmt.Printf("flow table: %d resident, %d evicted (bounded at 4096)\n\n",
+		rep.Flows.Resident, rep.Flows.Evictions)
 
-	sorted := make([]*flowStat, 0, len(flows))
-	for _, f := range flows {
-		sorted = append(sorted, f)
-	}
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].bytes > sorted[j].bytes })
-
-	fmt.Println("top 10 flows by bytes:")
+	fmt.Println("top flows by bytes (exact, bounded table):")
 	fmt.Printf("%-52s %10s %12s\n", "flow", "packets", "bytes")
-	for i, f := range sorted {
-		if i >= 10 {
+	for _, f := range rep.Flows.Top {
+		fmt.Printf("%-52s %10d %12d\n", f.Flow, f.Packets, f.Bytes)
+	}
+
+	fmt.Println("\nheavy hitters (space-saving, byte counts with error bounds):")
+	for _, hh := range rep.HeavyHitters {
+		fmt.Printf("%-52s %12d bytes (±%d), ~%d packets (sketch)\n",
+			hh.Flow, hh.Bytes, hh.Err, hh.EstPackets)
+	}
+
+	fmt.Println("\nsuperspreader candidates (distinct destinations per source):")
+	for i, sp := range rep.Superspreaders {
+		if i >= 5 {
 			break
 		}
-		fmt.Printf("%-52s %10d %12d\n", f.key, f.packets, f.bytes)
+		fmt.Printf("%-20s ~%d distinct destinations (bound %d)\n",
+			sp.Src, sp.Estimate, sp.Bound)
 	}
 }

@@ -1,0 +1,35 @@
+// Package analytics is the streaming-analysis stage of the consumer
+// path: sketch-based traffic summaries that hold line rate because
+// every update is allocation-free and bounded-state. It implements the
+// toolbox of "Algorithms and Data Structures to Accelerate Network
+// Analysis" (PAPERS.md): a count-min sketch for per-flow frequency
+// estimates, space-saving heavy hitters, superspreader (distinct
+// destination) detection via per-source linear-counting bitmaps, and a
+// bounded per-flow table with deterministic eviction.
+//
+// Determinism is load-bearing: reports feed bench RunReport digests
+// that cmd/ci-gate compares exactly, so every structure evicts by slot
+// scan (never map iteration) and every report is sorted by count and
+// key. Identical update sequences produce byte-identical reports on
+// any domain layout.
+package analytics
+
+// fnvOffset/fnvPrime are the FNV-1a constants used by the inline key
+// hashes below (hash/fnv allocates a hasher; the hot path cannot).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// hashBytes4 is FNV-1a over 4 bytes with a seed, for address-level
+// hashing (superspreader destination bits).
+//
+//wirecap:hotpath
+func hashBytes4(seed uint64, b0, b1, b2, b3 byte) uint64 {
+	h := seed
+	h = (h ^ uint64(b0)) * fnvPrime
+	h = (h ^ uint64(b1)) * fnvPrime
+	h = (h ^ uint64(b2)) * fnvPrime
+	h = (h ^ uint64(b3)) * fnvPrime
+	return h
+}

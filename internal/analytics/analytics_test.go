@@ -1,0 +1,222 @@
+package analytics
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/packet"
+	"repro/internal/vtime"
+)
+
+func flowN(i int) packet.FlowKey {
+	return packet.FlowKey{
+		Src:     packet.IPv4{10, 0, byte(i >> 8), byte(i)},
+		Dst:     packet.IPv4{192, 168, 1, 1},
+		SrcPort: uint16(1000 + i),
+		DstPort: 53,
+		Proto:   packet.ProtoUDP,
+	}
+}
+
+// TestCMSketchNeverUndercounts pins the one-sided error guarantee over
+// a skewed workload.
+func TestCMSketchNeverUndercounts(t *testing.T) {
+	cm := NewCMSketch(512, 4)
+	r := vtime.NewRand(7)
+	truth := map[int]uint64{}
+	for i := 0; i < 20000; i++ {
+		k := r.Intn(300)
+		if r.Intn(4) == 0 {
+			k = r.Intn(10) // heavy head
+		}
+		f := flowN(k)
+		cm.Add(flowHash(&f), 1)
+		truth[k]++
+	}
+	for k, want := range truth {
+		f := flowN(k)
+		if got := cm.Estimate(flowHash(&f)); got < want {
+			t.Fatalf("flow %d: estimate %d < true count %d", k, got, want)
+		}
+	}
+	if cm.Adds() != 20000 {
+		t.Fatalf("Adds = %d", cm.Adds())
+	}
+}
+
+// TestSpaceSavingBounds pins the space-saving invariants: a key's
+// reported count overstates its true count by at most its error bound,
+// and any key whose true count exceeds N/k is tracked.
+func TestSpaceSavingBounds(t *testing.T) {
+	const k = 16
+	ss := NewSpaceSaving[int](k)
+	r := vtime.NewRand(11)
+	truth := map[int]uint64{}
+	var n uint64
+	for i := 0; i < 50000; i++ {
+		key := r.Intn(500)
+		if r.Intn(3) == 0 {
+			key = r.Intn(4) // guaranteed heavy hitters
+		}
+		ss.Add(key, 1)
+		truth[key]++
+		n++
+	}
+	tracked := map[int]ssEntry[int]{}
+	ss.Each(func(key int, count, errBound uint64) {
+		tracked[key] = ssEntry[int]{key: key, count: count, err: errBound}
+		if count < truth[key] {
+			t.Fatalf("key %d: count %d < truth %d (space-saving never undercounts)", key, count, truth[key])
+		}
+		if count-errBound > truth[key] {
+			t.Fatalf("key %d: count %d - err %d exceeds truth %d", key, count, errBound, truth[key])
+		}
+	})
+	for key, want := range truth {
+		if want > n/k {
+			if _, ok := tracked[key]; !ok {
+				t.Fatalf("heavy key %d (count %d > N/k %d) not tracked", key, want, n/k)
+			}
+		}
+	}
+}
+
+// TestSpreadTrackerFindsScanners: a scanning source touching many
+// distinct destinations must report a much larger estimate than
+// ordinary sources.
+func TestSpreadTrackerFindsScanners(t *testing.T) {
+	tr := NewSpreadTracker(8)
+	scanner := packet.IPv4{6, 6, 6, 6}
+	for i := 0; i < 200; i++ {
+		tr.Add(scanner, packet.IPv4{10, 0, byte(i >> 8), byte(i)})
+	}
+	for s := 0; s < 20; s++ {
+		src := packet.IPv4{10, 1, 1, byte(s)}
+		for i := 0; i < 3; i++ {
+			tr.Add(src, packet.IPv4{192, 168, 0, byte(i)})
+		}
+	}
+	var best string
+	var bestEst uint32
+	tr.Each(func(src packet.IPv4, est, bound uint32) {
+		if est > bestEst {
+			bestEst, best = est, src.String()
+		}
+	})
+	if best != scanner.String() {
+		t.Fatalf("top spreader = %s (est %d), want %s", best, bestEst, scanner)
+	}
+	if bestEst < 150 {
+		t.Fatalf("scanner estimate %d too low for 200 distinct destinations", bestEst)
+	}
+}
+
+// TestFlowTableEviction pins the eviction order: coldest flow first,
+// oldest last-seen breaking ties.
+func TestFlowTableEviction(t *testing.T) {
+	ft := NewFlowTable(2)
+	a, b, c := flowN(1), flowN(2), flowN(3)
+	ft.Update(a, 100, 0, 10)
+	ft.Update(a, 100, 0, 20)
+	ft.Update(b, 100, 0, 30)
+	// Table full: a has 2 packets, b has 1. c must evict b.
+	ft.Update(c, 100, 0, 40)
+	resident := map[string]bool{}
+	ft.Each(func(fs *FlowStat) { resident[fs.Key.String()] = true })
+	if !resident[a.String()] || !resident[c.String()] || resident[b.String()] {
+		t.Fatalf("eviction picked wrong victim: %v", resident)
+	}
+	if ft.Evictions() != 1 {
+		t.Fatalf("evictions = %d", ft.Evictions())
+	}
+}
+
+// TestStageReportDeterminism: two stages fed the same sequence render
+// byte-identical JSON; a one-packet difference changes it.
+func TestStageReportDeterminism(t *testing.T) {
+	feed := func(s *Stage, extra bool) {
+		r := vtime.NewRand(99)
+		var d packet.Decoded
+		for i := 0; i < 5000; i++ {
+			d.Flow = flowN(r.Intn(200))
+			d.Frame = make([]byte, 60+r.Intn(1000))
+			d.TCPFlags = uint8(r.Intn(256))
+			s.Update(r.Intn(4), &d, vtime.Time(i)*vtime.Microsecond)
+		}
+		if extra {
+			d.Flow = flowN(7)
+			s.Update(0, &d, vtime.Second)
+		}
+	}
+	render := func(extra bool) []byte {
+		s := New(Config{}, nil, nil)
+		feed(s, extra)
+		b, err := json.Marshal(s.Report())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	r1, r2, r3 := render(false), render(false), render(true)
+	if !bytes.Equal(r1, r2) {
+		t.Fatalf("identical feeds render different reports:\n%s\n%s", r1, r2)
+	}
+	if bytes.Equal(r1, r3) {
+		t.Fatal("one extra packet did not change the report")
+	}
+}
+
+// TestStageMetricsWiring: the analytics_* series appear in a snapshot
+// and track the stage's counters.
+func TestStageMetricsWiring(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := New(Config{FlowCapacity: 4}, reg, nil)
+	var d packet.Decoded
+	for i := 0; i < 100; i++ {
+		d.Flow = flowN(i % 8) // 8 flows through a 4-slot table: evictions
+		d.Frame = make([]byte, 100)
+		s.Update(0, &d, vtime.Time(i))
+	}
+	s.NoteUndecodable()
+	snap := reg.Snapshot(vtime.Second)
+	got := map[string]uint64{}
+	for _, series := range snap.Series {
+		if series.Kind == "counter" {
+			got[series.Name] = series.Counter
+		}
+	}
+	if got["analytics_updates_total"] != 100 {
+		t.Fatalf("updates series = %d", got["analytics_updates_total"])
+	}
+	if got["analytics_undecodable_total"] != 1 {
+		t.Fatalf("undecodable series = %d", got["analytics_undecodable_total"])
+	}
+	if got["analytics_flow_evictions_total"] == 0 {
+		t.Fatal("no flow evictions recorded through 4-slot table")
+	}
+}
+
+// TestStageSteadyStateAllocs pins the hot path at zero allocations
+// once the working set is resident.
+func TestStageSteadyStateAllocs(t *testing.T) {
+	s := New(Config{FlowCapacity: 64, TopK: 16, Superspreaders: 16}, nil, nil)
+	frame := make([]byte, 200)
+	var d packet.Decoded
+	d.Frame = frame
+	// Warm up: make every structure's working set resident.
+	for i := 0; i < 1000; i++ {
+		d.Flow = flowN(i % 32)
+		s.Update(0, &d, vtime.Time(i))
+	}
+	i := 0
+	avg := testing.AllocsPerRun(2000, func() {
+		d.Flow = flowN(i % 32)
+		s.Update(0, &d, vtime.Time(i))
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Update allocates %.2f/op, want 0", avg)
+	}
+}

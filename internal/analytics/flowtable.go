@@ -1,0 +1,83 @@
+package analytics
+
+import (
+	"repro/internal/packet"
+	"repro/internal/vtime"
+)
+
+// FlowTable is bounded per-flow state: a fixed slot array indexed by a
+// map, tracking the current working set of flows exactly. When the
+// table is full a new flow evicts the coldest resident — fewest
+// packets, ties broken by oldest last-seen and then lowest slot index,
+// a total order that never consults map iteration. Evicted state is
+// dropped (the sketch still holds its frequency mass); the eviction
+// counter makes the loss observable.
+type FlowTable struct {
+	idx       map[packet.FlowKey]int32
+	slots     []FlowStat
+	used      int
+	evictions uint64
+}
+
+// FlowStat is one flow's exact state while resident.
+type FlowStat struct {
+	Key      packet.FlowKey
+	Packets  uint64
+	Bytes    uint64
+	First    vtime.Time
+	Last     vtime.Time
+	TCPFlags uint8 // OR of all TCP flag octets seen
+}
+
+// NewFlowTable builds a table holding up to capacity flows.
+func NewFlowTable(capacity int) *FlowTable {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &FlowTable{idx: make(map[packet.FlowKey]int32, capacity), slots: make([]FlowStat, capacity)}
+}
+
+// Update accounts one packet of the flow. Steady state (flow resident)
+// allocates nothing.
+//
+//wirecap:hotpath
+func (ft *FlowTable) Update(key packet.FlowKey, bytes int, flags uint8, ts vtime.Time) {
+	if i, ok := ft.idx[key]; ok {
+		s := &ft.slots[i]
+		s.Packets++
+		s.Bytes += uint64(bytes)
+		s.Last = ts
+		s.TCPFlags |= flags
+		return
+	}
+	var i int32
+	if ft.used < len(ft.slots) {
+		i = int32(ft.used)
+		ft.used++
+	} else {
+		i = 0
+		for j := int32(1); j < int32(len(ft.slots)); j++ {
+			s, m := &ft.slots[j], &ft.slots[i]
+			if s.Packets < m.Packets || (s.Packets == m.Packets && s.Last < m.Last) {
+				i = j
+			}
+		}
+		delete(ft.idx, ft.slots[i].Key)
+		ft.evictions++
+	}
+	ft.slots[i] = FlowStat{Key: key, Packets: 1, Bytes: uint64(bytes), First: ts, Last: ts, TCPFlags: flags}
+	ft.idx[key] = i
+}
+
+// Len returns the number of resident flows.
+func (ft *FlowTable) Len() int { return ft.used }
+
+// Evictions returns how many flows have been displaced.
+func (ft *FlowTable) Evictions() uint64 { return ft.evictions }
+
+// Each calls fn for every resident flow in slot order.
+func (ft *FlowTable) Each(fn func(s *FlowStat)) {
+	for i := 0; i < ft.used; i++ {
+		fn(&ft.slots[i])
+	}
+}

@@ -1,0 +1,137 @@
+package analytics
+
+import (
+	"sort"
+
+	"repro/internal/packet"
+
+	"repro/internal/vtime"
+)
+
+// Report is the stage's deterministic summary: integers and fixed
+// strings only, every slice sorted by (count desc, key asc), so
+// identical update sequences render byte-identical JSON. bench embeds
+// it in RunReport, which puts every number under the ci-gate digest.
+type Report struct {
+	Updates     uint64 `json:"updates"`
+	Bytes       uint64 `json:"bytes"`
+	Undecodable uint64 `json:"undecodable,omitempty"`
+
+	Sketch SketchSummary `json:"sketch"`
+	Flows  FlowSummary   `json:"flows"`
+
+	HeavyHitters   []HeavyHitter `json:"heavy_hitters,omitempty"`
+	Superspreaders []Spreader    `json:"superspreaders,omitempty"`
+}
+
+// SketchSummary pins the sketch geometry and load.
+type SketchSummary struct {
+	Width int    `json:"width"`
+	Depth int    `json:"depth"`
+	Adds  uint64 `json:"adds"`
+}
+
+// FlowSummary pins the flow table's occupancy and a bounded list of
+// its heaviest resident flows.
+type FlowSummary struct {
+	Resident  int          `json:"resident"`
+	Evictions uint64       `json:"evictions,omitempty"`
+	Top       []FlowReport `json:"top,omitempty"`
+}
+
+// FlowReport is one resident flow.
+type FlowReport struct {
+	Flow     string     `json:"flow"`
+	Packets  uint64     `json:"packets"`
+	Bytes    uint64     `json:"bytes"`
+	First    vtime.Time `json:"first_ns"`
+	Last     vtime.Time `json:"last_ns"`
+	TCPFlags uint8      `json:"tcp_flags,omitempty"`
+}
+
+// HeavyHitter is one space-saving entry: Bytes overstates the flow's
+// true byte count by at most Err; EstPackets is the count-min estimate
+// for the same flow (an independent structure, cross-checkable).
+type HeavyHitter struct {
+	Flow       string `json:"flow"`
+	Bytes      uint64 `json:"bytes"`
+	Err        uint64 `json:"err,omitempty"`
+	EstPackets uint64 `json:"est_packets"`
+}
+
+// Spreader is one candidate superspreader with its linear-counting
+// distinct-destination estimate and inherited error bound.
+type Spreader struct {
+	Src      string `json:"src"`
+	Estimate uint32 `json:"estimate"`
+	Bound    uint32 `json:"bound,omitempty"`
+}
+
+// reportTopFlows bounds the per-flow section of the report.
+const reportTopFlows = 10
+
+// Report renders the stage. Sorting keys are totals-then-render-string,
+// a total order independent of insertion history, so any two runs that
+// fed the same multiset of packets in the same per-queue order report
+// identically.
+func (s *Stage) Report() *Report {
+	r := &Report{
+		Updates:     s.updates,
+		Bytes:       s.bytes,
+		Undecodable: s.undecodable,
+		Sketch:      SketchSummary{Width: s.cm.Width(), Depth: s.cm.Depth(), Adds: s.cm.Adds()},
+		Flows:       FlowSummary{Resident: s.flows.Len(), Evictions: s.flows.Evictions()},
+	}
+
+	hh := make([]HeavyHitter, 0, s.hh.Len())
+	s.hh.Each(func(key packet.FlowKey, count, errBound uint64) {
+		hh = append(hh, HeavyHitter{
+			Flow:       key.String(),
+			Bytes:      count,
+			Err:        errBound,
+			EstPackets: s.cm.Estimate(flowHash(&key)),
+		})
+	})
+	sort.Slice(hh, func(i, j int) bool {
+		if hh[i].Bytes != hh[j].Bytes {
+			return hh[i].Bytes > hh[j].Bytes
+		}
+		return hh[i].Flow < hh[j].Flow
+	})
+	r.HeavyHitters = hh
+
+	sp := make([]Spreader, 0, s.spread.Len())
+	s.spread.Each(func(src packet.IPv4, estimate, bound uint32) {
+		sp = append(sp, Spreader{Src: src.String(), Estimate: estimate, Bound: bound})
+	})
+	sort.Slice(sp, func(i, j int) bool {
+		if sp[i].Estimate != sp[j].Estimate {
+			return sp[i].Estimate > sp[j].Estimate
+		}
+		return sp[i].Src < sp[j].Src
+	})
+	r.Superspreaders = sp
+
+	top := make([]FlowReport, 0, s.flows.Len())
+	s.flows.Each(func(fs *FlowStat) {
+		top = append(top, FlowReport{
+			Flow:     fs.Key.String(),
+			Packets:  fs.Packets,
+			Bytes:    fs.Bytes,
+			First:    fs.First,
+			Last:     fs.Last,
+			TCPFlags: fs.TCPFlags,
+		})
+	})
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].Bytes != top[j].Bytes {
+			return top[i].Bytes > top[j].Bytes
+		}
+		return top[i].Flow < top[j].Flow
+	})
+	if len(top) > reportTopFlows {
+		top = top[:reportTopFlows]
+	}
+	r.Flows.Top = top
+	return r
+}

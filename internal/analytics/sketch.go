@@ -1,0 +1,71 @@
+package analytics
+
+// CMSketch is a count-min sketch: depth rows of width counters, each
+// update incrementing one counter per row, estimates taking the row
+// minimum. With width w and depth d, an estimate overshoots the true
+// count by more than 2N/w (N = total additions) with probability at
+// most (1/2)^d — the classic Cormode-Muthukrishnan bound, quoted in
+// DESIGN.md §12. Row indexes derive from one 64-bit key hash by
+// Kirsch-Mitzenmacher double hashing (h1 + i*h2), so the hot path
+// hashes once regardless of depth.
+type CMSketch struct {
+	width uint32 // power of two
+	depth uint32
+	rows  []uint64 // depth*width, row-major
+	adds  uint64   // total additions (N in the error bound)
+}
+
+// NewCMSketch builds a sketch with width rounded up to a power of two
+// (minimum 16) and depth clamped to [1, 8].
+func NewCMSketch(width, depth int) *CMSketch {
+	w := uint32(16)
+	for int(w) < width {
+		w <<= 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > 8 {
+		depth = 8
+	}
+	return &CMSketch{width: w, depth: uint32(depth), rows: make([]uint64, int(w)*depth)}
+}
+
+// Add counts n occurrences of the key hashed to h.
+//
+//wirecap:hotpath
+func (c *CMSketch) Add(h uint64, n uint64) {
+	h1 := uint32(h)
+	h2 := uint32(h>>32) | 1 // odd, so successive rows probe distinct slots
+	mask := c.width - 1
+	for d := uint32(0); d < c.depth; d++ {
+		c.rows[d*c.width+(h1+d*h2)&mask] += n
+	}
+	c.adds += n
+}
+
+// Estimate returns the row-minimum count for the key hashed to h —
+// never an undercount, overcounts bounded as documented on CMSketch.
+//
+//wirecap:hotpath
+func (c *CMSketch) Estimate(h uint64) uint64 {
+	h1 := uint32(h)
+	h2 := uint32(h>>32) | 1
+	mask := c.width - 1
+	min := c.rows[(h1)&mask]
+	for d := uint32(1); d < c.depth; d++ {
+		if v := c.rows[d*c.width+(h1+d*h2)&mask]; v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Adds returns the total count added (N in the error bound).
+func (c *CMSketch) Adds() uint64 { return c.adds }
+
+// Width returns the (rounded) row width.
+func (c *CMSketch) Width() int { return int(c.width) }
+
+// Depth returns the number of rows.
+func (c *CMSketch) Depth() int { return int(c.depth) }

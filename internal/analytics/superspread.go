@@ -1,0 +1,111 @@
+package analytics
+
+import (
+	"math"
+
+	"repro/internal/packet"
+)
+
+// Superspreader detection: a source talking to many distinct
+// destinations (scan, worm, or DDoS fan-out). SpreadTracker keeps a
+// bounded set of candidate sources, each with a fixed linear-counting
+// bitmap of destination hashes. The hot path only sets bits and bumps
+// a popcount; the distinct-destination *estimate* (the standard linear
+// counting formula -m·ln(z/m)) is computed at report time. When the
+// table is full, the source with the fewest observed destination bits
+// is replaced, slot-scan order, and the new tenant inherits the old
+// popcount as its error bound — the space-saving discipline applied to
+// distinct counting.
+const (
+	spreadWords = 8
+	spreadBits  = spreadWords * 64 // linear-counting window per source
+)
+
+type spreadEntry struct {
+	src  packet.IPv4
+	bits [spreadWords]uint64
+	set  uint32 // popcount cache, maintained on the hot path
+	base uint32 // inherited bound from the slot's previous tenant
+}
+
+// SpreadTracker tracks candidate superspreaders.
+type SpreadTracker struct {
+	idx          map[packet.IPv4]int32
+	slots        []spreadEntry
+	used         int
+	replacements uint64
+}
+
+// NewSpreadTracker builds a tracker for up to k candidate sources.
+func NewSpreadTracker(k int) *SpreadTracker {
+	if k < 1 {
+		k = 1
+	}
+	return &SpreadTracker{idx: make(map[packet.IPv4]int32, k), slots: make([]spreadEntry, k)}
+}
+
+// Add records that src sent a packet to dst.
+//
+//wirecap:hotpath
+func (t *SpreadTracker) Add(src, dst packet.IPv4) {
+	i, ok := t.idx[src]
+	if !ok {
+		if t.used < len(t.slots) {
+			i = int32(t.used)
+			t.slots[i] = spreadEntry{src: src}
+			t.idx[src] = i
+			t.used++
+		} else {
+			mi := int32(0)
+			for j := int32(1); j < int32(len(t.slots)); j++ {
+				if t.slots[j].set < t.slots[mi].set {
+					mi = j
+				}
+			}
+			e := &t.slots[mi]
+			delete(t.idx, e.src)
+			inherited := e.set
+			*e = spreadEntry{src: src, base: inherited}
+			t.idx[src] = mi
+			t.replacements++
+			i = mi
+		}
+	}
+	h := hashBytes4(fnvOffset, dst[0], dst[1], dst[2], dst[3])
+	bit := uint32(h) % spreadBits
+	e := &t.slots[i]
+	w, m := bit>>6, uint64(1)<<(bit&63)
+	if e.bits[w]&m == 0 {
+		e.bits[w] |= m
+		e.set++
+	}
+}
+
+// Len returns the number of tracked sources.
+func (t *SpreadTracker) Len() int { return t.used }
+
+// Replacements returns how many slot evictions have occurred.
+func (t *SpreadTracker) Replacements() uint64 { return t.replacements }
+
+// linearCount converts a popcount over the spreadBits window into a
+// distinct-count estimate: m·ln(m/z) with z empty bits. Saturates at
+// the window size; IEEE 754 makes the rounding deterministic.
+func linearCount(set uint32) uint32 {
+	if set == 0 {
+		return 0
+	}
+	if set >= spreadBits {
+		return spreadBits
+	}
+	m := float64(spreadBits)
+	return uint32(math.Round(-m * math.Log((m-float64(set))/m)))
+}
+
+// Each calls fn for every tracked source in slot order with its
+// distinct-destination estimate and error bound.
+func (t *SpreadTracker) Each(fn func(src packet.IPv4, estimate, bound uint32)) {
+	for i := 0; i < t.used; i++ {
+		e := &t.slots[i]
+		fn(e.src, linearCount(e.set)+e.base, e.base)
+	}
+}

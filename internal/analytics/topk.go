@@ -1,0 +1,74 @@
+package analytics
+
+// SpaceSaving tracks the k heaviest keys with the Metwally-Agrawal-
+// El Abbadi space-saving algorithm: a fixed slot array plus an index
+// map. A new key arriving at a full table replaces the current minimum
+// and inherits its count as the new entry's error bound, so a reported
+// count overstates the truth by at most the entry's Err. Eviction
+// scans the slot array (deterministic slot order, first minimum wins)
+// — never the map, whose iteration order would leak into reports.
+type SpaceSaving[K comparable] struct {
+	idx          map[K]int32
+	slots        []ssEntry[K]
+	used         int
+	replacements uint64
+}
+
+type ssEntry[K comparable] struct {
+	key   K
+	count uint64
+	err   uint64
+}
+
+// NewSpaceSaving builds a tracker with capacity k (minimum 1).
+func NewSpaceSaving[K comparable](k int) *SpaceSaving[K] {
+	if k < 1 {
+		k = 1
+	}
+	return &SpaceSaving[K]{idx: make(map[K]int32, k), slots: make([]ssEntry[K], k)}
+}
+
+// Add counts n occurrences of key. On steady state (key already
+// tracked, or the table not yet full after warm-up) this allocates
+// nothing; replacing a minimum reuses its slot and map bucket.
+//
+//wirecap:hotpath
+func (s *SpaceSaving[K]) Add(key K, n uint64) {
+	if i, ok := s.idx[key]; ok {
+		s.slots[i].count += n
+		return
+	}
+	if s.used < len(s.slots) {
+		s.slots[s.used] = ssEntry[K]{key: key, count: n}
+		s.idx[key] = int32(s.used)
+		s.used++
+		return
+	}
+	mi := 0
+	for i := 1; i < len(s.slots); i++ {
+		if s.slots[i].count < s.slots[mi].count {
+			mi = i
+		}
+	}
+	e := &s.slots[mi]
+	delete(s.idx, e.key)
+	e.err = e.count
+	e.key = key
+	e.count += n
+	s.idx[key] = int32(mi)
+	s.replacements++
+}
+
+// Len returns the number of tracked keys.
+func (s *SpaceSaving[K]) Len() int { return s.used }
+
+// Replacements returns how many minimum-evictions have occurred.
+func (s *SpaceSaving[K]) Replacements() uint64 { return s.replacements }
+
+// Each calls fn for every tracked entry in slot order (deterministic:
+// insertion order until the table fills, stable thereafter).
+func (s *SpaceSaving[K]) Each(fn func(key K, count, err uint64)) {
+	for i := 0; i < s.used; i++ {
+		fn(s.slots[i].key, s.slots[i].count, s.slots[i].err)
+	}
+}

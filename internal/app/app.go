@@ -34,7 +34,7 @@ type PktHandler struct {
 	// moment the application processes it.
 	Clock *vtime.Scheduler
 
-	vm *bpf.VM
+	flt *bpf.FlatProgram
 
 	// Counters.
 	Processed uint64
@@ -70,15 +70,11 @@ func NewPktHandler(x int, costs engines.CostModel, queues int) *PktHandler {
 // NewPktHandlerFilter builds a pkt_handler with a custom filter
 // expression.
 func NewPktHandlerFilter(x int, costs engines.CostModel, queues int, filter string) (*PktHandler, error) {
-	prog, err := bpf.Compile(filter, 65535)
+	flt, err := bpf.CompileFlat(filter, 65535)
 	if err != nil {
 		return nil, fmt.Errorf("app: compiling filter %q: %w", filter, err)
 	}
-	vm, err := bpf.NewVM(prog)
-	if err != nil {
-		return nil, err
-	}
-	return &PktHandler{X: x, Costs: costs, vm: vm, PerQueue: make([]uint64, queues)}, nil
+	return &PktHandler{X: x, Costs: costs, flt: flt, PerQueue: make([]uint64, queues)}, nil
 }
 
 // Cost implements engines.Handler.
@@ -105,7 +101,7 @@ func (h *PktHandler) Handle(q int, data []byte, ts vtime.Time, done func()) {
 	if q >= 0 && q < len(h.PerQueue) {
 		h.PerQueue[q]++
 	}
-	if h.vm.Match(data) {
+	if h.flt.Match(data) {
 		h.Matched++
 	}
 	if h.OnProcessed != nil {

@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"sort"
 
+	"repro/internal/analytics"
 	"repro/internal/engines"
 	"repro/internal/metrics"
 	"repro/internal/vtime"
@@ -44,6 +45,7 @@ type RunReport struct {
 	Totals    engines.QueueStats   `json:"totals"`
 	PerQueue  []engines.QueueStats `json:"per_queue"`
 	Handler   *HandlerReport       `json:"handler,omitempty"`
+	Analytics *analytics.Report    `json:"analytics,omitempty"`
 	Metrics   metrics.Snapshot     `json:"metrics"`
 }
 
@@ -59,6 +61,7 @@ func (r Result) Report(scenario string) RunReport {
 		EndNs:     r.End,
 		Totals:    r.Stats.Totals(),
 		PerQueue:  r.Stats.PerQueue,
+		Analytics: r.Analytics,
 	}
 	if h := r.Handler; h != nil {
 		hr := &HandlerReport{
@@ -129,6 +132,11 @@ func (rr RunReport) KeyMetrics() map[string]float64 {
 	if v := rr.Totals.ReclaimDrops; v > 0 {
 		m["reclaim_drops"] = float64(v)
 	}
+	if a := rr.Analytics; a != nil {
+		m["analytics_updates"] = float64(a.Updates)
+		m["analytics_flows_resident"] = float64(a.Flows.Resident)
+		m["analytics_flow_evictions"] = float64(a.Flows.Evictions)
+	}
 	// Probe the counter families in sorted name order, never map order:
 	// the wirelint maporder analyzer flags the collect-loop below if the
 	// sort goes missing, so the emission order stays deterministic by
@@ -144,6 +152,7 @@ func (rr RunReport) KeyMetrics() map[string]float64 {
 		"wirecap_handler_failovers_total": "handler_failovers",
 		"wirecap_chunks_reclaimed_total":  "chunks_reclaimed",
 		"wirecap_alloc_retries_total":     "alloc_retries",
+		"wirecap_chunk_filtered_total":    "chunk_filtered",
 	}
 	names := make([]string, 0, len(probes))
 	for name := range probes {

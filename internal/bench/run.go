@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"repro/internal/analytics"
 	"repro/internal/app"
 	"repro/internal/bus"
 	"repro/internal/engines"
@@ -55,6 +56,9 @@ type Result struct {
 	// Snapshot for RunReport.
 	Metrics *metrics.Registry
 	End     vtime.Time
+	// Analytics is the streaming-analytics stage report for
+	// RunAnalytics runs; nil elsewhere.
+	Analytics *analytics.Report
 }
 
 // DropRate is total drops over offered packets — the paper's metric. For

@@ -118,7 +118,8 @@ func CIScenarios() []Scenario {
 			"Table 1 setup: NETMAP (Type-II, batch release) on the border trace",
 			NETMAP, 0.3, 13),
 	}
-	return append(scenarios, ChaosScenarios()...)
+	scenarios = append(scenarios, ChaosScenarios()...)
+	return append(scenarios, AnalyticsScenarios()...)
 }
 
 // WriteReports runs every CI scenario and writes the reports to w as

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"repro/internal/bpf"
 	"repro/internal/engines"
 	"repro/internal/faults"
 	"repro/internal/mem"
@@ -128,6 +129,16 @@ type Config struct {
 	// fires in addition to (never instead of) flight-recorder Action
 	// records.
 	OnAction func(kind string, queue int, at vtime.Time)
+	// ChunkFilter, when non-nil, is the batch filter the consumer path
+	// applies once per handed chunk (bpf.FlatProgram.FilterChunk) as the
+	// chunk is picked up for draining: rejected packets are never
+	// delivered and count in ChunkFiltered, not in any drop class —
+	// filtering is policy, not loss. nil (the default) delivers
+	// everything, leaving every pre-existing baseline digest unchanged.
+	// The program is shared by all of the engine's queues, which is safe
+	// within one time domain (a domain runs on one goroutine); engines
+	// in different domains need their own programs.
+	ChunkFilter *bpf.FlatProgram
 }
 
 // DefaultFlushTimeout keeps delivery latency bounded at a fraction of the
@@ -143,6 +154,7 @@ type QueueStats struct {
 	ChunksFlushed   uint64 // partial chunks delivered by timeout copy
 	FlushedPackets  uint64 // packets delivered through flush copies
 	PoolExhausted   uint64 // arm attempts that found no free chunk
+	ChunkFiltered   uint64 // packets rejected by the batch chunk filter
 
 	// Recovery counters; all zero on well-behaved runs.
 	Quarantines      uint64 // times this queue was declared dead
@@ -248,6 +260,14 @@ type wqueue struct {
 	recycleQ []*handedChunk
 	cur      *handedChunk
 
+	// Batch chunk filter (Config.ChunkFilter). fltFrames and fltAccept
+	// are preallocated scratch reused for every chunk; curAccept is the
+	// bitmap covering q.cur (one chunk drains at a time, so one buffer
+	// serves the queue's lifetime).
+	flt       *bpf.FlatProgram
+	fltFrames [][]byte
+	curAccept []uint64
+
 	threads []*engines.Thread
 	buddies []*wqueue
 
@@ -329,6 +349,11 @@ func New(sched *vtime.Scheduler, n *nic.NIC, cfg Config, h engines.Handler) (*En
 		q.flushTimer = sched.NewTimer(q.flushTimeout)
 		q.captureFn = q.captureDone
 		q.recycleFn = q.recycleDone
+		if cfg.ChunkFilter != nil {
+			q.flt = cfg.ChunkFilter
+			q.fltFrames = make([][]byte, cfg.M)
+			q.curAccept = make([]uint64, (cfg.M+63)/64)
+		}
 		for i := 0; i < cfg.ThreadsPerQueue; i++ {
 			th := engines.NewThread(sched, nil, qi, h, q.fetch)
 			th.SetFaults(e.inj, n.ID())
@@ -445,6 +470,11 @@ func (e *Engine) register(n *nic.NIC) {
 		q.capLat = reg.Histogram("wirecap_capture_latency_ns", ls...)
 		q.recLat = reg.Histogram("wirecap_recycle_latency_ns", ls...)
 		q.flushLat = reg.Histogram("wirecap_flush_latency_ns", ls...)
+		if q.flt != nil {
+			// Filter series exist only when a chunk filter is installed,
+			// so unfiltered snapshots (and digests) are unchanged.
+			reg.CounterFunc("wirecap_chunk_filtered_total", func() uint64 { return q.stats.ChunkFiltered }, ls...)
+		}
 		if e.inj != nil {
 			// Fault/recovery series exist only on chaos runs so
 			// steady-state snapshots (and digests) are unchanged.
@@ -832,6 +862,12 @@ func (q *wqueue) fetch() ([]byte, vtime.Time, func(), bool) {
 			q.cur = q.captureQ[0]
 			copy(q.captureQ, q.captureQ[1:])
 			q.captureQ = q.captureQ[:len(q.captureQ)-1]
+			if q.flt != nil {
+				// A chunk is picked up exactly once (cur clears only after
+				// a full drain), so the whole chunk is filtered in one
+				// batch call here.
+				q.batchFilter(q.cur)
+			}
 			if h := q.cur; h.releaseFn == nil {
 				// One closure serves every packet of the chunk; it dies
 				// with the header when the chunk recycles.
@@ -859,12 +895,41 @@ func (q *wqueue) fetch() ([]byte, vtime.Time, func(), bool) {
 			// at receive time.
 			continue
 		}
+		if q.flt != nil {
+			rel := idx - h.chunk.Base()
+			if q.curAccept[rel>>6]>>(uint(rel)&63)&1 == 0 {
+				q.stats.ChunkFiltered++
+				continue
+			}
+		}
 		h.outstanding++
 		q.stats.Delivered++
 		data, ts := h.chunk.Packet(idx)
 		q.e.trace.CellDeliver(q.e.nicID, chunkTID(h.chunk), idx, q.e.nicID, q.queue, q.e.sched.Now())
 		return data, ts, h.releaseFn, true
 	}
+}
+
+// batchFilter runs the configured chunk filter over every cell of a
+// just-picked-up chunk in one FilterChunk call, writing the accept
+// bitmap fetch consults while draining. Tombstoned (Bad) cells pass a
+// nil frame — their bitmap bits are meaningless because the drain loop
+// skips tombstones before consulting the bitmap.
+//
+//wirecap:hotpath
+func (q *wqueue) batchFilter(h *handedChunk) {
+	n := h.meta.PktCount
+	base := h.chunk.Base()
+	frames := q.fltFrames[:n]
+	for i := 0; i < n; i++ {
+		if h.chunk.Bad(base + i) {
+			frames[i] = nil
+			continue
+		}
+		data, _ := h.chunk.Packet(base + i)
+		frames[i] = data
+	}
+	q.flt.FilterChunk(frames, q.curAccept)
 }
 
 // enqueueRecycle places a fully consumed chunk on this queue's recycle
@@ -893,6 +958,18 @@ func (q *wqueue) recycleDone() {
 	}
 	q.e.freeHanded(hh)
 	owner.rearmStarved()
+}
+
+// ChunkFiltered returns the total number of packets the batch chunk
+// filter rejected across all queues (0 without a ChunkFilter). These
+// packets were received but deliberately never delivered; conservation
+// checks account them separately from the drop classes.
+func (e *Engine) ChunkFiltered() uint64 {
+	var n uint64
+	for _, q := range e.queues {
+		n += q.stats.ChunkFiltered
+	}
+	return n
 }
 
 // Stats implements engines.Engine.

@@ -156,6 +156,13 @@ type Options struct {
 	// FlushTimeout bounds packet delivery latency for partially filled
 	// chunks. Default 2 ms.
 	FlushTimeout time.Duration
+	// BatchFilter, when non-empty, installs a BPF expression that the
+	// engine applies per chunk on the consumer fast path (the flattened
+	// batch backend), before any packet reaches a handle. Rejected
+	// packets never surface in callbacks and are counted in
+	// Stats.BatchFiltered — they are not capture drops. Per-handle
+	// SetFilter still applies on top, per packet.
+	BatchFilter string
 }
 
 // Engine is a WireCAP capture engine bound to one NIC.
@@ -179,6 +186,14 @@ func (s *Sim) NewEngine(n *NIC, opt Options) (*Engine, error) {
 	if opt.Advanced {
 		mode = core.Advanced
 	}
+	var chunkFilter *bpf.FlatProgram
+	if opt.BatchFilter != "" {
+		f, err := bpf.CompileFlat(opt.BatchFilter, 65535)
+		if err != nil {
+			return nil, fmt.Errorf("wirecap: batch filter %q: %w", opt.BatchFilter, err)
+		}
+		chunkFilter = f
+	}
 	e := &Engine{sim: s, nic: n}
 	e.mux = &mux{engine: e, costs: engines.DefaultCosts()}
 	for q := 0; q < n.Queues(); q++ {
@@ -192,6 +207,7 @@ func (s *Sim) NewEngine(n *NIC, opt Options) (*Engine, error) {
 		ThresholdPct: opt.ThresholdPct,
 		BuddyGroups:  opt.BuddyGroups,
 		FlushTimeout: vtime.Duration(opt.FlushTimeout),
+		ChunkFilter:  chunkFilter,
 		Costs:        engines.DefaultCosts(),
 	}, e.mux)
 	if err != nil {
@@ -216,9 +232,10 @@ func (e *Engine) Close() error { return e.inner.Close() }
 func (e *Engine) Stats() Stats {
 	t := e.inner.Stats().Totals()
 	s := Stats{
-		Received:     t.Received,
-		CaptureDrops: t.CaptureDrops,
-		Delivered:    t.Delivered,
+		Received:      t.Received,
+		CaptureDrops:  t.CaptureDrops,
+		Delivered:     t.Delivered,
+		BatchFiltered: e.inner.ChunkFiltered(),
 	}
 	for _, h := range e.handles {
 		s.Accepted += h.accepted
@@ -234,6 +251,7 @@ type Stats struct {
 	Delivered      uint64 // packets handed to user space
 	Accepted       uint64 // packets that passed the handle filters
 	FilterRejected uint64 // packets rejected by the handle filters
+	BatchFiltered  uint64 // packets rejected per chunk by Options.BatchFilter
 }
 
 // Packet is one captured packet as seen by a callback. Data aliases the
@@ -288,7 +306,7 @@ type Handle struct {
 	engine  *Engine
 	queue   int
 	snaplen int
-	vm      *bpf.VM
+	flt     *bpf.FlatProgram
 	cb      func(*Packet)
 	cost    vtime.Time
 	broken  bool
@@ -305,18 +323,14 @@ type Handle struct {
 // (pcap_setfilter). An empty expression removes the filter.
 func (h *Handle) SetFilter(expr string) error {
 	if expr == "" {
-		h.vm = nil
+		h.flt = nil
 		return nil
 	}
-	prog, err := bpf.Compile(expr, uint32(h.snaplen))
+	flt, err := bpf.CompileFlat(expr, uint32(h.snaplen))
 	if err != nil {
 		return err
 	}
-	vm, err := bpf.NewVM(prog)
-	if err != nil {
-		return err
-	}
-	h.vm = vm
+	h.flt = flt
 	return nil
 }
 
@@ -361,7 +375,7 @@ func (m *mux) Handle(q int, data []byte, ts vtime.Time, done func()) {
 		done()
 		return
 	}
-	if h.vm != nil && !h.vm.Match(data) {
+	if h.flt != nil && !h.flt.Match(data) {
 		h.filtered++
 		done()
 		return

@@ -358,8 +358,8 @@ func TestHandleMiscAccessors(t *testing.T) {
 	if err := h.SetFilter(""); err != nil {
 		t.Fatal(err) // empty filter clears
 	}
-	if h.vm != nil {
-		t.Fatal("empty filter left a VM installed")
+	if h.flt != nil {
+		t.Fatal("empty filter left a program installed")
 	}
 	// Out-of-range TX queue panics.
 	defer func() {
