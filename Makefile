@@ -24,7 +24,7 @@ GO ?= go
 TRACE_SCENARIO ?= chaos_queue_hang
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: ci check fmt-check vet build test race race-stress fuzz gate bench bench-check baselines chaos trace lint wirelint staticcheck staticcheck-install all
+.PHONY: ci check fmt-check vet build test race race-stress fuzz gate bench bench-check baselines chaos fleet-chaos trace lint wirelint staticcheck staticcheck-install all
 
 all: check
 
@@ -85,6 +85,12 @@ baselines:
 
 chaos:
 	$(GO) run ./cmd/experiments -run chaos
+
+# The fleet-resilience report: the fleet_chaos_* scenarios the gate
+# replays (conservation + delivery floor re-checked inline) plus the
+# host-kill degradation table.
+fleet-chaos:
+	$(GO) run ./cmd/experiments -run fleet
 
 trace:
 	$(GO) run ./cmd/experiments -trace trace.json -tracescenario $(TRACE_SCENARIO)

@@ -45,6 +45,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/walltime"
@@ -356,6 +357,31 @@ func compare(base Baselines, reports []bench.RunReport, traced TracedResult, par
 	sort.Strings(leftovers)
 	for _, name := range leftovers {
 		failures = append(failures, fmt.Sprintf("scenario %s: produced by this build but missing from baseline (refresh with -update)", name))
+	}
+
+	// Fleet resilience: the fleet_chaos_* reports must balance their loss
+	// books exactly and clear the delivery floor. The fleet runtime and
+	// the bench flattening each assert this internally; re-deriving it
+	// here from the committed RunReport shape keeps the gate honest even
+	// if those layers change.
+	for _, rep := range reports {
+		if !strings.HasPrefix(rep.Scenario, "fleet_chaos_") {
+			continue
+		}
+		t := rep.Totals
+		checks = append(checks, "fleet conservation "+rep.Scenario)
+		if t.Received != t.Delivered+t.DeliveryDrops || rep.Sent != t.Received+t.CaptureDrops {
+			failures = append(failures, fmt.Sprintf(
+				"fleet %s: books unbalanced: sent %d, received %d, delivered %d, capture drops %d, delivery drops %d",
+				rep.Scenario, rep.Sent, t.Received, t.Delivered, t.CaptureDrops, t.DeliveryDrops))
+		}
+		checks = append(checks, "fleet delivery "+rep.Scenario)
+		if rep.Sent > 0 {
+			if got := float64(t.Delivered) / float64(rep.Sent); got < bench.FleetDeliveryFloor {
+				failures = append(failures, fmt.Sprintf(
+					"fleet %s: delivery %.4f below floor %.2f", rep.Scenario, got, bench.FleetDeliveryFloor))
+			}
+		}
 	}
 
 	budgets := make([]string, 0, len(base.Allocs))

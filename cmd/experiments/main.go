@@ -6,7 +6,8 @@
 //	experiments [-run name] [-scale f] [-pmax n] [-seed n]
 //	            [-cpuprofile f] [-memprofile f]
 //
-// Names: fig3, table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, all.
+// Names: fig3, table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14,
+// ablations, chaos, fleet, all.
 //
 // -reports FILE runs the deterministic CI scenario suite instead and
 // writes structured RunReports (JSON, metrics snapshots included) to

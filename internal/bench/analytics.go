@@ -92,7 +92,9 @@ func RunAnalytics(cfg AnalyticsRun) (Result, error) {
 		inj = faults.NewInjector(sched, cfg.FaultSeed)
 		inj.Register(reg)
 		inj.SetTrace(cfg.Trace)
-		inj.Install(cfg.Faults)
+		if err := inj.Install(cfg.Faults); err != nil {
+			return Result{}, err
+		}
 	}
 	n := nic.New(sched, nic.Config{
 		ID: 0, RxQueues: cfg.Queues, RingSize: 1024, Promiscuous: true,

@@ -58,7 +58,9 @@ func RunChaos(cfg ChaosRun) (Result, error) {
 	inj := faults.NewInjector(sched, cfg.FaultSeed)
 	inj.Register(reg)
 	inj.SetTrace(cfg.Trace)
-	inj.Install(cfg.Faults)
+	if err := inj.Install(cfg.Faults); err != nil {
+		return Result{}, err
+	}
 	n := nic.New(sched, nic.Config{
 		ID: 0, RxQueues: cfg.Queues, RingSize: 1024, Promiscuous: true,
 		Metrics: reg, Faults: inj, Trace: cfg.Trace,

@@ -163,12 +163,14 @@ func chaosPropertyRun(t *testing.T, seed uint64) (*seqRecorder, nic.Stats, engin
 	const queues = 2
 	sched := vtime.NewScheduler()
 	inj := faults.NewInjector(sched, seed^0xc0ffee)
-	inj.Install(faults.RandomSchedule(seed, faults.RandomConfig{
+	if err := inj.Install(faults.RandomSchedule(seed, faults.RandomConfig{
 		Queues:  queues,
 		Events:  10,
 		Horizon: 40 * vtime.Millisecond,
 		MaxDur:  10 * vtime.Millisecond,
-	}))
+	})); err != nil {
+		t.Fatal(err)
+	}
 	n := nic.New(sched, nic.Config{
 		ID: 0, RxQueues: queues, RingSize: 256, Promiscuous: true, Faults: inj,
 	})

@@ -427,6 +427,8 @@ func ByName(name string, opt Options, w io.Writer) error {
 		return Ablations(opt, w)
 	case "chaos":
 		return Chaos(opt, w)
+	case "fleet":
+		return Fleet(opt, w)
 	case "all":
 		if err := All(opt, w); err != nil {
 			return err

@@ -222,7 +222,9 @@ func RunFleet(name string, cfg FleetRun) (FleetResult, error) {
 			inj = faults.NewInjector(sched, vtime.SplitSeed(cfg.FaultSeed, uint64(h)))
 			inj.Register(reg)
 			inj.SetTrace(rec)
-			inj.Install(cfg.Faults)
+			if err := inj.Install(cfg.Faults); err != nil {
+				return FleetResult{}, fmt.Errorf("bench: fleet host %d: %w", h, err)
+			}
 		}
 		n := nic.New(sched, nic.Config{
 			ID: h, RxQueues: queues, RingSize: 1024, Promiscuous: true,

@@ -142,17 +142,26 @@ func (rr RunReport) KeyMetrics() map[string]float64 {
 	// sort goes missing, so the emission order stays deterministic by
 	// construction.
 	probes := map[string]string{
-		"engine_copies_total":             "copies",
-		"engine_syscalls_total":           "syscalls",
-		"wirecap_chunks_captured_total":   "chunks_captured",
-		"wirecap_chunks_offloaded_total":  "chunks_offloaded",
-		"faults_injected_total":           "faults_injected",
-		"faults_corrupted_frames_total":   "corrupted_frames",
-		"wirecap_quarantines_total":       "quarantines",
-		"wirecap_handler_failovers_total": "handler_failovers",
-		"wirecap_chunks_reclaimed_total":  "chunks_reclaimed",
-		"wirecap_alloc_retries_total":     "alloc_retries",
-		"wirecap_chunk_filtered_total":    "chunk_filtered",
+		"engine_copies_total":                "copies",
+		"engine_syscalls_total":              "syscalls",
+		"wirecap_chunks_captured_total":      "chunks_captured",
+		"wirecap_chunks_offloaded_total":     "chunks_offloaded",
+		"faults_injected_total":              "faults_injected",
+		"faults_corrupted_frames_total":      "corrupted_frames",
+		"wirecap_quarantines_total":          "quarantines",
+		"wirecap_handler_failovers_total":    "handler_failovers",
+		"wirecap_chunks_reclaimed_total":     "chunks_reclaimed",
+		"wirecap_alloc_retries_total":        "alloc_retries",
+		"wirecap_chunk_filtered_total":       "chunk_filtered",
+		"wirecap_bus_rejected_total":         "bus_rejected",
+		"wirecap_fleet_aggregated_total":     "fleet_aggregated",
+		"wirecap_fleet_quarantines_total":    "fleet_quarantines",
+		"wirecap_fleet_readmissions_total":   "fleet_readmissions",
+		"wirecap_fleet_resteers_total":       "fleet_resteers",
+		"wirecap_fleet_steer_moves_total":    "fleet_steer_moves",
+		"wirecap_fleet_stale_rejected_total": "fleet_stale_rejected",
+		"wirecap_fleet_retries_total":        "fleet_retries",
+		"wirecap_fleet_analytics_shed_total": "fleet_analytics_shed",
 	}
 	names := make([]string, 0, len(probes))
 	for name := range probes {

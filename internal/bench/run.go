@@ -287,6 +287,9 @@ func RunScalability(cfg ScalabilityRun) (float64, error) {
 		BurstBytes:          256 * 1024,
 		PerTransferOverhead: 90,
 	})
+	if cfg.Metrics != nil {
+		shared.Register(cfg.Metrics)
+	}
 	mkNIC := func(id int) *nic.NIC {
 		return nic.New(sched, nic.Config{
 			ID: id, RxQueues: cfg.QueuesPerNIC, RingSize: 1024,

@@ -119,7 +119,8 @@ func CIScenarios() []Scenario {
 			NETMAP, 0.3, 13),
 	}
 	scenarios = append(scenarios, ChaosScenarios()...)
-	return append(scenarios, AnalyticsScenarios()...)
+	scenarios = append(scenarios, AnalyticsScenarios()...)
+	return append(scenarios, FleetScenarios()...)
 }
 
 // WriteReports runs every CI scenario and writes the reports to w as

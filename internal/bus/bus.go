@@ -9,6 +9,7 @@ package bus
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/vtime"
 )
 
@@ -120,4 +121,20 @@ func (b *Bus) SetPagePenalty(bytes int) {
 // Stats returns cumulative counters.
 func (b *Bus) Stats() Stats {
 	return Stats{Transfers: b.transfers, Bytes: b.bytes, Rejected: b.rejected}
+}
+
+// Register exports the bus counters through the metrics registry —
+// wirecap_bus_transfers_total, wirecap_bus_bytes_total, and
+// wirecap_bus_rejected_total — so rejected transfers show up in
+// snapshots and gate digests instead of only the Stats struct. All
+// function-backed: sampled at snapshot time, zero hot-path cost. Labels
+// disambiguate multiple buses sharing one registry (per-host
+// aggregation links in fleet runs).
+func (b *Bus) Register(reg *metrics.Registry, labels ...metrics.Label) {
+	reg.CounterFunc("wirecap_bus_transfers_total",
+		func() uint64 { return b.transfers }, labels...)
+	reg.CounterFunc("wirecap_bus_bytes_total",
+		func() uint64 { return b.bytes }, labels...)
+	reg.CounterFunc("wirecap_bus_rejected_total",
+		func() uint64 { return b.rejected }, labels...)
 }

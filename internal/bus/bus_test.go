@@ -3,6 +3,7 @@ package bus
 import (
 	"testing"
 
+	"repro/internal/metrics"
 	"repro/internal/vtime"
 )
 
@@ -96,6 +97,67 @@ func TestThroughputConvergesToRate(t *testing.T) {
 	got := float64(accepted*pkt) / dur.Seconds()
 	if got < 0.95*rate || got > 1.05*rate {
 		t.Fatalf("accepted throughput %.0f B/s, want ~%.0f", got, float64(rate))
+	}
+}
+
+func TestRegisterExportsCountersWithConservation(t *testing.T) {
+	// A saturating schedule: offer 3x the configured rate so a large
+	// fraction of transfers is rejected, then check both the exported
+	// series and the byte-accounting conservation law.
+	const (
+		rate     = 1e6 // bytes/s
+		overhead = 90
+		penalty  = 16
+		pkt      = 100
+	)
+	b := New(Config{BytesPerSec: rate, BurstBytes: 1000, PerTransferOverhead: overhead})
+	b.SetPagePenalty(penalty)
+	reg := metrics.NewRegistry()
+	b.Register(reg, metrics.L("link", "host0"))
+
+	interval := vtime.PerSecond(3 * rate / pkt)
+	var payload, extra uint64
+	var now vtime.Time
+	for now = 0; now < vtime.Second; now += interval {
+		ex := int(now/interval) % 3 // vary the caller-charged overhead
+		if b.TryTransfer(now, pkt, ex) {
+			payload += pkt
+			extra += uint64(ex)
+		}
+	}
+	st := b.Stats()
+	if st.Rejected == 0 {
+		t.Fatal("saturating schedule rejected nothing")
+	}
+	if st.Transfers == 0 {
+		t.Fatal("saturating schedule accepted nothing")
+	}
+	// Conservation: every accepted transfer's bytes decompose exactly
+	// into payload + per-transfer overheads + caller extras. Rejected
+	// transfers consume nothing.
+	want := payload + st.Transfers*uint64(overhead+penalty) + extra
+	if st.Bytes != want {
+		t.Fatalf("Bytes = %d, want payload %d + transfers %d * %d + extra %d = %d",
+			st.Bytes, payload, st.Transfers, overhead+penalty, extra, want)
+	}
+
+	snap := reg.Snapshot(now)
+	link := metrics.L("link", "host0")
+	for _, c := range []struct {
+		name string
+		want uint64
+	}{
+		{"wirecap_bus_transfers_total", st.Transfers},
+		{"wirecap_bus_bytes_total", st.Bytes},
+		{"wirecap_bus_rejected_total", st.Rejected},
+	} {
+		sv, ok := snap.Get(c.name, link)
+		if !ok {
+			t.Fatalf("series %s not exported", c.name)
+		}
+		if sv.Counter != c.want {
+			t.Fatalf("%s = %d, want %d", c.name, sv.Counter, c.want)
+		}
 	}
 }
 

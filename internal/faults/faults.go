@@ -57,6 +57,24 @@ const (
 	// packet completes, no further packet is ever fetched.
 	HandlerCrash
 
+	// The host-level kinds target a whole capture host in a fleet run
+	// (internal/fleet); the Event's NIC field names the host. They are
+	// inert for components that never query them.
+
+	// HostCrash takes the entire host down: the NIC link drops, the
+	// consumer stops, and all host-buffered aggregation state (open
+	// batches, unsent link queue) is lost. Dur == 0 is a permanent kill;
+	// Dur > 0 models a restart with state loss when the window closes.
+	HostCrash
+	// AggLinkDown partitions the host's aggregation link to the
+	// collector: sends fail and the host falls back to its bounded
+	// retry/backoff schedule. Short repeated windows model link flaps.
+	AggLinkDown
+	// HostBrownout slows the whole host down (thermal throttling, a
+	// noisy neighbor): Severity multiplies the host's per-packet
+	// processing cost (default 4, minimum > 1).
+	HostBrownout
+
 	numKinds
 )
 
@@ -78,6 +96,12 @@ func (k Kind) String() string {
 		return "handler_stall"
 	case HandlerCrash:
 		return "handler_crash"
+	case HostCrash:
+		return "host_crash"
+	case AggLinkDown:
+		return "agg_link_down"
+	case HostBrownout:
+		return "host_brownout"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -156,14 +180,20 @@ type Injector struct {
 	stallEnd map[qkey]vtime.Time // handler stalled until (max across windows)
 	crashed  map[qkey]bool
 
+	// Host-level fault state, keyed by host id (the Event's NIC field).
+	hostDown map[int]int
+	aggDown  map[int]int
+	brown    map[int]window
+
 	// pending counts scheduled activation/deactivation events that have
 	// not fired yet; Quiet reports pending == 0. Permanent faults leave
 	// state behind but do not keep the injector un-quiet, so watchdogs
 	// built on Quiet cannot keep the event queue alive forever.
 	pending int
 
-	onActivate func()
-	trace      *obs.Recorder
+	onActivate   func()
+	onTransition func(ev Event, open bool)
+	trace        *obs.Recorder
 
 	injected  [numKinds]uint64
 	corrupted uint64
@@ -183,6 +213,9 @@ func NewInjector(sched *vtime.Scheduler, seed uint64) *Injector {
 		slow:     make(map[qkey]window),
 		stallEnd: make(map[qkey]vtime.Time),
 		crashed:  make(map[qkey]bool),
+		hostDown: make(map[int]int),
+		aggDown:  make(map[int]int),
+		brown:    make(map[int]window),
 	}
 }
 
@@ -192,6 +225,13 @@ func NewInjector(sched *vtime.Scheduler, seed uint64) *Injector {
 // the wake-up is deterministic.
 func (inj *Injector) OnActivate(fn func()) { inj.onActivate = fn }
 
+// OnTransition registers a callback run after any fault window opens
+// (open == true) or closes (open == false), with the injector's state
+// already updated. Fleet hosts (internal/fleet) use it to run their
+// crash/restart transitions inside the same deterministic event as the
+// state change. Permanent windows never close.
+func (inj *Injector) OnTransition(fn func(ev Event, open bool)) { inj.onTransition = fn }
+
 // SetTrace attaches the run's flight recorder: every window open/close
 // becomes a fault-window annotation on the trace, so drops and spans
 // that overlap a window carry its id. nil (the default) records
@@ -199,22 +239,99 @@ func (inj *Injector) OnActivate(fn func()) { inj.onActivate = fn }
 func (inj *Injector) SetTrace(rec *obs.Recorder) { inj.trace = rec }
 
 // traceQueue is the queue scope a fault window is recorded under:
-// LinkFlap takes the whole NIC down, so it annotates every queue (-1).
+// LinkFlap and the host-level kinds take more than one queue down, so
+// they annotate every queue (-1).
 func traceQueue(ev Event) int {
-	if ev.Kind == LinkFlap {
+	if ev.Kind == LinkFlap || hostScoped(ev.Kind) {
 		return -1
 	}
 	return ev.Queue
 }
 
-// Install schedules every event of sch. Call before the run starts (an
-// event in the virtual past panics, as all scheduling does).
-func (inj *Injector) Install(sch Schedule) {
+// hostScoped reports whether the kind targets a whole host (the Event's
+// Queue field is ignored).
+func hostScoped(k Kind) bool {
+	return k == HostCrash || k == AggLinkDown || k == HostBrownout
+}
+
+// shadowProne reports whether overlapping same-target windows of the
+// kind silently shadow each other: the kinds that carry one live
+// severity per target, where a second window overwrites the first's
+// severity and the first deactivation restores nothing.
+func shadowProne(k Kind) bool {
+	return k == DMACorrupt || k == HandlerSlow || k == HostBrownout
+}
+
+// OverlapError is the typed rejection Validate returns for two windows
+// of a shadow-prone kind that overlap on the same target: the later
+// window's severity would silently shadow the earlier one's for the
+// rest of both windows, which is never what a schedule means.
+type OverlapError struct {
+	A, B Event
+}
+
+func (e *OverlapError) Error() string {
+	return fmt.Sprintf("faults: overlapping %s windows on the same target shadow each other: [%s] overlaps [%s]",
+		e.A.Kind, e.A, e.B)
+}
+
+// target is the validation scope of an event: queue-scoped kinds key on
+// {NIC, Queue}; LinkFlap and the host-level kinds key on NIC alone.
+func target(ev Event) qkey {
+	if ev.Kind == LinkFlap || hostScoped(ev.Kind) {
+		return qkey{nic: ev.NIC, queue: -1}
+	}
+	return qkey{nic: ev.NIC, queue: ev.Queue}
+}
+
+// overlaps reports whether the two windows share any instant; Dur == 0
+// is an unbounded (permanent) window.
+func overlaps(a, b Event) bool {
+	if a.Dur > 0 && a.At+a.Dur <= b.At {
+		return false
+	}
+	if b.Dur > 0 && b.At+b.Dur <= a.At {
+		return false
+	}
+	return true
+}
+
+// Validate rejects schedules whose windows would silently shadow each
+// other: two windows of the same shadow-prone kind (DMACorrupt,
+// HandlerSlow, HostBrownout) overlapping on the same target. Count-based
+// kinds compose across overlaps and pass. The returned error is always
+// an *OverlapError naming both windows.
+func (s Schedule) Validate() error {
+	byTarget := make(map[qkey][]Event)
+	for _, ev := range s.sorted() {
+		ev = normalize(ev)
+		if !shadowProne(ev.Kind) {
+			continue
+		}
+		k := target(ev)
+		for _, prev := range byTarget[k] {
+			if prev.Kind == ev.Kind && overlaps(prev, ev) {
+				return &OverlapError{A: prev, B: ev}
+			}
+		}
+		byTarget[k] = append(byTarget[k], ev)
+	}
+	return nil
+}
+
+// Install validates sch and schedules every event. Call before the run
+// starts (an event in the virtual past panics, as all scheduling does).
+// The only error is Validate's *OverlapError.
+func (inj *Injector) Install(sch Schedule) error {
+	if err := sch.Validate(); err != nil {
+		return err
+	}
 	for _, ev := range sch.sorted() {
 		ev := normalize(ev)
 		inj.pending++
 		inj.sched.At(ev.At, func() { inj.activate(ev) })
 	}
+	return nil
 }
 
 func normalize(ev Event) Event {
@@ -226,7 +343,7 @@ func normalize(ev Event) Event {
 		if ev.Severity <= 0 || ev.Severity > 1 {
 			ev.Severity = 1
 		}
-	case HandlerSlow:
+	case HandlerSlow, HostBrownout:
 		if ev.Severity <= 1 {
 			ev.Severity = 4
 		}
@@ -264,6 +381,15 @@ func (inj *Injector) activate(ev Event) {
 		}
 	case HandlerCrash:
 		inj.crashed[k] = true
+	case HostCrash:
+		inj.hostDown[ev.NIC]++
+	case AggLinkDown:
+		inj.aggDown[ev.NIC]++
+	case HostBrownout:
+		w := inj.brown[ev.NIC]
+		w.count++
+		w.sev = ev.Severity
+		inj.brown[ev.NIC] = w
 	}
 	// A permanent window (and a crash) never deactivates: settle its
 	// pending slot now so Quiet can become true once the schedule is
@@ -275,6 +401,9 @@ func (inj *Injector) activate(ev Event) {
 	}
 	if inj.onActivate != nil {
 		inj.onActivate()
+	}
+	if inj.onTransition != nil {
+		inj.onTransition(ev, true)
 	}
 }
 
@@ -316,12 +445,55 @@ func (inj *Injector) deactivate(ev Event) {
 	case HandlerStall:
 		// stallEnd already encodes the window end; nothing to clear
 		// (HandlerStalled compares against now).
+	case HostCrash:
+		if inj.hostDown[ev.NIC]--; inj.hostDown[ev.NIC] == 0 {
+			delete(inj.hostDown, ev.NIC)
+		}
+	case AggLinkDown:
+		if inj.aggDown[ev.NIC]--; inj.aggDown[ev.NIC] == 0 {
+			delete(inj.aggDown, ev.NIC)
+		}
+	case HostBrownout:
+		w := inj.brown[ev.NIC]
+		if w.count--; w.count == 0 {
+			delete(inj.brown, ev.NIC)
+		} else {
+			inj.brown[ev.NIC] = w
+		}
+	}
+	if inj.onTransition != nil {
+		inj.onTransition(ev, false)
 	}
 }
 
-// LinkUp reports whether the NIC's link is up.
+// LinkUp reports whether the NIC's link is up. A crashed host (fleet
+// runs key hosts by NIC id) takes its NIC's link down too: frames
+// offered to a dead host are lost at the wire.
 func (inj *Injector) LinkUp(nicID int) bool {
-	return inj == nil || inj.linkDown[nicID] == 0
+	return inj == nil || (inj.linkDown[nicID] == 0 && inj.hostDown[nicID] == 0)
+}
+
+// HostDown reports whether the host is inside a crash window.
+func (inj *Injector) HostDown(host int) bool {
+	return inj != nil && inj.hostDown[host] > 0
+}
+
+// AggLinkUp reports whether the host's aggregation link to the
+// collector is currently passing traffic.
+func (inj *Injector) AggLinkUp(host int) bool {
+	return inj == nil || inj.aggDown[host] == 0
+}
+
+// HostSlowdown returns the host-wide processing cost multiplier (1 when
+// no brownout window is open).
+func (inj *Injector) HostSlowdown(host int) float64 {
+	if inj == nil {
+		return 1
+	}
+	if w, ok := inj.brown[host]; ok {
+		return w.sev
+	}
+	return 1
 }
 
 // QueueHung reports whether the queue is frozen.
@@ -438,13 +610,16 @@ type RandomConfig struct {
 	Horizon vtime.Time
 	// MaxDur bounds each window's duration. Default Horizon / 4.
 	MaxDur vtime.Time
-	// Kinds restricts the drawn kinds; nil means all.
+	// Kinds restricts the drawn kinds; nil means every single-host kind
+	// (the host-scoped fleet kinds are opted into explicitly).
 	Kinds []Kind
 }
 
 // RandomSchedule draws a reproducible schedule from the seed — the
 // property tests' fuzz surface. The same seed and config always produce
-// the same schedule.
+// the same schedule. Draws that would fail Validate (a shadow-prone
+// window overlapping an earlier draw on the same target) are discarded
+// deterministically, so the result always installs cleanly.
 func RandomSchedule(seed uint64, cfg RandomConfig) Schedule {
 	if cfg.NICs <= 0 {
 		cfg.NICs = 1
@@ -463,7 +638,7 @@ func RandomSchedule(seed uint64, cfg RandomConfig) Schedule {
 	}
 	kinds := cfg.Kinds
 	if kinds == nil {
-		for k := Kind(0); k < numKinds; k++ {
+		for k := Kind(0); k < HostCrash; k++ {
 			kinds = append(kinds, k)
 		}
 	}
@@ -480,8 +655,11 @@ func RandomSchedule(seed uint64, cfg RandomConfig) Schedule {
 		switch ev.Kind {
 		case DMACorrupt:
 			ev.Severity = 0.25 + r.Float64()*0.75
-		case HandlerSlow:
+		case HandlerSlow, HostBrownout:
 			ev.Severity = 2 + r.Float64()*6
+		}
+		if shadowProne(ev.Kind) && Schedule(append(sch[:len(sch):len(sch)], ev)).Validate() != nil {
+			continue
 		}
 		sch = append(sch, ev)
 	}

@@ -1,15 +1,24 @@
 package faults
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/vtime"
 )
 
+// mustInstall installs a schedule that the test knows is valid.
+func mustInstall(t *testing.T, inj *Injector, sch Schedule) {
+	t.Helper()
+	if err := inj.Install(sch); err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+}
+
 func TestWindowsOpenAndClose(t *testing.T) {
 	s := vtime.NewScheduler()
 	inj := NewInjector(s, 1)
-	inj.Install(Schedule{
+	mustInstall(t, inj, Schedule{
 		{At: 10, Dur: 20, Kind: QueueHang, NIC: 0, Queue: 1},
 		{At: 15, Dur: 10, Kind: LinkFlap, NIC: 0},
 		{At: 40, Dur: 5, Kind: DescStall, NIC: 0, Queue: 0},
@@ -50,7 +59,7 @@ func TestWindowsOpenAndClose(t *testing.T) {
 func TestOverlappingWindows(t *testing.T) {
 	s := vtime.NewScheduler()
 	inj := NewInjector(s, 1)
-	inj.Install(Schedule{
+	mustInstall(t, inj, Schedule{
 		{At: 10, Dur: 30, Kind: AllocFail, NIC: 2, Queue: 0},
 		{At: 20, Dur: 10, Kind: AllocFail, NIC: 2, Queue: 0},
 	})
@@ -71,7 +80,7 @@ func TestOverlappingWindows(t *testing.T) {
 func TestPermanentFaultsSettleQuiet(t *testing.T) {
 	s := vtime.NewScheduler()
 	inj := NewInjector(s, 1)
-	inj.Install(Schedule{
+	mustInstall(t, inj, Schedule{
 		{At: 10, Kind: QueueHang, NIC: 0, Queue: 0}, // Dur 0 = permanent
 		{At: 20, Kind: HandlerCrash, NIC: 0, Queue: 1, Dur: 99},
 	})
@@ -93,7 +102,7 @@ func TestPermanentFaultsSettleQuiet(t *testing.T) {
 func TestHandlerStallNormalization(t *testing.T) {
 	s := vtime.NewScheduler()
 	inj := NewInjector(s, 1)
-	inj.Install(Schedule{
+	mustInstall(t, inj, Schedule{
 		{At: 5, Dur: 0, Kind: HandlerStall, NIC: 0, Queue: 0}, // => crash
 		{At: 5, Dur: 20, Kind: HandlerStall, NIC: 0, Queue: 1},
 	})
@@ -118,7 +127,7 @@ func TestCorruptFrameDeterministicAndWindowed(t *testing.T) {
 	run := func() (hits int, mutated []byte) {
 		s := vtime.NewScheduler()
 		inj := NewInjector(s, 42)
-		inj.Install(Schedule{{At: 10, Dur: 100, Kind: DMACorrupt, NIC: 0, Queue: 0, Severity: 0.5}})
+		mustInstall(t, inj, Schedule{{At: 10, Dur: 100, Kind: DMACorrupt, NIC: 0, Queue: 0, Severity: 0.5}})
 		frame := make([]byte, 64)
 		s.At(5, func() {
 			if inj.CorruptFrame(0, 0, frame) {
@@ -168,7 +177,7 @@ func TestOnActivateFiresPerWindow(t *testing.T) {
 	inj := NewInjector(s, 1)
 	n := 0
 	inj.OnActivate(func() { n++ })
-	inj.Install(Schedule{
+	mustInstall(t, inj, Schedule{
 		{At: 1, Dur: 5, Kind: QueueHang},
 		{At: 2, Dur: 5, Kind: LinkFlap},
 		{At: 3, Kind: HandlerCrash},
@@ -176,6 +185,171 @@ func TestOnActivateFiresPerWindow(t *testing.T) {
 	s.Run()
 	if n != 3 {
 		t.Fatalf("OnActivate fired %d times, want 3", n)
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		sch     Schedule
+		wantErr bool
+	}{
+		{"empty", Schedule{}, false},
+		{"disjoint same target",
+			Schedule{
+				{At: 10, Dur: 10, Kind: DMACorrupt, NIC: 0, Queue: 0},
+				{At: 20, Dur: 10, Kind: DMACorrupt, NIC: 0, Queue: 0},
+			}, false},
+		{"overlap corrupt same target",
+			Schedule{
+				{At: 10, Dur: 20, Kind: DMACorrupt, NIC: 0, Queue: 0},
+				{At: 15, Dur: 10, Kind: DMACorrupt, NIC: 0, Queue: 0},
+			}, true},
+		{"overlap corrupt different queue",
+			Schedule{
+				{At: 10, Dur: 20, Kind: DMACorrupt, NIC: 0, Queue: 0},
+				{At: 15, Dur: 10, Kind: DMACorrupt, NIC: 0, Queue: 1},
+			}, false},
+		{"overlap slow same target",
+			Schedule{
+				{At: 5, Dur: 50, Kind: HandlerSlow, NIC: 1, Queue: 2, Severity: 2},
+				{At: 30, Dur: 50, Kind: HandlerSlow, NIC: 1, Queue: 2, Severity: 8},
+			}, true},
+		{"overlap brownout same host ignores queue",
+			Schedule{
+				{At: 5, Dur: 50, Kind: HostBrownout, NIC: 3, Queue: 0},
+				{At: 30, Dur: 50, Kind: HostBrownout, NIC: 3, Queue: 7},
+			}, true},
+		{"overlap brownout different host",
+			Schedule{
+				{At: 5, Dur: 50, Kind: HostBrownout, NIC: 3},
+				{At: 30, Dur: 50, Kind: HostBrownout, NIC: 4},
+			}, false},
+		{"permanent shadow-prone overlaps everything later",
+			Schedule{
+				{At: 10, Kind: HandlerSlow, NIC: 0, Queue: 0}, // Dur 0 = forever
+				{At: 500, Dur: 5, Kind: HandlerSlow, NIC: 0, Queue: 0},
+			}, true},
+		{"count-based kinds may overlap",
+			Schedule{
+				{At: 10, Dur: 30, Kind: AllocFail, NIC: 0, Queue: 0},
+				{At: 20, Dur: 30, Kind: AllocFail, NIC: 0, Queue: 0},
+				{At: 10, Dur: 30, Kind: QueueHang, NIC: 0, Queue: 0},
+				{At: 20, Dur: 30, Kind: QueueHang, NIC: 0, Queue: 0},
+				{At: 10, Dur: 30, Kind: HostCrash, NIC: 0},
+				{At: 20, Dur: 30, Kind: AggLinkDown, NIC: 0},
+			}, false},
+		{"touching windows do not overlap",
+			Schedule{
+				{At: 10, Dur: 10, Kind: HostBrownout, NIC: 0},
+				{At: 20, Dur: 10, Kind: HostBrownout, NIC: 0},
+			}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.sch.Validate()
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("Validate() = %v, wantErr %v", err, tc.wantErr)
+			}
+			if err != nil {
+				var oe *OverlapError
+				if !errors.As(err, &oe) {
+					t.Fatalf("error is %T, want *OverlapError", err)
+				}
+				if oe.Error() == "" {
+					t.Fatal("empty error string")
+				}
+			}
+			// Install must agree with Validate.
+			s := vtime.NewScheduler()
+			inj := NewInjector(s, 1)
+			if ierr := inj.Install(tc.sch); (ierr != nil) != tc.wantErr {
+				t.Fatalf("Install() = %v, wantErr %v", ierr, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestHostFaultQueries(t *testing.T) {
+	s := vtime.NewScheduler()
+	inj := NewInjector(s, 1)
+	var opens, closes []Kind
+	inj.OnTransition(func(ev Event, open bool) {
+		if open {
+			opens = append(opens, ev.Kind)
+		} else {
+			closes = append(closes, ev.Kind)
+		}
+	})
+	mustInstall(t, inj, Schedule{
+		{At: 10, Dur: 20, Kind: HostCrash, NIC: 1},   // restart at 30
+		{At: 10, Kind: HostCrash, NIC: 2},            // permanent kill
+		{At: 15, Dur: 10, Kind: AggLinkDown, NIC: 0}, // partition
+		{At: 15, Dur: 10, Kind: HostBrownout, NIC: 0, Severity: 3},
+	})
+	s.At(20, func() {
+		if !inj.HostDown(1) || !inj.HostDown(2) || inj.HostDown(0) {
+			t.Error("HostDown wrong inside windows")
+		}
+		// A crashed host takes its NIC link down (host id == NIC id).
+		if inj.LinkUp(1) || inj.LinkUp(2) || !inj.LinkUp(0) {
+			t.Error("LinkUp must reflect host crashes")
+		}
+		if inj.AggLinkUp(0) || !inj.AggLinkUp(1) {
+			t.Error("AggLinkUp wrong inside partition window")
+		}
+		if got := inj.HostSlowdown(0); got != 3 {
+			t.Errorf("HostSlowdown = %v, want 3", got)
+		}
+		if got := inj.HostSlowdown(1); got != 1 {
+			t.Errorf("HostSlowdown(1) = %v, want 1", got)
+		}
+	})
+	s.At(40, func() {
+		if inj.HostDown(1) {
+			t.Error("host 1 should have restarted at t=30")
+		}
+		if !inj.HostDown(2) {
+			t.Error("permanent kill should be sticky")
+		}
+		if !inj.AggLinkUp(0) || inj.HostSlowdown(0) != 1 {
+			t.Error("host 0 windows should have closed")
+		}
+	})
+	s.Run()
+	if !inj.Quiet() {
+		t.Fatal("injector not Quiet after schedule drained")
+	}
+	if len(opens) != 4 {
+		t.Fatalf("OnTransition opens = %d, want 4", len(opens))
+	}
+	// Only the three bounded windows close; the permanent kill never does.
+	if len(closes) != 3 {
+		t.Fatalf("OnTransition closes = %d, want 3", len(closes))
+	}
+	if inj.Injected(HostCrash) != 2 || inj.Injected(AggLinkDown) != 1 || inj.Injected(HostBrownout) != 1 {
+		t.Fatal("host-kind injected counters wrong")
+	}
+}
+
+func TestNilInjectorHostQueries(t *testing.T) {
+	var inj *Injector
+	if inj.HostDown(0) || !inj.AggLinkUp(0) || inj.HostSlowdown(0) != 1 {
+		t.Fatal("nil injector must report no host faults")
+	}
+}
+
+func TestRandomScheduleHostKindsValidate(t *testing.T) {
+	cfg := RandomConfig{
+		NICs: 4, Queues: 2, Events: 64,
+		Kinds: []Kind{HostCrash, AggLinkDown, HostBrownout, DMACorrupt, HandlerSlow},
+	}
+	sch := RandomSchedule(7, cfg)
+	if err := sch.Validate(); err != nil {
+		t.Fatalf("RandomSchedule emitted an invalid schedule: %v", err)
+	}
+	if len(sch) == 0 {
+		t.Fatal("empty schedule")
 	}
 }
 

@@ -1,0 +1,268 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/vtime"
+	"repro/internal/vtime/domain"
+)
+
+// aggregator is the fleet's merge point and control plane. It owns the
+// authoritative steering table, scores host health from arrival
+// silence, broadcasts quarantine/readmission steering ops, and merges
+// the per-host capture streams into one globally ordered feed behind a
+// watermark: a packet is emitted only once every active host has proven
+// (by its newest batch) that it will never send anything older.
+type aggregator struct {
+	cfg   *Config
+	sched *vtime.Scheduler
+	tx    *domain.Tx     // control-plane sender (domain 0)
+	ctl   []*domain.Port // per-host control ports
+	steer *Steering      // authoritative table
+	rec   *obs.Recorder
+
+	// Per-host merge and health state.
+	buf         [][]Packet // sorted by TS within each host (FIFO link)
+	watermark   []vtime.Time
+	lastSeen    []vtime.Time
+	strikes     []int
+	quarantined []bool
+	helloInc    []int
+	helloCnt    []int
+
+	// Feed state.
+	lastTS vtime.Time
+	ledger *fnv
+	feed   []Packet
+
+	// Books.
+	aggregated    uint64
+	aggPerHost    []uint64
+	lateMerges    uint64
+	staleRejected uint64
+	stalePerHost  []uint64
+	quarantines   uint64
+	readmissions  uint64
+	resteers      uint64
+	steerMoves    uint64
+	anlAgg        uint64
+}
+
+func newAggregator(cfg *Config, sched *vtime.Scheduler, steer *Steering, rec *obs.Recorder) *aggregator {
+	h := cfg.Hosts
+	return &aggregator{
+		cfg: cfg, sched: sched, steer: steer, rec: rec,
+		buf:          make([][]Packet, h),
+		watermark:    make([]vtime.Time, h),
+		lastSeen:     make([]vtime.Time, h),
+		strikes:      make([]int, h),
+		quarantined:  make([]bool, h),
+		helloInc:     make([]int, h),
+		helloCnt:     make([]int, h),
+		aggPerHost:   make([]uint64, h),
+		stalePerHost: make([]uint64, h),
+		ledger:       newFNV(),
+	}
+}
+
+// receive is the aggregation port handler.
+func (a *aggregator) receive(at vtime.Time, payload any) {
+	m := payload.(aggMsg)
+	switch m.kind {
+	case msgBatch:
+		a.lastSeen[m.host] = at
+		a.strikes[m.host] = 0
+		if m.watermark > a.watermark[m.host] {
+			a.watermark[m.host] = m.watermark
+		}
+		// Staleness gate: a packet older than the emitted frontier can no
+		// longer be merged without inverting the feed — it was in flight
+		// (or stuck behind a partition) while its flow moved on, so it is
+		// rejected here and accounted as an in-flight drop. This is what
+		// keeps per-flow order strict even when a quarantine was a false
+		// positive and the host's backlog eventually lands.
+		for _, p := range m.pkts {
+			if p.TS < a.lastTS {
+				a.staleRejected++
+				a.stalePerHost[m.host]++
+				continue
+			}
+			a.buf[m.host] = append(a.buf[m.host], p)
+		}
+		if a.quarantined[m.host] {
+			// A batch from a quarantined host proves the quarantine was a
+			// false positive (partition heal, not death): readmit it on the
+			// spot. Its backlog watermark holds the merge back until the
+			// backlog drains, which is the conservative, order-safe choice.
+			a.readmit(m.host, at)
+		}
+		a.checkHealth(m.host, at)
+		a.drain(a.minWatermark())
+	case msgAnalytics:
+		a.lastSeen[m.host] = at
+		a.strikes[m.host] = 0
+		a.anlAgg++
+		a.checkHealth(m.host, at)
+	case msgHello:
+		a.lastSeen[m.host] = at
+		a.strikes[m.host] = 0
+		if m.incarnation != a.helloInc[m.host] {
+			a.helloInc[m.host] = m.incarnation
+			a.helloCnt[m.host] = 0
+		}
+		a.helloCnt[m.host]++
+		if a.helloCnt[m.host] >= a.cfg.HelloReadmit && a.quarantined[m.host] {
+			// A restarted host lost all capture state, so nothing older
+			// than its restart is in flight. The restore op reaches the
+			// replicas at at+CtrlLatency; the host captures nothing before
+			// then, so that is a safe watermark floor.
+			a.watermark[m.host] = at + a.cfg.CtrlLatency
+			a.readmit(m.host, at)
+		}
+		a.checkHealth(m.host, at)
+	}
+}
+
+// checkHealth scores every other host for silence: a host unheard from
+// for SuspectAfter — while traffic from its peers keeps arriving —
+// takes one strike per arrival, and QuarantineScore strikes quarantine
+// it. Strikes (not a single timeout) make detection latency explicit
+// and keep the check purely arrival-driven: no watchdog timer to hold
+// the event queue open.
+func (a *aggregator) checkHealth(from int, now vtime.Time) {
+	for h := 0; h < a.cfg.Hosts; h++ {
+		if h == from || a.quarantined[h] {
+			continue
+		}
+		if now-a.lastSeen[h] <= a.cfg.SuspectAfter {
+			continue
+		}
+		a.strikes[h]++
+		if a.strikes[h] >= a.cfg.QuarantineScore {
+			a.quarantine(h, now)
+		}
+	}
+}
+
+// quarantine removes the host from the active set and re-steers its
+// flows across the healthy hosts. The merge stops waiting on its
+// watermark immediately; its already-buffered packets still drain in
+// global order.
+func (a *aggregator) quarantine(h int, now vtime.Time) {
+	a.quarantined[h] = true
+	a.strikes[h] = 0
+	a.quarantines++
+	a.rec.Action("fleet_quarantine", h, -1, int64(now), now)
+	healthy := make([]int, 0, a.cfg.Hosts)
+	for i := 0; i < a.cfg.Hosts; i++ {
+		if !a.quarantined[i] {
+			healthy = append(healthy, i)
+		}
+	}
+	if len(healthy) == 0 {
+		return // nowhere to steer; leave the table alone
+	}
+	a.broadcast(SteerOp{Kind: OpReSteer, Host: h, Healthy: healthy}, now)
+	// The quarantined host no longer gates the merge — whatever cleared
+	// the watermark floor can go out now.
+	a.drain(a.minWatermark())
+}
+
+// readmit returns a host to the active set and restores its canonical
+// steering entries. The caller has already set a safe watermark.
+func (a *aggregator) readmit(h int, now vtime.Time) {
+	a.quarantined[h] = false
+	a.strikes[h] = 0
+	a.helloCnt[h] = 0
+	a.readmissions++
+	a.rec.Action("fleet_readmit", h, -1, int64(now), now)
+	a.broadcast(SteerOp{Kind: OpRestore, Host: h}, now)
+}
+
+// broadcast applies a steering op to the authoritative table and ships
+// it to every replica. All control ports share CtrlLatency, so every
+// replica applies the op at the same virtual instant and the replicas
+// stay mutually identical — the property ownership uniqueness rests on.
+func (a *aggregator) broadcast(op SteerOp, now vtime.Time) {
+	moved := a.steer.Apply(op)
+	a.steerMoves += uint64(moved)
+	if op.Kind == OpReSteer {
+		a.resteers++
+	}
+	a.rec.Action("fleet_"+op.Kind.String(), op.Host, -1, int64(moved), now)
+	for h := 0; h < a.cfg.Hosts; h++ {
+		a.tx.Send(a.ctl[h], op)
+	}
+}
+
+// minWatermark is the merge frontier: the oldest newest-known capture
+// time across active hosts. Quarantined hosts do not gate it (that is
+// the point of quarantine), but their buffers still participate in the
+// merge below it.
+func (a *aggregator) minWatermark() vtime.Time {
+	const inf = vtime.Time(1) << 62
+	w := inf
+	active := false
+	for h := 0; h < a.cfg.Hosts; h++ {
+		if a.quarantined[h] {
+			continue
+		}
+		active = true
+		if a.watermark[h] < w {
+			w = a.watermark[h]
+		}
+	}
+	if !active {
+		return inf // whole fleet quarantined: nothing can be in flight
+	}
+	return w
+}
+
+// drain emits every buffered packet with TS ≤ w, smallest
+// (TS, host, seq) first — a k-way merge over the per-host FIFO buffers.
+func (a *aggregator) drain(w vtime.Time) {
+	for {
+		best := -1
+		for h := 0; h < a.cfg.Hosts; h++ {
+			if len(a.buf[h]) == 0 || a.buf[h][0].TS > w {
+				continue
+			}
+			if best < 0 {
+				best = h
+				continue
+			}
+			ph, pb := a.buf[h][0], a.buf[best][0]
+			if ph.TS < pb.TS || (ph.TS == pb.TS && h < best) {
+				best = h
+			}
+		}
+		if best < 0 {
+			return
+		}
+		a.emit(a.buf[best][0])
+		a.buf[best] = a.buf[best][1:]
+	}
+}
+
+// emit appends one packet to the global feed and the ledger.
+func (a *aggregator) emit(p Packet) {
+	if p.TS < a.lastTS {
+		a.lateMerges++
+	} else {
+		a.lastTS = p.TS
+	}
+	a.aggregated++
+	a.aggPerHost[p.Host]++
+	a.ledger.writeString(fmt.Sprintf("%d|%d|%d|%d|%d;", p.TS, p.Host, p.Seq, p.FlowSeq, p.Len))
+	if a.cfg.CollectFeed {
+		a.feed = append(a.feed, p)
+	}
+}
+
+// finish runs after the executive drains: everything still buffered is
+// final — no more messages can arrive — so the frontier is infinite and
+// the remaining packets merge out in canonical order.
+func (a *aggregator) finish() {
+	a.drain(vtime.Time(1) << 62)
+}

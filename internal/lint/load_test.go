@@ -1,6 +1,9 @@
 package lint
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // TestModuleClean runs the full analyzer suite over the whole module and
 // requires zero live findings: every violation is either fixed or carries
@@ -25,4 +28,16 @@ func TestModuleClean(t *testing.T) {
 		t.Fatal("no packages analyzed — loader found nothing")
 	}
 	t.Logf("analyzed %d packages, %d allowlisted exceptions", sum.Packages, sum.Allowed)
+
+	// The fleet control plane must pass the determinism fence with no
+	// exemptions at all: its placement-independence guarantee (digests
+	// byte-identical across -domains) rests on the package having zero
+	// goroutines, wall clocks, or unsorted map emissions — by
+	// construction, not by //wirelint:allow.
+	for _, f := range sum.AllowedList {
+		if strings.Contains(f.File, "internal/fleet/") {
+			t.Errorf("internal/fleet carries an allow directive (%s at %s:%d): "+
+				"the fleet plane must stay exemption-free", f.Rule, f.File, f.Line)
+		}
+	}
 }

@@ -92,6 +92,25 @@ func newToeplitzTable(key []byte) *toeplitzTable {
 	return t
 }
 
+// FlowHasher is the exported face of the table-driven Toeplitz hash:
+// construct once per key, then hash flows at 12 table lookups each. The
+// fleet steering layer (internal/fleet) uses it with its own key so
+// host placement decorrelates from the per-NIC queue placement.
+type FlowHasher struct {
+	tt *toeplitzTable
+}
+
+// NewFlowHasher precomputes the byte-at-a-time tables for key.
+func NewFlowHasher(key [40]byte) *FlowHasher {
+	return &FlowHasher{tt: newToeplitzTable(key[:])}
+}
+
+// Hash returns the Toeplitz hash of the flow, bit-identical to RSSHash
+// under the same key.
+//
+//wirecap:hotpath
+func (fh *FlowHasher) Hash(flow packet.FlowKey) uint32 { return fh.tt.hashFlow(flow) }
+
 // hashFlow mirrors RSSHash over the precomputed table.
 //
 //wirecap:hotpath
@@ -123,11 +142,90 @@ type QueueReSteerer interface {
 	ReSteerQueue(dead int, healthy []int) int
 }
 
+// Indirection is a hash-indexed placement table: entry hash%len names
+// the target — a receive queue for NIC RSS, a capture host for fleet
+// steering (internal/fleet). Because lookup is a pure function of the
+// flow hash plus this table, every packet of a flow lands on the same
+// target, and a deterministic table rewrite moves each affected flow to
+// exactly one new target.
+type Indirection struct {
+	table []int
+}
+
+// NewIndirection returns an equal-weight table of the given size across
+// n targets (entry i names target i%n), the layout drivers program by
+// default.
+func NewIndirection(entries, n int) *Indirection {
+	t := &Indirection{table: make([]int, entries)}
+	for i := range t.table {
+		t.table[i] = i % n
+	}
+	return t
+}
+
+// Len returns the table size.
+func (t *Indirection) Len() int { return len(t.table) }
+
+// Lookup returns the target for hash h.
+//
+//wirecap:hotpath
+func (t *Indirection) Lookup(h uint32) int { return t.table[h%uint32(len(t.table))] }
+
+// Entry returns table entry i.
+func (t *Indirection) Entry(i int) int { return t.table[i] }
+
+// Set replaces the table with a copy of entries.
+func (t *Indirection) Set(entries []int) {
+	t.table = make([]int, len(entries))
+	copy(t.table, entries)
+}
+
+// Clone returns an independent copy — fleet hosts each hold a private
+// replica updated by broadcast re-steer operations, and applying the
+// same operation sequence to identical clones keeps them identical.
+func (t *Indirection) Clone() *Indirection {
+	c := &Indirection{table: make([]int, len(t.table))}
+	copy(c.table, t.table)
+	return c
+}
+
+// ReSteer rewrites every entry naming the dead target to one of the
+// healthy targets, round-robin in table order so the displaced load
+// spreads evenly and deterministically. It returns how many entries it
+// rewrote.
+func (t *Indirection) ReSteer(dead int, healthy []int) int {
+	if len(healthy) == 0 {
+		return 0
+	}
+	moved := 0
+	for i, q := range t.table {
+		if q == dead {
+			t.table[i] = healthy[moved%len(healthy)]
+			moved++
+		}
+	}
+	return moved
+}
+
+// Restore rewrites the entries owned by target in the canonical
+// equal-weight layout (entry i names target i%n) back to that target —
+// the readmission inverse of ReSteer. It returns how many entries moved.
+func (t *Indirection) Restore(target, n int) int {
+	moved := 0
+	for i := range t.table {
+		if i%n == target && t.table[i] != target {
+			t.table[i] = target
+			moved++
+		}
+	}
+	return moved
+}
+
 // RSSSteering is hardware RSS: Toeplitz hash + indirection table.
 type RSSSteering struct {
-	key   [40]byte
-	tt    *toeplitzTable // per-byte expansion of key, the per-packet path
-	table []int          // indirection table: hash LSBs -> queue
+	key [40]byte
+	tt  *toeplitzTable // per-byte expansion of key, the per-packet path
+	ind *Indirection   // indirection table: hash LSBs -> queue
 }
 
 // IndirectionEntries is the indirection-table size of the Intel 82599
@@ -137,11 +235,8 @@ const IndirectionEntries = 128
 // NewRSS returns RSS steering across n queues with the default key and an
 // equal-weight indirection table, as drivers program by default.
 func NewRSS(n int) *RSSSteering {
-	s := &RSSSteering{key: DefaultRSSKey, table: make([]int, IndirectionEntries)}
+	s := &RSSSteering{key: DefaultRSSKey, ind: NewIndirection(IndirectionEntries, n)}
 	s.tt = newToeplitzTable(s.key[:])
-	for i := range s.table {
-		s.table[i] = i % n
-	}
 	return s
 }
 
@@ -154,8 +249,7 @@ func (s *RSSSteering) SetKey(key [40]byte) {
 // SetTable replaces the indirection table. Entries must name valid queues;
 // the caller owns that contract.
 func (s *RSSSteering) SetTable(table []int) {
-	s.table = make([]int, len(table))
-	copy(s.table, table)
+	s.ind.Set(table)
 }
 
 // ReSteerQueue implements QueueReSteerer: every indirection-table entry
@@ -163,17 +257,7 @@ func (s *RSSSteering) SetTable(table []int) {
 // round-robin in table order so the displaced load spreads evenly and
 // deterministically.
 func (s *RSSSteering) ReSteerQueue(dead int, healthy []int) int {
-	if len(healthy) == 0 {
-		return 0
-	}
-	moved := 0
-	for i, q := range s.table {
-		if q == dead {
-			s.table[i] = healthy[moved%len(healthy)]
-			moved++
-		}
-	}
-	return moved
+	return s.ind.ReSteer(dead, healthy)
 }
 
 // Queue implements Steering.
@@ -183,8 +267,7 @@ func (s *RSSSteering) Queue(d *packet.Decoded) (int, bool) {
 	if d.IPVersion != 4 && d.IPVersion != 6 {
 		return 0, false
 	}
-	h := s.tt.hashFlow(d.Flow)
-	return s.table[h%uint32(len(s.table))], true
+	return s.ind.Lookup(s.tt.hashFlow(d.Flow)), true
 }
 
 // RoundRobinSteering distributes packets evenly regardless of flow — the
