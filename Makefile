@@ -13,6 +13,9 @@
 # `make trace` writes trace.json — a Chrome trace-event export of the
 # chaos_queue_hang scenario with the flight recorder attached; inspect
 # with `go run ./cmd/wiretrace -r trace.json` (or chrome://tracing).
+# `make fleet-trace` does the fleet equivalent: the host-kill storm
+# traced end to end, plus the rendered wirestat dashboard and journey
+# dump (fleet-trace.json, fleet-dashboard.txt, fleet-journeys.txt).
 #
 # `make lint` runs wirelint (the repo's own analyzer suite in
 # internal/lint: walltime, maporder, hotpath, lockdiscipline,
@@ -24,7 +27,7 @@ GO ?= go
 TRACE_SCENARIO ?= chaos_queue_hang
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: ci check fmt-check vet build test race race-stress fuzz gate bench bench-check baselines chaos fleet-chaos trace lint wirelint staticcheck staticcheck-install all
+.PHONY: ci check fmt-check vet build test race race-stress fuzz gate bench bench-check baselines chaos fleet-chaos trace fleet-trace lint wirelint staticcheck staticcheck-install all
 
 all: check
 
@@ -94,6 +97,14 @@ fleet-chaos:
 
 trace:
 	$(GO) run ./cmd/experiments -trace trace.json -tracescenario $(TRACE_SCENARIO)
+
+# The fleet observability bundle (EXPERIMENTS.md "Reading a fleet
+# dashboard"): the host-kill storm traced with journeys, health lanes,
+# and the forensics ledger, then rendered by wirestat.
+fleet-trace:
+	$(GO) run ./cmd/experiments -trace fleet-trace.json -tracescenario fleet_chaos_host_kill
+	$(GO) run ./cmd/wirestat -r fleet-trace.json > fleet-dashboard.txt
+	$(GO) run ./cmd/wirestat -r fleet-trace.json -journeys > fleet-journeys.txt
 
 bench:
 	$(GO) run ./cmd/vtime-bench -o BENCH_vtime.json

@@ -56,6 +56,25 @@ func measureAllocs() map[string]float64 {
 		_ = rec.Sampled(flow)
 	})
 
+	// Same contract for the fleet observability hooks: every journey and
+	// aggregation-plane hook on a nil recorder, and the nil health
+	// sampler's Observe/Finish, must be free — the fleet hot paths carry
+	// them unconditionally.
+	var hs *obs.HealthSampler
+	out["obs_disabled_fleet_hooks"] = testing.AllocsPerRun(1000, func() {
+		rec.JourneySteer(0, flow, 1, 1)
+		rec.JourneyDrop(obs.DropHostLostCrash, 1)
+		rec.JourneyCapture(1, 1)
+		rec.JourneyEnqueue(1, 1)
+		rec.JourneyLink(1, 1)
+		rec.JourneyLost(1, obs.DropInFlightHeadDrop, 1)
+		rec.FleetEmit(0, 1, 1)
+		rec.FleetReject(0, 1, 1)
+		rec.DropN(obs.DropStalenessReject, 0, -1, 1, 1)
+		hs.Observe(1)
+		hs.Finish(1)
+	})
+
 	// The analytics stage's steady-state update: warm the bounded
 	// tables over the flow set first, so the measured iterations take
 	// the sketch/heavy-hitter/flow-table update paths without growth.

@@ -17,7 +17,13 @@
 //   - Traced stability: one scenario re-runs with the flight recorder
 //     attached; its digest must equal the scenario's baseline digest
 //     (the recorder is a pure observer) and two traced runs must export
-//     byte-identical Chrome traces.
+//     byte-identical Chrome traces. The fleet scenarios extend this:
+//     every fleet_chaos_* run re-runs traced at 1 and -domains time
+//     domains, each must reproduce the committed untraced digest, the
+//     journey dump / Chrome export / health series must be
+//     byte-identical across the two domain counts, and the forensics
+//     ledger must re-derive the conservation books exactly —
+//     independently of the identical check fleet.Run performs inside.
 //   - Parallel equivalence: every scenario re-runs through the parallel
 //     discrete-event executive with -domains time domains, and a fleet
 //     probe runs the multi-host mailbox workload sequentially and in
@@ -48,6 +54,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 	"repro/internal/walltime"
 )
 
@@ -99,8 +106,13 @@ func main() {
 		fatal(err)
 	}
 	var par ParallelResult
+	var ftr FleetTracedResult
 	if *domains > 0 && !*update {
 		par, err = measureParallel(*domains)
+		if err != nil {
+			fatal(err)
+		}
+		ftr, err = measureFleetTraced(*domains)
 		if err != nil {
 			fatal(err)
 		}
@@ -135,7 +147,7 @@ func main() {
 		fatal(fmt.Errorf("parsing %s: %w", *baselinesPath, err))
 	}
 
-	failures, checks := compare(base, reports, traced, par, allocs, perf, *skipPerf)
+	failures, checks := compare(base, reports, traced, par, ftr, allocs, perf, *skipPerf)
 	if *summary != "" {
 		if err := writeSummary(*summary, *domains, checks, failures); err != nil {
 			fatal(err)
@@ -237,6 +249,104 @@ func measureTraced() (TracedResult, error) {
 	return TracedResult{Digest: da, Stable: da == db && bytes.Equal(ea, eb)}, nil
 }
 
+// FleetTracedScenario is one fleet scenario's traced-observability
+// outcome.
+type FleetTracedScenario struct {
+	// Digest is the traced run's report digest; it must equal the
+	// scenario's committed (untraced) baseline digest.
+	Digest string
+	// Stable is whether the 1-domain and n-domain traced runs agreed on
+	// the report digest and exported byte-identical journey dumps,
+	// Chrome traces, and health series.
+	Stable bool
+	// LedgerErr is the forensics-ledger re-derivation's verdict: nil
+	// when the ledger partitions the RunReport books exactly.
+	LedgerErr error
+}
+
+// FleetTracedResult maps fleet scenario name to its traced outcome.
+type FleetTracedResult struct {
+	Domains   int
+	Scenarios map[string]FleetTracedScenario
+}
+
+// measureFleetTraced re-runs every fleet scenario with the fleet
+// observability plane attached (journeys, health lanes, forensics
+// ledger), at 1 time domain and again at n, and renders every artifact
+// both times.
+func measureFleetTraced(n int) (FleetTracedResult, error) {
+	res := FleetTracedResult{Domains: n, Scenarios: make(map[string]FleetTracedScenario)}
+	for _, sc := range bench.CIScenarios() {
+		if sc.TracedRecord == nil {
+			continue
+		}
+		rep1, rec1, err := sc.TracedRecord(0)
+		if err != nil {
+			return res, fmt.Errorf("fleet traced %s: %w", sc.Name, err)
+		}
+		repN, recN, err := sc.TracedRecord(n)
+		if err != nil {
+			return res, fmt.Errorf("fleet traced %s at %d domains: %w", sc.Name, n, err)
+		}
+		stable := rep1.Digest() == repN.Digest()
+		renders := []func(*bytes.Buffer, *obs.Record) error{
+			func(b *bytes.Buffer, r *obs.Record) error { return r.WriteJourneys(b) },
+			func(b *bytes.Buffer, r *obs.Record) error { return r.WriteChrome(b) },
+			func(b *bytes.Buffer, r *obs.Record) error { return obs.WriteHealth(b, r.Health) },
+		}
+		for _, render := range renders {
+			var b1, bn bytes.Buffer
+			if err := render(&b1, &rec1); err != nil {
+				return res, fmt.Errorf("fleet traced %s: %w", sc.Name, err)
+			}
+			if err := render(&bn, &recN); err != nil {
+				return res, fmt.Errorf("fleet traced %s: %w", sc.Name, err)
+			}
+			stable = stable && bytes.Equal(b1.Bytes(), bn.Bytes())
+		}
+		res.Scenarios[sc.Name] = FleetTracedScenario{
+			Digest:    rep1.Digest(),
+			Stable:    stable,
+			LedgerErr: fleetLedgerCheck(rep1, &rec1),
+		}
+	}
+	return res, nil
+}
+
+// fleetLedgerCheck re-derives the fleet conservation equation from the
+// merged flight record alone and compares it against the flattened
+// RunReport books: per host, the three aggregation-plane loss causes
+// must sum to that host's delivery drops and the two capture-side
+// causes to its capture drops; fleet-wide, the loss causes must sum
+// exactly to received − delivered. fleet.Run asserts the same equality
+// against its own books — re-deriving it here from the committed report
+// shape keeps the gate honest even if that layer changes.
+func fleetLedgerCheck(rep bench.RunReport, rec *obs.Record) error {
+	led := rec.FleetLedger(0)
+	for h, q := range rep.PerQueue {
+		lost := obs.SumCause(led, obs.DropHostLostCrash, h) +
+			obs.SumCause(led, obs.DropInFlightHeadDrop, h) +
+			obs.SumCause(led, obs.DropStalenessReject, h)
+		if lost != q.DeliveryDrops {
+			return fmt.Errorf("host %d: ledger loss causes sum to %d, books say delivery drops %d",
+				h, lost, q.DeliveryDrops)
+		}
+		shed := obs.SumCause(led, obs.DropHostBrownoutShed, h) +
+			obs.SumCause(led, obs.DropLink, h)
+		if shed != q.CaptureDrops {
+			return fmt.Errorf("host %d: ledger capture causes sum to %d, books say capture drops %d",
+				h, shed, q.CaptureDrops)
+		}
+	}
+	lost := obs.SumCause(led, obs.DropHostLostCrash, -1) +
+		obs.SumCause(led, obs.DropInFlightHeadDrop, -1) +
+		obs.SumCause(led, obs.DropStalenessReject, -1)
+	if want := rep.Totals.Received - rep.Totals.Delivered; lost != want {
+		return fmt.Errorf("fleet: ledger loss causes sum to %d, received-delivered = %d", lost, want)
+	}
+	return nil
+}
+
 // ParallelResult is the parallel-equivalence family's outcome.
 type ParallelResult struct {
 	// Domains is the domain count the family ran at (0: skipped).
@@ -313,7 +423,7 @@ func buildBaselines(reports []bench.RunReport, allocs map[string]float64, perf f
 // compare returns human-readable failure lines and the names of all
 // checks performed. Deterministic metrics are compared exactly; alloc
 // budgets as measured <= budget; perf as measured >= floor.
-func compare(base Baselines, reports []bench.RunReport, traced TracedResult, par ParallelResult, allocs map[string]float64, perf float64, skipPerf bool) (failures, checks []string) {
+func compare(base Baselines, reports []bench.RunReport, traced TracedResult, par ParallelResult, ftr FleetTracedResult, allocs map[string]float64, perf float64, skipPerf bool) (failures, checks []string) {
 	byName := make(map[string]bench.RunReport, len(reports))
 	for _, rep := range reports {
 		byName[rep.Scenario] = rep
@@ -416,6 +526,30 @@ func compare(base Baselines, reports []bench.RunReport, traced TracedResult, par
 		if !traced.Stable {
 			failures = append(failures, fmt.Sprintf(
 				"traced %s: two seeded runs exported different Chrome traces", tracedScenario))
+		}
+	}
+
+	for _, sb := range base.Scenarios {
+		ft, ok := ftr.Scenarios[sb.Name]
+		if !ok {
+			continue
+		}
+		checks = append(checks, "fleet traced digest "+sb.Name)
+		if ft.Digest != sb.Digest {
+			failures = append(failures, fmt.Sprintf(
+				"fleet traced %s: digest %s != baseline %s (the observability plane perturbed the run)",
+				sb.Name, ft.Digest, sb.Digest))
+		}
+		checks = append(checks, fmt.Sprintf("fleet traced domains=%d exports %s", ftr.Domains, sb.Name))
+		if !ft.Stable {
+			failures = append(failures, fmt.Sprintf(
+				"fleet traced %s: journey dump / Chrome export / health series differ between 1 and %d domains",
+				sb.Name, ftr.Domains))
+		}
+		checks = append(checks, "fleet forensics ledger "+sb.Name)
+		if ft.LedgerErr != nil {
+			failures = append(failures, fmt.Sprintf(
+				"fleet traced %s: forensics ledger not a partition: %v", sb.Name, ft.LedgerErr))
 		}
 	}
 

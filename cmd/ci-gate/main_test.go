@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -40,7 +41,7 @@ func cleanBaseline(t *testing.T) Baselines {
 func TestGatePassesClean(t *testing.T) {
 	rep := report(t)
 	allocs := map[string]float64{"metrics_counter_inc": 0}
-	failures, checks := compare(cleanBaseline(t), []bench.RunReport{rep}, TracedResult{}, ParallelResult{}, allocs, 100, false)
+	failures, checks := compare(cleanBaseline(t), []bench.RunReport{rep}, TracedResult{}, ParallelResult{}, FleetTracedResult{}, allocs, 100, false)
 	if len(failures) != 0 {
 		t.Fatalf("clean comparison failed: %v", failures)
 	}
@@ -105,7 +106,7 @@ func TestGateDetectsSeededRegressions(t *testing.T) {
 			if perf == 0 {
 				perf = 100
 			}
-			failures, _ := compare(base, []bench.RunReport{rep}, TracedResult{}, ParallelResult{}, a, perf, tc.skip)
+			failures, _ := compare(base, []bench.RunReport{rep}, TracedResult{}, ParallelResult{}, FleetTracedResult{}, a, perf, tc.skip)
 			if len(failures) == 0 {
 				t.Fatal("tampered baseline passed the gate")
 			}
@@ -130,7 +131,7 @@ func TestSkipPerfSuppressesFloor(t *testing.T) {
 	base := cleanBaseline(t)
 	base.Perf.MinSimPktsPerSec = 1e18
 	allocs := map[string]float64{"metrics_counter_inc": 0}
-	failures, _ := compare(base, []bench.RunReport{rep}, TracedResult{}, ParallelResult{}, allocs, 1, true)
+	failures, _ := compare(base, []bench.RunReport{rep}, TracedResult{}, ParallelResult{}, FleetTracedResult{}, allocs, 1, true)
 	if len(failures) != 0 {
 		t.Fatalf("skip-perf still failed: %v", failures)
 	}
@@ -142,7 +143,7 @@ func TestSkipPerfSuppressesFloor(t *testing.T) {
 func TestTracedStabilityChecks(t *testing.T) {
 	base := Baselines{Scenarios: []ScenarioBaseline{{Name: tracedScenario, Digest: "abc"}}}
 	tracedFailures := func(tr TracedResult) []string {
-		failures, _ := compare(base, nil, tr, ParallelResult{}, nil, 0, true)
+		failures, _ := compare(base, nil, tr, ParallelResult{}, FleetTracedResult{}, nil, 0, true)
 		var out []string
 		for _, f := range failures {
 			if strings.Contains(f, "traced") {
@@ -171,7 +172,7 @@ func TestTracedStabilityChecks(t *testing.T) {
 func TestParallelEquivalenceChecks(t *testing.T) {
 	base := Baselines{Scenarios: []ScenarioBaseline{{Name: "constant_rate", Digest: "abc"}}}
 	parFailures := func(par ParallelResult) []string {
-		failures, _ := compare(base, nil, TracedResult{}, par, nil, 0, true)
+		failures, _ := compare(base, nil, TracedResult{}, par, FleetTracedResult{}, nil, 0, true)
 		var out []string
 		for _, f := range failures {
 			if strings.Contains(f, "domains=") {
@@ -205,6 +206,66 @@ func TestParallelEquivalenceChecks(t *testing.T) {
 	}
 	if fs := parFailures(ParallelResult{}); len(fs) != 0 {
 		t.Fatalf("skipped family still produced failures: %v", fs)
+	}
+}
+
+// TestFleetTracedChecks: when the fleet-traced family ran, the gate
+// must flag a traced digest that drifts from the committed baseline,
+// exports that differ across domain counts, and a forensics ledger
+// that fails to partition the books — and pass a clean probe silently.
+func TestFleetTracedChecks(t *testing.T) {
+	base := Baselines{Scenarios: []ScenarioBaseline{{Name: "fleet_chaos_host_kill", Digest: "abc"}}}
+	fleetFailures := func(ftr FleetTracedResult) []string {
+		failures, _ := compare(base, nil, TracedResult{}, ParallelResult{}, ftr, nil, 0, true)
+		var out []string
+		for _, f := range failures {
+			if strings.Contains(f, "fleet traced") {
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+	clean := FleetTracedResult{Domains: 4, Scenarios: map[string]FleetTracedScenario{
+		"fleet_chaos_host_kill": {Digest: "abc", Stable: true},
+	}}
+	if fs := fleetFailures(clean); len(fs) != 0 {
+		t.Fatalf("clean fleet probe failed: %v", fs)
+	}
+	broken := FleetTracedResult{Domains: 4, Scenarios: map[string]FleetTracedScenario{
+		"fleet_chaos_host_kill": {Digest: "xyz", Stable: false, LedgerErr: fmt.Errorf("host 0 off by 1")},
+	}}
+	fs := fleetFailures(broken)
+	if len(fs) != 3 {
+		t.Fatalf("broken fleet probe produced %d failures, want 3: %v", len(fs), fs)
+	}
+	if !strings.Contains(fs[0], "perturbed") ||
+		!strings.Contains(fs[1], "differ between 1 and 4 domains") ||
+		!strings.Contains(fs[2], "not a partition") {
+		t.Fatalf("unexpected fleet traced failure wording: %v", fs)
+	}
+	if fs := fleetFailures(FleetTracedResult{}); len(fs) != 0 {
+		t.Fatalf("skipped fleet family still produced failures: %v", fs)
+	}
+}
+
+// TestFleetLedgerCheckRederives: the external ledger re-derivation must
+// accept the real storm record and reject a tampered one.
+func TestFleetLedgerCheckRederives(t *testing.T) {
+	sc, ok := bench.ScenarioByName("fleet_chaos_host_kill")
+	if !ok {
+		t.Fatal("fleet_chaos_host_kill not in CIScenarios")
+	}
+	rep, rec, err := sc.TracedRecord(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fleetLedgerCheck(rep, &rec); err != nil {
+		t.Fatalf("real storm record failed the ledger check: %v", err)
+	}
+	tampered := rep
+	tampered.Totals.Delivered++
+	if err := fleetLedgerCheck(tampered, &rec); err == nil {
+		t.Fatal("tampered books passed the ledger check")
 	}
 }
 

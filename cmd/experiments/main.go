@@ -33,6 +33,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -117,8 +118,21 @@ func writeTrace(name, path string) error {
 	if !ok {
 		return fmt.Errorf("unknown scenario %q (see -reports output for names)", name)
 	}
-	rec := bench.NewRecorder()
-	rep, err := sc.RunTraced(rec)
+	var (
+		rep    bench.RunReport
+		record obs.Record
+		err    error
+	)
+	if sc.TracedRecord != nil {
+		// Fleet scenarios own their recorders (one per host plus the
+		// aggregator): the merged record — journeys, health lanes, the
+		// fleet forensics ledger — comes back alongside the report.
+		rep, record, err = sc.TracedRecord(0)
+	} else {
+		rec := bench.NewRecorder()
+		rep, err = sc.RunTraced(rec)
+		record = rec.Record(name, rep.EndNs)
+	}
 	if err != nil {
 		return err
 	}
@@ -131,11 +145,10 @@ func writeTrace(name, path string) error {
 		defer f.Close()
 		out = f
 	}
-	record := rec.Record(name, rep.EndNs)
 	if err := record.WriteChrome(out); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "experiments: traced %s: %d sampled packets, %d drop records, digest %s\n",
-		name, len(record.Packets), len(record.Drops), rep.Digest())
+	fmt.Fprintf(os.Stderr, "experiments: traced %s: %d sampled packets, %d journeys, %d drop records, digest %s\n",
+		name, len(record.Packets), len(record.Journeys), len(record.Drops), rep.Digest())
 	return nil
 }

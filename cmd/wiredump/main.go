@@ -19,8 +19,11 @@ import (
 	"os"
 	"strings"
 
+	"sort"
+
 	"repro/internal/bpf"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/trace"
 	"repro/internal/vtime"
@@ -46,6 +49,20 @@ func main() {
 	if *file == "" {
 		fmt.Fprintln(os.Stderr, "wiredump: -r is required")
 		os.Exit(2)
+	}
+	if isRecordFile(*file) {
+		// A flight-recorder export (wirecap Chrome trace JSON), not a
+		// capture file: -stats prints its counter series — including the
+		// fleet conservation causes — instead of only single-host metrics.
+		if !*stats {
+			fmt.Fprintln(os.Stderr, "wiredump:", *file, "is a flight-recorder export, not a capture file; use -stats for its counters, or cmd/wiretrace / cmd/wirestat for forensics")
+			os.Exit(2)
+		}
+		if err := recordStats(*file, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "wiredump:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	vm, err := bpf.NewVM(prog)
 	if err != nil {
@@ -114,6 +131,54 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "%d packets matched\n", matched)
+}
+
+// isRecordFile reports whether the file is a flight-recorder JSON
+// export rather than a pcap/pcapng capture (their magics never start
+// with '{' or whitespace).
+func isRecordFile(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], 0); err != nil {
+		return false
+	}
+	return b[0] == '{' || b[0] == ' ' || b[0] == '\n' || b[0] == '\t'
+}
+
+// recordStats prints a flight-recorder export's counter series: drop
+// totals by cause (the fleet conservation causes included), the fleet
+// journey/event counts, and the per-host forensics ledger summary.
+func recordStats(path string, w *os.File) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rec, err := obs.ReadRecord(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "scenario %s end_ns %d\n", rec.Scenario, rec.End)
+	causes := make([]string, 0, len(rec.DropTotals))
+	for c := range rec.DropTotals {
+		causes = append(causes, c)
+	}
+	sort.Strings(causes)
+	for _, c := range causes {
+		fmt.Fprintf(w, "drop_total{cause=%s} %d\n", c, rec.DropTotals[c])
+	}
+	fmt.Fprintf(w, "packet_traces %d\n", len(rec.Packets))
+	if len(rec.Journeys) > 0 || len(rec.FleetEvents) > 0 {
+		fmt.Fprintf(w, "fleet_journeys %d\n", len(rec.Journeys))
+		fmt.Fprintf(w, "fleet_events %d\n", len(rec.FleetEvents))
+		fmt.Fprintf(w, "health_lanes %d\n", len(rec.Health))
+		return rec.WriteFleetLedger(w, 0)
+	}
+	return nil
 }
 
 // openTrace opens a capture file, auto-detecting pcap versus pcapng.

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/vtime"
+)
+
+// maxCells bounds the dashboard width: when the run spans more
+// intervals than this, adjacent intervals coarsen into one cell.
+const maxCells = 72
+
+// levels maps a cell's throughput (relative to the busiest cell of any
+// host lane) to a glyph; drops and recovery actions overlay it.
+const levels = " .:-=+*#%@"
+
+// cell is one rendered dashboard column of one lane.
+type cell struct {
+	recv  int64 // packets captured (host lanes) or aggregated (agg lane)
+	drops int64 // fleet-cause drops charged to the lane's host
+	acted bool  // a recovery/control action touched the host
+}
+
+// writeDashboard renders the fleet dashboard. Everything derives from
+// the record — health lanes for throughput, the forensics ledger for
+// drops, the action log for annotations — so the output is a pure
+// function of the record bytes.
+func writeDashboard(w io.Writer, rec *obs.Record, iv vtime.Time) error {
+	intervals := int(rec.End/iv) + 1
+	per := (intervals + maxCells - 1) / maxCells // intervals per cell
+	cells := (intervals + per - 1) / per
+
+	// Host lanes come from the health series ("hostN" lanes, "received"
+	// deltas); the aggregator lane uses "aggregated".
+	type lane struct {
+		name  string
+		host  int // -1 for the aggregator
+		cells []cell
+	}
+	var lanes []*lane
+	byHost := map[int]*lane{}
+	for i := range rec.Health {
+		hl := &rec.Health[i]
+		var host int
+		var counter string
+		switch {
+		case hl.Lane == "agg":
+			host, counter = -1, "aggregated"
+		case strings.HasPrefix(hl.Lane, "host"):
+			if _, err := fmt.Sscanf(hl.Lane, "host%d", &host); err != nil {
+				continue
+			}
+			counter = "received"
+		default:
+			continue // the summed fleet lane is not a dashboard row
+		}
+		l := &lane{name: hl.Lane, host: host, cells: make([]cell, cells)}
+		for di := range hl.Deltas {
+			d := &hl.Deltas[di]
+			if d.Index/per >= cells {
+				continue
+			}
+			l.cells[d.Index/per].recv += d.Value(counter)
+		}
+		lanes = append(lanes, l)
+		byHost[host] = l
+	}
+	sort.Slice(lanes, func(i, j int) bool { return lanes[i].host < lanes[j].host })
+
+	// Overlay the forensics ledger (drops by host x interval) and the
+	// action log (control-plane events by host x interval).
+	led := rec.FleetLedger(iv)
+	worst := -1 // cell index with the most fleet-cause drops
+	worstDrops := int64(0)
+	perCell := make([]int64, cells)
+	for _, e := range led {
+		ci := e.Interval / per
+		if ci >= cells {
+			continue
+		}
+		if l := byHost[e.Host]; l != nil {
+			l.cells[ci].drops += int64(e.Count)
+		}
+		perCell[ci] += int64(e.Count)
+	}
+	for ci, n := range perCell {
+		if n > worstDrops {
+			worstDrops, worst = n, ci
+		}
+	}
+	for _, a := range rec.Actions {
+		ci := int(a.At/iv) / per
+		if ci >= cells {
+			continue
+		}
+		if l := byHost[a.NIC]; l != nil && strings.HasPrefix(a.Kind, "fleet_") {
+			l.cells[ci].acted = true
+		}
+	}
+
+	var max int64 = 1
+	for _, l := range lanes {
+		if l.host < 0 {
+			continue
+		}
+		for _, c := range l.cells {
+			if c.recv > max {
+				max = c.recv
+			}
+		}
+	}
+
+	bw := &errw{w: w}
+	bw.printf("== fleet dashboard: %s ==\n", rec.Scenario)
+	bw.printf("end %dns, %d intervals of %dns (%d per column)\n", rec.End, intervals, iv, per)
+	bw.printf("legend: glyph = captured/aggregated per column (max %d), x = drops, ! = recovery action\n\n", max)
+	for _, l := range lanes {
+		bw.printf("%-7s |", l.name)
+		for _, c := range l.cells {
+			switch {
+			case c.acted:
+				bw.printf("!")
+			case c.drops > 0:
+				bw.printf("x")
+			default:
+				g := int(c.recv * int64(len(levels)-1) / max)
+				if g >= len(levels) {
+					g = len(levels) - 1
+				}
+				bw.printf("%c", levels[g])
+			}
+		}
+		bw.printf("|\n")
+	}
+
+	bw.printf("\n-- worst interval --\n")
+	if worst < 0 {
+		bw.printf("(no drops anywhere: clean run)\n")
+	} else {
+		lo := vtime.Time(worst*per) * iv
+		hi := vtime.Time((worst+1)*per) * iv
+		bw.printf("column %d [%dns, %dns): %d packets dropped\n", worst, lo, hi, worstDrops)
+		for _, e := range led {
+			if e.Interval/per == worst {
+				bw.printf("  host %d %-24s interval %-5d %d\n", e.Host, e.Cause, e.Interval, e.Count)
+			}
+		}
+	}
+
+	bw.printf("\n-- recovery actions --\n")
+	n := 0
+	for _, a := range rec.Actions {
+		if !strings.HasPrefix(a.Kind, "fleet_") {
+			continue
+		}
+		n++
+		bw.printf("%12dns  %-18s host=%d arg=%d\n", a.At, a.Kind, a.NIC, a.Arg)
+	}
+	if n == 0 {
+		bw.printf("(none)\n")
+	}
+
+	bw.printf("\n-- totals --\n")
+	causes := make([]string, 0, len(rec.DropTotals))
+	for c := range rec.DropTotals {
+		causes = append(causes, c)
+	}
+	sort.Strings(causes)
+	for _, c := range causes {
+		bw.printf("%-24s %d\n", c, rec.DropTotals[c])
+	}
+	bw.printf("journeys %d (fleet events %d)\n", len(rec.Journeys), len(rec.FleetEvents))
+	return bw.err
+}
+
+// errw is the usual sticky-error printf writer.
+type errw struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errw) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

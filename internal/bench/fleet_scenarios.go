@@ -23,9 +23,16 @@ const FleetDeliveryFloor = 0.95
 // the fleet + per-host-bus counters ride in the metrics snapshot, so
 // the digest covers the whole aggregation ledger.
 func FleetRunReport(name string, cfg fleet.Config) (RunReport, error) {
+	rep, _, err := fleetRunReport(name, cfg)
+	return rep, err
+}
+
+// fleetRunReport is FleetRunReport plus the raw fleet Result, for the
+// traced-record path (journey dumps, dashboards, Chrome export).
+func fleetRunReport(name string, cfg fleet.Config) (RunReport, fleet.Result, error) {
 	res, err := fleet.Run(name, cfg)
 	if err != nil {
-		return RunReport{}, err
+		return RunReport{}, fleet.Result{}, err
 	}
 	r := res.Report
 	rep := RunReport{
@@ -53,9 +60,9 @@ func FleetRunReport(name string, cfg fleet.Config) (RunReport, error) {
 	// the same conservation equation ci-gate re-checks from the outside.
 	if rep.Totals.Delivered != r.Aggregated ||
 		rep.Totals.Received != rep.Totals.Delivered+rep.Totals.DeliveryDrops {
-		return RunReport{}, fmt.Errorf("bench: %s: fleet books lost in RunReport flattening", name)
+		return RunReport{}, fleet.Result{}, fmt.Errorf("bench: %s: fleet books lost in RunReport flattening", name)
 	}
-	return rep, nil
+	return rep, res, nil
 }
 
 // fleetScenario wires one fleet config into the Scenario triple. The
@@ -64,32 +71,45 @@ func FleetRunReport(name string, cfg fleet.Config) (RunReport, error) {
 // recorder through; the recorder argument stays a pure observer either
 // way and the report must not change — exactly what ci-gate asserts.
 func fleetScenario(name, about string, cfg fleet.Config, minDelivery float64) Scenario {
-	run := func(traced bool, domains int) (RunReport, error) {
+	run := func(traced bool, domains int) (RunReport, fleet.Result, error) {
 		c := cfg
 		c.Traced = traced
 		if domains > 0 {
 			c.Domains = domains
 			c.Workers = domains
 		}
-		rep, err := FleetRunReport(name, c)
+		rep, res, err := fleetRunReport(name, c)
 		if err != nil {
-			return RunReport{}, err
+			return RunReport{}, fleet.Result{}, err
 		}
 		if sent := rep.Sent; sent > 0 {
 			if got := float64(rep.Totals.Delivered) / float64(sent); got < minDelivery {
-				return RunReport{}, fmt.Errorf(
+				return RunReport{}, fleet.Result{}, fmt.Errorf(
 					"bench: %s: fleet delivery %.4f below floor %.2f", name, got, minDelivery)
 			}
 		}
 		if v := rep.Metrics.CounterTotal("wirecap_fleet_late_merges_total"); v != 0 {
-			return RunReport{}, fmt.Errorf("bench: %s: %d late merges (feed order violated)", name, v)
+			return RunReport{}, fleet.Result{}, fmt.Errorf("bench: %s: %d late merges (feed order violated)", name, v)
 		}
-		return rep, nil
+		return rep, res, nil
 	}
 	return Scenario{Name: name, About: about,
-		Run:        func() (RunReport, error) { return run(false, 0) },
-		RunTraced:  func(*obs.Recorder) (RunReport, error) { return run(true, 0) },
-		RunDomains: func(d int) (RunReport, error) { return run(false, d) },
+		Run: func() (RunReport, error) {
+			rep, _, err := run(false, 0)
+			return rep, err
+		},
+		RunTraced: func(*obs.Recorder) (RunReport, error) {
+			rep, _, err := run(true, 0)
+			return rep, err
+		},
+		RunDomains: func(d int) (RunReport, error) {
+			rep, _, err := run(false, d)
+			return rep, err
+		},
+		TracedRecord: func(d int) (RunReport, obs.Record, error) {
+			rep, res, err := run(true, d)
+			return rep, res.Record, err
+		},
 	}
 }
 

@@ -162,6 +162,17 @@ func (rr RunReport) KeyMetrics() map[string]float64 {
 		"wirecap_fleet_stale_rejected_total": "fleet_stale_rejected",
 		"wirecap_fleet_retries_total":        "fleet_retries",
 		"wirecap_fleet_analytics_shed_total": "fleet_analytics_shed",
+		// The fleet conservation counters: with these probed, the gate's
+		// metric bands state FleetReceived == Aggregated + HostLost +
+		// InFlightDropped in baselines.json itself, and cmd/wiredump
+		// -stats shows the whole equation for fleet reports.
+		"wirecap_fleet_received_total":             "fleet_received",
+		"wirecap_fleet_wire_dropped_total":         "fleet_wire_dropped",
+		"wirecap_fleet_capture_dropped_total":      "fleet_capture_dropped",
+		"wirecap_fleet_host_lost_total":            "fleet_host_lost",
+		"wirecap_fleet_inflight_dropped_total":     "fleet_inflight_dropped",
+		"wirecap_fleet_late_merges_total":          "fleet_late_merges",
+		"wirecap_fleet_analytics_aggregated_total": "fleet_analytics_aggregated",
 	}
 	names := make([]string, 0, len(probes))
 	for name := range probes {

@@ -29,6 +29,12 @@ type Scenario struct {
 	// count — the equivalence property cmd/ci-gate's -domains check and
 	// the golden tests assert.
 	RunDomains func(domains int) (RunReport, error)
+	// TracedRecord, when non-nil, executes the traced run and returns the
+	// merged flight record alongside the report. Fleet scenarios set it —
+	// their recorders live inside fleet.Run (one per host plus the
+	// aggregator), so the external-recorder RunTraced shape cannot expose
+	// the record. domains <= 0 keeps the scenario's default placement.
+	TracedRecord func(domains int) (RunReport, obs.Record, error)
 }
 
 // NewRecorder builds a flight recorder keyed by the NIC's Toeplitz RSS

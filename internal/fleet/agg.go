@@ -3,6 +3,7 @@ package fleet
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/vtime"
 	"repro/internal/vtime/domain"
@@ -15,12 +16,13 @@ import (
 // watermark: a packet is emitted only once every active host has proven
 // (by its newest batch) that it will never send anything older.
 type aggregator struct {
-	cfg   *Config
-	sched *vtime.Scheduler
-	tx    *domain.Tx     // control-plane sender (domain 0)
-	ctl   []*domain.Port // per-host control ports
-	steer *Steering      // authoritative table
-	rec   *obs.Recorder
+	cfg    *Config
+	sched  *vtime.Scheduler
+	tx     *domain.Tx     // control-plane sender (domain 0)
+	ctl    []*domain.Port // per-host control ports
+	steer  *Steering      // authoritative table
+	rec    *obs.Recorder
+	health *obs.HealthSampler // nil unless traced; every method nil-safe
 
 	// Per-host merge and health state.
 	buf         [][]Packet // sorted by TS within each host (FIFO link)
@@ -68,6 +70,7 @@ func newAggregator(cfg *Config, sched *vtime.Scheduler, steer *Steering, rec *ob
 
 // receive is the aggregation port handler.
 func (a *aggregator) receive(at vtime.Time, payload any) {
+	a.health.Observe(at)
 	m := payload.(aggMsg)
 	switch m.kind {
 	case msgBatch:
@@ -86,6 +89,8 @@ func (a *aggregator) receive(at vtime.Time, payload any) {
 			if p.TS < a.lastTS {
 				a.staleRejected++
 				a.stalePerHost[m.host]++
+				a.rec.FleetReject(p.Host, p.Seq, at)
+				a.rec.DropN(obs.DropStalenessReject, p.Host, -1, 1, at)
 				continue
 			}
 			a.buf[m.host] = append(a.buf[m.host], p)
@@ -98,7 +103,7 @@ func (a *aggregator) receive(at vtime.Time, payload any) {
 			a.readmit(m.host, at)
 		}
 		a.checkHealth(m.host, at)
-		a.drain(a.minWatermark())
+		a.drain(a.minWatermark(), at)
 	case msgAnalytics:
 		a.lastSeen[m.host] = at
 		a.strikes[m.host] = 0
@@ -166,7 +171,7 @@ func (a *aggregator) quarantine(h int, now vtime.Time) {
 	a.broadcast(SteerOp{Kind: OpReSteer, Host: h, Healthy: healthy}, now)
 	// The quarantined host no longer gates the merge — whatever cleared
 	// the watermark floor can go out now.
-	a.drain(a.minWatermark())
+	a.drain(a.minWatermark(), now)
 }
 
 // readmit returns a host to the active set and restores its canonical
@@ -221,7 +226,10 @@ func (a *aggregator) minWatermark() vtime.Time {
 
 // drain emits every buffered packet with TS ≤ w, smallest
 // (TS, host, seq) first — a k-way merge over the per-host FIFO buffers.
-func (a *aggregator) drain(w vtime.Time) {
+// at is the virtual time the merge runs (the triggering delivery, or
+// the global run end during finish) — explicit, never read from the
+// aggregator domain's clock, so traced exports stay placement-independent.
+func (a *aggregator) drain(w, at vtime.Time) {
 	for {
 		best := -1
 		for h := 0; h < a.cfg.Hosts; h++ {
@@ -240,13 +248,13 @@ func (a *aggregator) drain(w vtime.Time) {
 		if best < 0 {
 			return
 		}
-		a.emit(a.buf[best][0])
+		a.emit(a.buf[best][0], at)
 		a.buf[best] = a.buf[best][1:]
 	}
 }
 
 // emit appends one packet to the global feed and the ledger.
-func (a *aggregator) emit(p Packet) {
+func (a *aggregator) emit(p Packet, at vtime.Time) {
 	if p.TS < a.lastTS {
 		a.lateMerges++
 	} else {
@@ -254,6 +262,7 @@ func (a *aggregator) emit(p Packet) {
 	}
 	a.aggregated++
 	a.aggPerHost[p.Host]++
+	a.rec.FleetEmit(p.Host, p.Seq, at)
 	a.ledger.writeString(fmt.Sprintf("%d|%d|%d|%d|%d;", p.TS, p.Host, p.Seq, p.FlowSeq, p.Len))
 	if a.cfg.CollectFeed {
 		a.feed = append(a.feed, p)
@@ -262,7 +271,29 @@ func (a *aggregator) emit(p Packet) {
 
 // finish runs after the executive drains: everything still buffered is
 // final — no more messages can arrive — so the frontier is infinite and
-// the remaining packets merge out in canonical order.
-func (a *aggregator) finish() {
-	a.drain(vtime.Time(1) << 62)
+// the remaining packets merge out in canonical order, stamped at the
+// global run end.
+func (a *aggregator) finish(end vtime.Time) {
+	a.health.Observe(end)
+	a.drain(vtime.Time(1)<<62, end)
+}
+
+// registerHealth exposes the aggregator's books on its private health
+// registry (traced runs only).
+func (a *aggregator) registerHealth(reg *metrics.Registry) {
+	reg.CounterFunc("aggregated", func() uint64 { return a.aggregated })
+	reg.CounterFunc("stale_rejected", func() uint64 { return a.staleRejected })
+	reg.CounterFunc("late_merges", func() uint64 { return a.lateMerges })
+	reg.CounterFunc("quarantines", func() uint64 { return a.quarantines })
+	reg.CounterFunc("readmissions", func() uint64 { return a.readmissions })
+	reg.CounterFunc("resteers", func() uint64 { return a.resteers })
+	reg.CounterFunc("steer_moves", func() uint64 { return a.steerMoves })
+	reg.CounterFunc("analytics_aggregated", func() uint64 { return a.anlAgg })
+	reg.GaugeFunc("agg_buffered", func() int64 {
+		var n int
+		for h := range a.buf {
+			n += len(a.buf[h])
+		}
+		return int64(n)
+	})
 }

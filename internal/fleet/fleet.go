@@ -129,6 +129,12 @@ type Config struct {
 	// and the aggregator; Result.Actions then carries the control-plane
 	// action log.
 	Traced bool
+	// HealthInterval is the health time-series sampling interval
+	// (default 250µs) and the forensics-ledger bucket width;
+	// HealthMaxIntervals bounds the per-lane delta ring (default 4096).
+	// Both only matter when Traced.
+	HealthInterval     vtime.Time
+	HealthMaxIntervals int
 }
 
 // withDefaults fills zero fields.
@@ -201,6 +207,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HelloReadmit == 0 {
 		c.HelloReadmit = 3
+	}
+	if c.HealthInterval == 0 {
+		c.HealthInterval = 250 * vtime.Microsecond
+	}
+	if c.HealthMaxIntervals == 0 {
+		c.HealthMaxIntervals = 4096
 	}
 	return c
 }

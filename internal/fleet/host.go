@@ -1,8 +1,11 @@
 package fleet
 
 import (
+	"fmt"
+
 	"repro/internal/bus"
 	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/vtime"
 	"repro/internal/vtime/domain"
@@ -14,14 +17,15 @@ import (
 // deterministic retry/backoff. All state is per-incarnation where the
 // model says a crash loses it.
 type host struct {
-	id    int
-	cfg   *Config
-	sched *vtime.Scheduler
-	inj   *faults.Injector
-	steer *Steering // private replica, updated only by control ops
-	tx    *domain.Tx
-	agg   *domain.Port // the aggregator's inbound port
-	rec   *obs.Recorder
+	id     int
+	cfg    *Config
+	sched  *vtime.Scheduler
+	inj    *faults.Injector
+	steer  *Steering // private replica, updated only by control ops
+	tx     *domain.Tx
+	agg    *domain.Port // the aggregator's inbound port
+	rec    *obs.Recorder
+	health *obs.HealthSampler // nil unless traced; every method nil-safe
 
 	// Capture state (lost on crash).
 	busyUntil   vtime.Time
@@ -89,12 +93,16 @@ func (h *host) offer(fr frame) {
 	if h.steer.Host(fr.flow) != h.id {
 		return
 	}
+	now := h.sched.Now()
+	h.health.Observe(now)
+	h.rec.JourneySteer(h.id, fr.flow, fr.flowSeq, now)
 	h.offered++
 	if h.down() || !h.inj.LinkUp(h.id) {
 		h.wireDropped++
+		h.rec.JourneyDrop(obs.DropLink, now)
+		h.rec.DropN(obs.DropLink, h.id, -1, 1, now)
 		return
 	}
-	now := h.sched.Now()
 	// The capture budget: a host that cannot keep up (brownout, or just
 	// re-steered load) falls behind until the backlog cap, then sheds at
 	// capture — before the aggregation books open for the packet.
@@ -103,11 +111,14 @@ func (h *host) offer(fr frame) {
 	}
 	if h.busyUntil-now > h.cfg.BacklogCap {
 		h.captureDropped++
+		h.rec.JourneyDrop(obs.DropHostBrownoutShed, now)
+		h.rec.DropN(obs.DropHostBrownoutShed, h.id, -1, 1, now)
 		return
 	}
 	h.busyUntil += vtime.Time(float64(h.cfg.CaptureCost) * h.inj.HostSlowdown(h.id))
 	h.capSeq++
 	h.received++
+	h.rec.JourneyCapture(h.capSeq, now)
 	h.batch = append(h.batch, Packet{
 		Host: h.id, Flow: fr.flow, FlowSeq: fr.flowSeq,
 		Seq: h.capSeq, TS: now, Len: fr.len,
@@ -131,6 +142,7 @@ func (h *host) offer(fr frame) {
 // always drains.
 func (h *host) flushTimer() {
 	h.flushArmed = false
+	h.health.Observe(h.sched.Now())
 	if len(h.batch) > 0 && !h.down() {
 		h.flush()
 	}
@@ -141,9 +153,11 @@ func (h *host) flush() {
 	if len(h.batch) == 0 {
 		return
 	}
+	now := h.sched.Now()
 	bytes := 0
 	for i := range h.batch {
 		bytes += h.batch[i].Len
+		h.rec.JourneyEnqueue(h.batch[i].Seq, now)
 	}
 	h.batches++
 	h.enqueue(outMsg{kind: msgBatch, pkts: h.batch, bytes: bytes})
@@ -181,7 +195,7 @@ func (h *host) enqueue(m outMsg) {
 				h.attempt = 0
 			}
 		} else {
-			h.inFlight += uint64(len(h.pending[0].pkts))
+			h.dropBatch(h.pending[0].pkts, h.sched.Now())
 			h.pending = h.pending[1:]
 			h.attempt = 0
 		}
@@ -208,6 +222,7 @@ func (h *host) pump() {
 	if h.retryArmed {
 		return
 	}
+	h.health.Observe(h.sched.Now())
 	for len(h.pending) > 0 {
 		if h.down() {
 			return // crash transition clears the queue
@@ -236,6 +251,9 @@ func (h *host) pump() {
 		}
 		switch m.kind {
 		case msgBatch:
+			for i := range m.pkts {
+				h.rec.JourneyLink(m.pkts[i].Seq, now)
+			}
 			h.tx.Send(h.agg, aggMsg{
 				kind: msgBatch, host: h.id, incarnation: h.incarnation,
 				pkts: m.pkts, watermark: m.pkts[len(m.pkts)-1].TS,
@@ -256,12 +274,23 @@ func (h *host) pump() {
 func (h *host) dropHead() {
 	m := h.pending[0]
 	if m.kind == msgBatch {
-		h.inFlight += uint64(len(m.pkts))
-		h.rec.Action("fleet_inflight_drop", h.id, -1, int64(len(m.pkts)), h.sched.Now())
+		now := h.sched.Now()
+		h.dropBatch(m.pkts, now)
+		h.rec.Action("fleet_inflight_drop", h.id, -1, int64(len(m.pkts)), now)
 	} else {
 		h.anlShed++
 	}
 	h.pending = h.pending[1:]
+}
+
+// dropBatch charges one queued capture batch to InFlightDropped: books,
+// drop ledger, and the sampled journeys it carried.
+func (h *host) dropBatch(pkts []Packet, now vtime.Time) {
+	h.inFlight += uint64(len(pkts))
+	h.rec.DropN(obs.DropInFlightHeadDrop, h.id, -1, uint64(len(pkts)), now)
+	for i := range pkts {
+		h.rec.JourneyLost(pkts[i].Seq, obs.DropInFlightHeadDrop, now)
+	}
 }
 
 // onFault is the injector OnTransition hook: crash opening loses all
@@ -282,21 +311,33 @@ func (h *host) onFault(ev faults.Event, open bool) {
 // side of the conservation equation. Messages already transferred onto
 // the mailbox fabric are on the wire and will still arrive.
 func (h *host) crash() {
-	h.hostLost += uint64(len(h.batch))
+	now := h.sched.Now()
+	h.health.Observe(now)
+	lost := uint64(len(h.batch))
+	for i := range h.batch {
+		h.rec.JourneyLost(h.batch[i].Seq, obs.DropHostLostCrash, now)
+	}
 	h.batch = nil
 	for _, m := range h.pending {
 		if m.kind == msgBatch {
-			h.hostLost += uint64(len(m.pkts))
+			lost += uint64(len(m.pkts))
+			for i := range m.pkts {
+				h.rec.JourneyLost(m.pkts[i].Seq, obs.DropHostLostCrash, now)
+			}
 		} else {
 			h.anlShed++
 		}
+	}
+	h.hostLost += lost
+	if lost > 0 {
+		h.rec.DropN(obs.DropHostLostCrash, h.id, -1, lost, now)
 	}
 	h.pending = nil
 	h.attempt = 0
 	h.busyUntil = 0
 	h.sinceAnl = 0
 	h.setDegraded(false)
-	h.rec.Action("fleet_host_crash", h.id, -1, int64(h.incarnation), h.sched.Now())
+	h.rec.Action("fleet_host_crash", h.id, -1, int64(h.incarnation), now)
 }
 
 // restart is the post-crash boot: a fresh incarnation announces itself
@@ -305,6 +346,7 @@ func (h *host) crash() {
 // queue alive.
 func (h *host) restart() {
 	h.incarnation++
+	h.health.Observe(h.sched.Now())
 	h.rec.Action("fleet_host_restart", h.id, -1, int64(h.incarnation), h.sched.Now())
 	h.sendHello(h.cfg.HelloReadmit)
 }
@@ -333,6 +375,32 @@ func (h *host) control(at vtime.Time, payload any) {
 	op := payload.(SteerOp)
 	h.steer.Apply(op)
 }
+
+// registerHealth exposes the host's books on its private health
+// registry (one per host, traced runs only). The names intentionally
+// mirror the wirecap_fleet_* registry names minus the prefix: the
+// dashboard reads them as per-interval deltas, not lifetime totals.
+func (h *host) registerHealth(reg *metrics.Registry) {
+	reg.CounterFunc("received", func() uint64 { return h.received })
+	reg.CounterFunc("wire_dropped", func() uint64 { return h.wireDropped })
+	reg.CounterFunc("capture_dropped", func() uint64 { return h.captureDropped })
+	reg.CounterFunc("host_lost", func() uint64 { return h.hostLost })
+	reg.CounterFunc("inflight_dropped", func() uint64 { return h.inFlight })
+	reg.CounterFunc("retries", func() uint64 { return h.retries })
+	reg.CounterFunc("batches", func() uint64 { return h.batches })
+	reg.CounterFunc("analytics_shed", func() uint64 { return h.anlShed })
+	reg.CounterFunc("degraded_enters", func() uint64 { return h.degradedEnters })
+	reg.GaugeFunc("pending_depth", func() int64 { return int64(len(h.pending)) })
+	reg.GaugeFunc("degraded", func() int64 {
+		if h.degraded {
+			return 1
+		}
+		return 0
+	})
+}
+
+// healthLane is the host's lane name in the fleet health series.
+func (h *host) healthLane() string { return fmt.Sprintf("host%d", h.id) }
 
 // report assembles the host's books.
 func (h *host) report() HostReport {

@@ -51,6 +51,14 @@ func Run(name string, cfg Config) (Result, error) {
 	steer := NewSteering(cfg.Hosts)
 	aggRec := newRec()
 	agg := newAggregator(&cfg, sim.Domain(0).Scheduler(), steer, aggRec)
+	if cfg.Traced {
+		// Each actor samples a private registry so the health series is a
+		// pure function of that actor's own event history (placement-
+		// independent); the fleet lane is summed from them after the run.
+		reg := metrics.NewRegistry()
+		agg.registerHealth(reg)
+		agg.health = obs.NewHealthSampler("agg", reg, cfg.HealthInterval, cfg.HealthMaxIntervals)
+	}
 	aggPort := sim.NewPort(sim.Domain(0), cfg.LinkLatency, agg.receive)
 
 	flows := newFlowPool(cfg.Seed, cfg.Flows)
@@ -66,6 +74,11 @@ func Run(name string, cfg Config) (Result, error) {
 		hostRecs[h] = rec
 
 		hs := newHost(h, &cfg, sched, steer.Clone(), rec)
+		if cfg.Traced {
+			hreg := metrics.NewRegistry()
+			hs.registerHealth(hreg)
+			hs.health = obs.NewHealthSampler(hs.healthLane(), hreg, cfg.HealthInterval, cfg.HealthMaxIntervals)
+		}
 		ctl[h] = sim.NewPort(d, cfg.CtrlLatency, hs.control)
 		hs.tx = sim.NewTx(d)
 		hs.agg = aggPort
@@ -91,8 +104,8 @@ func Run(name string, cfg Config) (Result, error) {
 	agg.ctl = ctl
 
 	sim.Run()
-	agg.finish()
 	end := sim.Now()
+	agg.finish(end)
 
 	reg := metrics.NewRegistry()
 	registerFleet(reg, agg, hosts)
@@ -151,16 +164,65 @@ func Run(name string, cfg Config) (Result, error) {
 
 	res := Result{Report: rep, Feed: agg.feed}
 	if cfg.Traced {
+		// Tags are logical lanes — aggregator 0, host h as h+1 — NOT the
+		// execution domains the actors happened to run in, so the merged
+		// record (and everything rendered from it: journey dumps, Chrome
+		// exports, the forensics ledger) is byte-identical across
+		// Domains/Workers settings and ci-gate can compare them.
 		recs := make([]obs.Record, 0, cfg.Hosts+1)
 		ar := aggRec.Record(name, end)
 		ar.Tag(0)
 		recs = append(recs, ar)
 		for h, rec := range hostRecs {
 			r := rec.Record(name, end)
-			r.Tag(h % sim.Domains())
+			r.Tag(h + 1)
 			recs = append(recs, r)
 		}
-		res.Record = obs.MergeRecords(name, end, recs)
+		rec := obs.MergeRecords(name, end, recs)
+		rec.StitchJourneys()
+
+		agg.health.Finish(end)
+		lanes := []obs.HealthSeries{agg.health.Series()}
+		for _, hs := range hosts {
+			hs.health.Finish(end)
+			lanes = append(lanes, hs.health.Series())
+		}
+		lanes = append(lanes, obs.MergeHealth("fleet", lanes))
+		rec.Health = lanes
+		res.Record = rec
+
+		// The forensics ledger must be an exact partition: per host, each
+		// fleet cause re-derives that host's book entry, and the three
+		// aggregation-plane loss causes sum to FleetReceived − Aggregated.
+		led := rec.FleetLedger(cfg.HealthInterval)
+		for _, hr := range rep.PerHost {
+			checks := []struct {
+				cause obs.DropCause
+				want  uint64
+				book  string
+			}{
+				{obs.DropHostLostCrash, hr.HostLost, "host_lost"},
+				{obs.DropInFlightHeadDrop, hr.InFlightDropped, "inflight_dropped"},
+				{obs.DropStalenessReject, hr.StaleRejected, "stale_rejected"},
+				{obs.DropHostBrownoutShed, hr.CaptureDropped, "capture_dropped"},
+				{obs.DropLink, hr.WireDropped, "wire_dropped"},
+			}
+			for _, c := range checks {
+				if got := obs.SumCause(led, c.cause, hr.Host); got != c.want {
+					return Result{}, fmt.Errorf(
+						"fleet: %s: forensics ledger not a partition: host %d cause %s sums to %d, books say %s=%d",
+						name, hr.Host, c.cause, got, c.book, c.want)
+				}
+			}
+		}
+		lost := obs.SumCause(led, obs.DropHostLostCrash, -1) +
+			obs.SumCause(led, obs.DropInFlightHeadDrop, -1) +
+			obs.SumCause(led, obs.DropStalenessReject, -1)
+		if lost != rep.FleetReceived-rep.Aggregated {
+			return Result{}, fmt.Errorf(
+				"fleet: %s: forensics ledger not a partition: fleet causes sum to %d, FleetReceived-Aggregated=%d",
+				name, lost, rep.FleetReceived-rep.Aggregated)
+		}
 	}
 	return res, nil
 }

@@ -40,4 +40,21 @@ func TestModuleClean(t *testing.T) {
 				"the fleet plane must stay exemption-free", f.Rule, f.File, f.Line)
 		}
 	}
+
+	// The flight recorder's allow count is pinned: the 9 committed
+	// exemptions are all in the single-host packet-trace store (obs.go).
+	// The fleet observability plane — journeys, health sampler, ledger,
+	// merge — was built without any; a new allow in internal/obs means a
+	// hot-path append crept in where a bounded or off-path structure
+	// belongs, and needs a design look, not a directive.
+	obsAllows := 0
+	for _, f := range sum.AllowedList {
+		if strings.Contains(f.File, "internal/obs/") {
+			obsAllows++
+		}
+	}
+	if obsAllows != 9 {
+		t.Errorf("internal/obs carries %d allow directives, pinned at 9: "+
+			"new observability code must pass the fence by construction", obsAllows)
+	}
 }

@@ -1,0 +1,63 @@
+package metrics
+
+import "testing"
+
+// TestSubSeriesAppearsMidInterval is the underflow regression guard for
+// the health sampler: a series registered after the previous snapshot
+// has no prev entry, so Sub must pass its full value through unchanged
+// rather than subtracting garbage (a uint64 counter underflowing to
+// ~2^64 would poison every health delta downstream).
+func TestSubSeriesAppearsMidInterval(t *testing.T) {
+	r := NewRegistry()
+	old := r.Counter("old_total")
+	old.Add(4)
+	before := r.Snapshot(1000)
+
+	// These series first exist in the interval (1000, 2000].
+	fresh := r.Counter("fresh_total")
+	fresh.Add(11)
+	r.Gauge("fresh_depth").Set(-3)
+	r.Histogram("fresh_lat").Record(100)
+	old.Add(2)
+	after := r.Snapshot(2000)
+
+	d := after.Sub(before)
+	if sv, ok := d.Get("fresh_total"); !ok || sv.Counter != 11 {
+		t.Fatalf("new counter delta = %d (ok=%v), want full value 11", sv.Counter, ok)
+	}
+	if sv, ok := d.Get("fresh_depth"); !ok || sv.Gauge != -3 {
+		t.Fatalf("new gauge in diff = %d (ok=%v), want current value -3", sv.Gauge, ok)
+	}
+	if sv, ok := d.Get("fresh_lat"); !ok || sv.Hist == nil || sv.Hist.Count != 1 {
+		t.Fatalf("new histogram in diff = %+v (ok=%v), want count 1", sv.Hist, ok)
+	}
+	if sv, ok := d.Get("old_total"); !ok || sv.Counter != 2 {
+		t.Fatalf("pre-existing counter delta = %d (ok=%v), want 2", sv.Counter, ok)
+	}
+}
+
+// TestSubUnchangedAndVanishedSeries pins the other edges the sampler
+// leans on: an untouched counter yields a zero delta (the sampler
+// elides it), and a series present only in prev — possible when a
+// bounded family evicts — is simply dropped, never negated.
+func TestSubUnchangedAndVanishedSeries(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("stable_total").Add(9)
+	r1.Counter("gone_total").Add(5)
+	before := r1.Snapshot(1000)
+
+	r2 := NewRegistry()
+	r2.Counter("stable_total").Add(9)
+	after := r2.Snapshot(2000)
+
+	d := after.Sub(before)
+	if sv, ok := d.Get("stable_total"); !ok || sv.Counter != 0 {
+		t.Fatalf("unchanged counter delta = %d (ok=%v), want 0", sv.Counter, ok)
+	}
+	if _, ok := d.Get("gone_total"); ok {
+		t.Fatal("series present only in prev leaked into the diff")
+	}
+	if len(d.Series) != 1 {
+		t.Fatalf("diff has %d series, want 1", len(d.Series))
+	}
+}

@@ -37,6 +37,13 @@ type Record struct {
 	// packet list / drop list is a prefix, not the whole story.
 	TruncatedPackets uint64 `json:"truncated_packets"`
 	TruncatedDrops   uint64 `json:"truncated_drops"`
+
+	// Fleet plane (all empty — and elided from JSON — outside fleet
+	// runs, keeping single-host exports byte-identical to before).
+	Journeys          []Journey      `json:"journeys,omitempty"`
+	FleetEvents       []FleetEvent   `json:"fleet_events,omitempty"`
+	TruncatedJourneys uint64         `json:"truncated_journeys,omitempty"`
+	Health            []HealthSeries `json:"health,omitempty"`
 }
 
 // Record freezes the recorder's state. The recorder stays usable (the
@@ -81,6 +88,9 @@ func (r *Recorder) Record(scenario string, end vtime.Time) Record {
 	})
 	rec.FaultWindows = r.windows
 	rec.Actions = r.actions
+	rec.Journeys = r.journeys
+	rec.FleetEvents = r.fleetEvts
+	rec.TruncatedJourneys = r.truncJ
 	return rec
 }
 
@@ -169,8 +179,33 @@ func (rec *Record) chromeEvents() []chromeEvent {
 			Args: chromeArgs{Arg: a.Arg},
 		})
 	}
+	// Fleet journeys: per-host tracks plus a fleet merge lane. Each
+	// stamp-to-stamp hop is a duration slice on the track of the host
+	// that owns the destination stamp; aggregation-side stamps
+	// (Host == -1) land on the merge lane, so a stitched journey reads
+	// as a slice chain hopping from its host's track to the fleet lane.
+	for i := range rec.Journeys {
+		j := &rec.Journeys[i]
+		for k := 1; k < len(j.Stamps); k++ {
+			prev, cur := j.Stamps[k-1], j.Stamps[k]
+			pid := cur.Host
+			if pid < 0 {
+				pid = chromeMergeLane
+			}
+			evs = append(evs, chromeEvent{
+				Name: cur.Stage.String(), Ph: "X",
+				TS: us(prev.At), Dur: us(cur.At - prev.At),
+				PID: pid, TID: 0,
+				Args: chromeArgs{Flow: j.FlowS, Arg: int64(j.Seq), Cause: j.Drop},
+			})
+		}
+	}
 	return evs
 }
+
+// chromeMergeLane is the PID of the fleet merge lane — far above any
+// host id, so aggregation-side journey slices get their own track.
+const chromeMergeLane = 65536
 
 // WriteChrome writes the record as Chrome trace-event JSON. The full
 // Record rides along under "otherData", so one file feeds both the

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/vtime"
+)
+
+// TestHealthSamplerBucketsDeltas drives a counter through three
+// intervals with a gap and checks the sampler emits one delta per
+// active interval, elides the empty one, and closes the final partial
+// interval on Finish.
+func TestHealthSamplerBucketsDeltas(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := reg.Counter("pkts_total")
+	s := NewHealthSampler("host0", reg, 1000, 0)
+
+	// Interval 0: [0, 1000). Observe-then-mutate, like the event hooks.
+	s.Observe(100)
+	c.Add(3)
+	s.Observe(900)
+	c.Add(2)
+	// Interval 1 is silent. Interval 3: the Observe flushes 0..2 first.
+	s.Observe(3100)
+	c.Add(7)
+	s.Finish(3500)
+
+	series := s.Series()
+	if series.Lane != "host0" || series.IntervalNs != 1000 {
+		t.Fatalf("series header = %+v", series)
+	}
+	if len(series.Deltas) != 2 {
+		t.Fatalf("deltas = %+v, want intervals 0 and 3 only", series.Deltas)
+	}
+	if d := series.Deltas[0]; d.Index != 0 || d.EndNs != 1000 || d.Value("pkts_total") != 5 {
+		t.Fatalf("interval 0 delta = %+v, want pkts_total=5", d)
+	}
+	if d := series.Deltas[1]; d.Index != 3 || d.EndNs != 4000 || d.Value("pkts_total") != 7 {
+		t.Fatalf("interval 3 delta = %+v, want pkts_total=7", d)
+	}
+	if series.DroppedIntervals != 0 {
+		t.Fatalf("DroppedIntervals = %d, want 0", series.DroppedIntervals)
+	}
+}
+
+// TestHealthSamplerRingEviction bounds the ring: a run with more active
+// intervals than MaxIntervals keeps the newest and counts the evicted.
+func TestHealthSamplerRingEviction(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := reg.Counter("pkts_total")
+	s := NewHealthSampler("host0", reg, 1000, 3)
+	for i := 0; i < 5; i++ {
+		s.Observe(vtime.Time(i * 1000))
+		c.Inc()
+	}
+	s.Finish(4999)
+	series := s.Series()
+	if len(series.Deltas) != 3 {
+		t.Fatalf("deltas = %d, want the ring bound 3", len(series.Deltas))
+	}
+	if series.DroppedIntervals != 2 {
+		t.Fatalf("DroppedIntervals = %d, want 2", series.DroppedIntervals)
+	}
+	if series.Deltas[0].Index != 2 || series.Deltas[2].Index != 4 {
+		t.Fatalf("ring kept wrong intervals: %+v", series.Deltas)
+	}
+}
+
+// TestHealthSamplerNilIsDisabled: the nil sampler is the disabled
+// contract — every method a free no-op, like the nil *Recorder.
+func TestHealthSamplerNilIsDisabled(t *testing.T) {
+	var s *HealthSampler
+	s.Observe(100)
+	s.Finish(200)
+	if got := s.Series(); got.Lane != "" || len(got.Deltas) != 0 {
+		t.Fatalf("nil sampler produced a series: %+v", got)
+	}
+}
+
+// TestMergeHealthSumsLanes: the fleet lane sums per-lane values at the
+// same (interval, name) and carries each interval's end time through.
+func TestMergeHealthSumsLanes(t *testing.T) {
+	lanes := []HealthSeries{
+		{Lane: "host0", IntervalNs: 1000, Deltas: []HealthDelta{
+			{Index: 0, EndNs: 1000, Values: []HealthValue{{Name: "received", V: 4}}},
+			{Index: 2, EndNs: 3000, Values: []HealthValue{{Name: "received", V: 1}}},
+		}},
+		{Lane: "host1", IntervalNs: 1000, DroppedIntervals: 1, Deltas: []HealthDelta{
+			{Index: 0, EndNs: 1000, Values: []HealthValue{{Name: "received", V: 6}, {Name: "retries", V: 2}}},
+		}},
+	}
+	m := MergeHealth("fleet", lanes)
+	if m.Lane != "fleet" || m.IntervalNs != 1000 || m.DroppedIntervals != 1 {
+		t.Fatalf("merged header = %+v", m)
+	}
+	if len(m.Deltas) != 2 {
+		t.Fatalf("merged deltas = %+v", m.Deltas)
+	}
+	if d := m.Deltas[0]; d.Index != 0 || d.EndNs != 1000 || d.Value("received") != 10 || d.Value("retries") != 2 {
+		t.Fatalf("merged interval 0 = %+v", d)
+	}
+	if d := m.Deltas[1]; d.Index != 2 || d.Value("received") != 1 {
+		t.Fatalf("merged interval 2 = %+v", d)
+	}
+
+	var a, b bytes.Buffer
+	if err := WriteHealth(&a, append(lanes, m)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteHealth(&b, append(lanes, m)); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("WriteHealth is not deterministic")
+	}
+}
+
+// TestHealthSamplerLabeledSeries: labeled series render with canonical
+// sorted labels so two lanes never collide on a bare name.
+func TestHealthSamplerLabeledSeries(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := reg.Counter("drops_total", metrics.L("queue", "1"))
+	s := NewHealthSampler("host0", reg, 1000, 0)
+	s.Observe(0)
+	c.Add(2)
+	s.Finish(500)
+	series := s.Series()
+	if len(series.Deltas) != 1 {
+		t.Fatalf("deltas = %+v", series.Deltas)
+	}
+	if got := series.Deltas[0].Value("drops_total{queue=1}"); got != 2 {
+		t.Fatalf("labeled value = %d (delta %+v), want 2", got, series.Deltas[0])
+	}
+}

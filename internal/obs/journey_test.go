@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/vtime"
+)
+
+// TestJourneyLifecycleAndStitch walks one sampled packet through the
+// full fleet path — steer, capture, batch close, link transfer on the
+// host recorder; merge emission on the aggregator recorder — merges the
+// two records and checks the stitcher joins them into one end-to-end
+// journey with the merge stamp on the aggregator lane (Host -1).
+func TestJourneyLifecycleAndStitch(t *testing.T) {
+	hostRec := testRecorder(8)
+	aggRec := testRecorder(8)
+	f := flow(0) // SrcPort 1000 ≡ 0 (mod 8): sampled
+
+	hostRec.JourneySteer(3, f, 1, 100)
+	hostRec.JourneyCapture(41, 200)
+	hostRec.JourneyEnqueue(41, 300)
+	hostRec.JourneyLink(41, 400)
+	aggRec.FleetEmit(3, 41, 500)
+
+	hr := hostRec.Record("j", 1000)
+	hr.Tag(4) // host 3 on lane 4
+	ar := aggRec.Record("j", 1000)
+	ar.Tag(0)
+	rec := MergeRecords("j", 1000, []Record{ar, hr})
+	rec.StitchJourneys()
+
+	if len(rec.Journeys) != 1 {
+		t.Fatalf("journeys = %d, want 1", len(rec.Journeys))
+	}
+	j := rec.Journeys[0]
+	if j.Host != 3 || j.Seq != 41 || j.Drop != "" {
+		t.Fatalf("journey = %+v, want host 3 seq 41 undropped", j)
+	}
+	wantStages := []Stage{StageSteer, StageHostIngress, StageAggEnqueue, StageAggLink, StageMergeEmit}
+	if len(j.Stamps) != len(wantStages) {
+		t.Fatalf("stamps = %d, want %d (%+v)", len(j.Stamps), len(wantStages), j.Stamps)
+	}
+	for i, s := range j.Stamps {
+		if s.Stage != wantStages[i] {
+			t.Fatalf("stamp %d stage = %s, want %s", i, s.Stage, wantStages[i])
+		}
+	}
+	if j.Stamps[4].Host != -1 {
+		t.Fatalf("merge stamp host = %d, want -1 (aggregator lane)", j.Stamps[4].Host)
+	}
+	for i := 1; i < len(j.Stamps); i++ {
+		if j.Stamps[i].At < j.Stamps[i-1].At {
+			t.Fatalf("stamps out of time order: %+v", j.Stamps)
+		}
+	}
+}
+
+// TestJourneySamplingAndTermination pins the edge rules: unsampled
+// flows record nothing, a pre-capture drop terminates the pending
+// journey, a host-side loss unbinds the sequence, and an aggregator
+// reject sets the terminal cause through the stitcher.
+func TestJourneySamplingAndTermination(t *testing.T) {
+	r := testRecorder(8)
+
+	r.JourneySteer(0, flow(1), 1, 100) // SrcPort 1001: unsampled
+	r.JourneyCapture(7, 150)
+	if got := len(r.journeys); got != 0 {
+		t.Fatalf("unsampled flow recorded %d journeys", got)
+	}
+
+	r.JourneySteer(0, flow(0), 1, 200)
+	r.JourneyDrop(DropHostBrownoutShed, 210)
+	r.JourneySteer(0, flow(0), 2, 300)
+	r.JourneyCapture(8, 310)
+	r.JourneyLost(8, DropHostLostCrash, 320)
+	r.JourneyEnqueue(8, 330) // after loss: must not stamp
+	r.JourneySteer(0, flow(0), 3, 400)
+	r.JourneyCapture(9, 410)
+	r.JourneyEnqueue(9, 420)
+	r.JourneyLink(9, 430)
+
+	agg := testRecorder(8)
+	agg.FleetReject(0, 9, 500)
+
+	hr := r.Record("j", 1000)
+	hr.Tag(1)
+	ar := agg.Record("j", 1000)
+	ar.Tag(0)
+	rec := MergeRecords("j", 1000, []Record{ar, hr})
+	rec.StitchJourneys()
+
+	if len(rec.Journeys) != 3 {
+		t.Fatalf("journeys = %d, want 3", len(rec.Journeys))
+	}
+	byDrop := map[string]int{}
+	for _, j := range rec.Journeys {
+		byDrop[j.Drop]++
+	}
+	for _, cause := range []DropCause{DropHostBrownoutShed, DropHostLostCrash, DropStalenessReject} {
+		if byDrop[cause.String()] != 1 {
+			t.Fatalf("drop causes = %v, want one %s", byDrop, cause)
+		}
+	}
+	for _, j := range rec.Journeys {
+		if j.Seq == 8 && len(j.Stamps) != 3 { // steer, ingress, drop — no post-loss enqueue
+			t.Fatalf("lost journey stamped after termination: %+v", j.Stamps)
+		}
+	}
+}
+
+// TestJourneyTruncationBounded: the journey table is bounded by
+// MaxJourneys; overflow counts into TruncatedJourneys instead of
+// growing without limit.
+func TestJourneyTruncationBounded(t *testing.T) {
+	r := New(Config{
+		FlowHash:    func(packet.FlowKey) uint32 { return 0 }, // every flow sampled
+		SampleEvery: 1,
+		MaxJourneys: 2,
+	})
+	for i := uint64(0); i < 5; i++ {
+		r.JourneySteer(0, flow(0), i, vtime.Time(100*i+100))
+	}
+	rec := r.Record("j", 1000)
+	if len(rec.Journeys) != 2 {
+		t.Fatalf("journeys = %d, want the MaxJourneys bound 2", len(rec.Journeys))
+	}
+	if rec.TruncatedJourneys != 3 {
+		t.Fatalf("TruncatedJourneys = %d, want 3", rec.TruncatedJourneys)
+	}
+}
+
+// TestWriteJourneysDeterministicAndReSteerSection: the dump renders
+// byte-identically on repeated calls, and a flow whose journeys ran on
+// two hosts appears in the re-steer section.
+func TestWriteJourneysDeterministicAndReSteerSection(t *testing.T) {
+	h0 := testRecorder(8)
+	h1 := testRecorder(8)
+	f := flow(0)
+	h0.JourneySteer(0, f, 1, 100)
+	h0.JourneyCapture(1, 110)
+	h1.JourneySteer(1, f, 2, 900)
+	h1.JourneyCapture(1, 910)
+
+	r0 := h0.Record("j", 2000)
+	r0.Tag(1)
+	r1 := h1.Record("j", 2000)
+	r1.Tag(2)
+	rec := MergeRecords("j", 2000, []Record{r0, r1})
+	rec.StitchJourneys()
+
+	fj := rec.FlowJourneys()
+	if len(fj) != 1 || len(fj[0].Hosts) != 2 {
+		t.Fatalf("FlowJourneys = %+v, want one flow on two hosts", fj)
+	}
+	var a, b bytes.Buffer
+	if err := rec.WriteJourneys(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.WriteJourneys(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("WriteJourneys is not deterministic")
+	}
+	if !strings.Contains(a.String(), "-- flows crossing a re-steer --") {
+		t.Fatalf("dump lacks the re-steer section:\n%s", a.String())
+	}
+	if !strings.Contains(a.String(), "hosts 0->1") {
+		t.Fatalf("dump lacks the host path 0->1:\n%s", a.String())
+	}
+}
+
+// TestFleetLedgerBucketsAndSums: DropN records bucket into
+// host × cause × interval cells and SumCause re-derives per-host and
+// fleet-wide totals exactly.
+func TestFleetLedgerBucketsAndSums(t *testing.T) {
+	r := testRecorder(8)
+	iv := vtime.Time(1000)
+	r.DropN(DropHostLostCrash, 2, -1, 10, 500)   // host 2, interval 0
+	r.DropN(DropHostLostCrash, 2, -1, 4, 1500)   // host 2, interval 1
+	r.DropN(DropInFlightHeadDrop, 3, -1, 7, 500) // host 3, interval 0
+	r.DropN(DropStalenessReject, 2, -1, 1, 2500) // host 2, interval 2
+	rec := r.Record("l", 3000)
+
+	led := rec.FleetLedger(iv)
+	if len(led) != 4 {
+		t.Fatalf("ledger entries = %d, want 4: %+v", len(led), led)
+	}
+	if got := SumCause(led, DropHostLostCrash, 2); got != 14 {
+		t.Fatalf("host 2 crash sum = %d, want 14", got)
+	}
+	if got := SumCause(led, DropHostLostCrash, -1); got != 14 {
+		t.Fatalf("fleet crash sum = %d, want 14", got)
+	}
+	if got := SumCause(led, DropInFlightHeadDrop, 3); got != 7 {
+		t.Fatalf("host 3 headdrop sum = %d, want 7", got)
+	}
+	if got := SumCause(led, DropStalenessReject, 3); got != 0 {
+		t.Fatalf("host 3 stale sum = %d, want 0", got)
+	}
+	// Entries are sorted by (host, cause, interval) for stable rendering.
+	for i := 1; i < len(led); i++ {
+		a, b := led[i-1], led[i]
+		if a.Host > b.Host || (a.Host == b.Host && a.Cause > b.Cause) ||
+			(a.Host == b.Host && a.Cause == b.Cause && a.Interval >= b.Interval) {
+			t.Fatalf("ledger not in canonical order: %+v", led)
+		}
+	}
+}

@@ -64,6 +64,9 @@ func MergeRecords(scenario string, end vtime.Time, recs []Record) Record {
 		out.StageProfile = append(out.StageProfile, r.StageProfile...)
 		out.TruncatedPackets += r.TruncatedPackets
 		out.TruncatedDrops += r.TruncatedDrops
+		out.Journeys = append(out.Journeys, r.Journeys...)
+		out.FleetEvents = append(out.FleetEvents, r.FleetEvents...)
+		out.TruncatedJourneys += r.TruncatedJourneys
 		for k, v := range r.DropTotals {
 			out.DropTotals[k] += v
 		}
@@ -103,6 +106,31 @@ func MergeRecords(scenario string, end vtime.Time, recs []Record) Record {
 			return a.At < b.At
 		}
 		return a.Domain < b.Domain
+	})
+	// Journeys sort by their steer time; (At, Host) is already unique
+	// because a host processes one offer per virtual instant, Seq breaks
+	// the (impossible in practice) remainder. FleetEvents are all
+	// aggregator-side, where (At, Host, Seq) is unique.
+	sort.SliceStable(out.Journeys, func(i, j int) bool {
+		a, b := &out.Journeys[i], &out.Journeys[j]
+		at, bt := journeyStart(a), journeyStart(b)
+		if at != bt {
+			return at < bt
+		}
+		if a.Host != b.Host {
+			return a.Host < b.Host
+		}
+		return a.Seq < b.Seq
+	})
+	sort.SliceStable(out.FleetEvents, func(i, j int) bool {
+		a, b := &out.FleetEvents[i], &out.FleetEvents[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Host != b.Host {
+			return a.Host < b.Host
+		}
+		return a.Seq < b.Seq
 	})
 
 	// Sum stage-profile buckets across domains: the profile answers
@@ -148,4 +176,12 @@ func packetStart(p *PacketTrace) vtime.Time {
 		return 0
 	}
 	return p.Stamps[0].At
+}
+
+// journeyStart is a journey's steer time (its first stamp).
+func journeyStart(j *Journey) vtime.Time {
+	if len(j.Stamps) == 0 {
+		return 0
+	}
+	return j.Stamps[0].At
 }

@@ -59,12 +59,22 @@ const (
 	StageProcessed                 // application handler finished with it
 	StageRecycle                   // backing buffer recycled to the NIC / pool
 	StageDrop                      // dropped (the trace's terminal stage)
+
+	// Fleet journey stages (DESIGN.md §14): the cross-host life of a
+	// packet in the aggregation plane, recorded by the journey hooks in
+	// journey.go rather than the single-host packet hooks above.
+	StageSteer       // steering owner charged the offered frame
+	StageHostIngress // captured into the host's open aggregation batch
+	StageAggEnqueue  // batch closed and queued on the aggregation link
+	StageAggLink     // batch transferred onto the host->aggregator link
+	StageMergeEmit   // emitted from the watermark merge into the global feed
 	numStages
 )
 
 var stageNames = [numStages]string{
 	"wire", "dma_write", "desc_ready", "copy", "chunk_handoff",
 	"deliver", "processed", "recycle", "drop",
+	"steer", "host_ingress", "agg_enqueue", "agg_link", "merge_emit",
 }
 
 // String returns the stage's snake_case name.
@@ -83,6 +93,12 @@ func (s Stage) String() string {
 //	CorruptDrops  = Corrupt
 //	ReclaimDrops  = Reclaim
 //	LinkDrops     = Link,  Filtered = Filtered
+//
+// The fleet causes partition the aggregation-plane books the same way
+// (DESIGN.md §14):
+//
+//	FleetReceived − Aggregated = HostLostCrash + InFlightHeadDrop + StalenessReject
+//	CaptureDropped             = HostBrownoutShed
 type DropCause uint8
 
 const (
@@ -96,12 +112,19 @@ const (
 	DropQuarantineBacklog                  // queued work discarded when its queue was quarantined
 	DropCorrupt                            // frame-integrity validation tombstoned the cell
 	DropReclaim                            // chunk reclaimed under memory pressure or quarantine
+
+	// Fleet causes: the aggregation-plane loss points.
+	DropHostLostCrash    // host crash lost the open batch / unsent link queue
+	DropHostBrownoutShed // overloaded host shed at capture (backlog cap)
+	DropInFlightHeadDrop // bounded link queue gave up on its head (retry exhaustion / hard cap)
+	DropStalenessReject  // aggregator rejected a packet older than the emitted frontier
 	numCauses
 )
 
 var causeNames = [numCauses]string{
 	"desc_depletion", "bus", "queue_hang", "desc_stall", "link_down",
 	"filtered", "delivery_overflow", "quarantine_backlog", "corrupt", "reclaim",
+	"host_lost_crash", "host_lost_brownout_shed", "in_flight_link_headdrop", "staleness_reject",
 }
 
 // String returns the cause's snake_case name.
@@ -232,6 +255,9 @@ type Config struct {
 	// MaxDrops caps the ledger's record list (default 65536). Per-cause
 	// totals are always complete regardless.
 	MaxDrops int
+	// MaxJourneys caps how many fleet journeys are kept (default 4096);
+	// sampled offers past the cap are counted, not traced.
+	MaxJourneys int
 }
 
 type descKey struct{ nic, ring, desc int }
@@ -293,6 +319,16 @@ type Recorder struct {
 	actions []ActionRecord
 
 	prof map[profKey]*profEntry
+
+	// Fleet journey state (journey.go). jPending is the journey opened
+	// by JourneySteer for the offer currently being processed (-1 when
+	// none or unsampled); jBySeq maps a host capture sequence to its
+	// journey while the packet is in the aggregation plane.
+	journeys  []Journey
+	jPending  int32
+	jBySeq    map[uint64]int32
+	fleetEvts []FleetEvent
+	truncJ    uint64
 }
 
 // New builds an enabled recorder. cfg.FlowHash must be non-nil.
@@ -309,15 +345,20 @@ func New(cfg Config) *Recorder {
 	if cfg.MaxDrops == 0 {
 		cfg.MaxDrops = 65536
 	}
+	if cfg.MaxJourneys == 0 {
+		cfg.MaxJourneys = 4096
+	}
 	return &Recorder{
-		cfg:     cfg,
-		pending: -1,
-		byDesc:  make(map[descKey]int32),
-		byFifo:  make(map[fifoKey]int32),
-		byCell:  make(map[cellKey]int32),
-		cells:   make(map[chunkKey][]cellEntry),
-		proc:    make(map[procKey][]int32),
-		prof:    make(map[profKey]*profEntry),
+		cfg:      cfg,
+		pending:  -1,
+		jPending: -1,
+		byDesc:   make(map[descKey]int32),
+		byFifo:   make(map[fifoKey]int32),
+		byCell:   make(map[cellKey]int32),
+		cells:    make(map[chunkKey][]cellEntry),
+		proc:     make(map[procKey][]int32),
+		prof:     make(map[profKey]*profEntry),
+		jBySeq:   make(map[uint64]int32),
 	}
 }
 
