@@ -19,15 +19,17 @@
 #
 # `make lint` runs wirelint (the repo's own analyzer suite in
 # internal/lint: walltime, maporder, hotpath, lockdiscipline,
-# concurrency) over the whole module, then staticcheck when a pinned
-# binary is available
-# (`make staticcheck-install` fetches it; CI always runs it).
+# concurrency, the directive meta-rule, plus the interprocedural
+# hotpathflow, determinism, and conservation passes) over the whole
+# module, self-lints the analyzer package (zero findings, zero allows
+# over internal/lint), then runs staticcheck when a pinned binary is
+# available (`make staticcheck-install` fetches it; CI always runs it).
 
 GO ?= go
 TRACE_SCENARIO ?= chaos_queue_hang
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: ci check fmt-check vet build test race race-stress fuzz gate bench bench-check baselines chaos fleet-chaos trace fleet-trace lint wirelint staticcheck staticcheck-install all
+.PHONY: ci check fmt-check vet build test race race-stress fuzz gate bench bench-check baselines chaos fleet-chaos trace fleet-trace lint wirelint selflint wirelint-json staticcheck staticcheck-install all
 
 all: check
 
@@ -35,10 +37,21 @@ ci: fmt-check vet lint build test race race-stress fuzz gate bench-check
 
 check: vet build test
 
-lint: wirelint staticcheck
+lint: wirelint selflint staticcheck
 
 wirelint:
 	$(GO) run ./cmd/wirelint -root .
+
+# The analyzers must hold themselves to their own rules with no
+# exceptions at all: zero findings and zero allow directives over
+# internal/lint.
+selflint:
+	$(GO) run ./cmd/wirelint -root . -only internal/lint -noallow
+
+# The machine-readable findings artifact CI uploads: sorted findings
+# plus the full allow inventory, byte-deterministic per tree.
+wirelint-json:
+	$(GO) run ./cmd/wirelint -root . -json > wirelint-findings.json
 
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \

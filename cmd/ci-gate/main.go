@@ -133,6 +133,7 @@ func main() {
 		if err := os.WriteFile(*baselinesPath, data, 0o644); err != nil {
 			fatal(err)
 		}
+		//wirelint:allow determinism perf floor is wall-clock by design; it gates throughput, never golden digests
 		fmt.Printf("ci-gate: wrote %s (%d scenarios, %d alloc budgets, perf floor %.0f pkts/s)\n",
 			*baselinesPath, len(b.Scenarios), len(b.Allocs), b.Perf.MinSimPktsPerSec)
 		return
@@ -149,18 +150,21 @@ func main() {
 
 	failures, checks := compare(base, reports, traced, par, ftr, allocs, perf, *skipPerf)
 	if *summary != "" {
+		//wirelint:allow determinism perf floor is wall-clock by design; it gates throughput, never golden digests
 		if err := writeSummary(*summary, *domains, checks, failures); err != nil {
 			fatal(err)
 		}
 	}
 	if *verbose {
 		for _, c := range checks {
+			//wirelint:allow determinism perf floor is wall-clock by design; it gates throughput, never golden digests
 			fmt.Println("  ok:", c)
 		}
 	}
 	if len(failures) > 0 {
 		fmt.Printf("ci-gate: %d regression(s) against %s:\n", len(failures), *baselinesPath)
 		for _, f := range failures {
+			//wirelint:allow determinism perf floor is wall-clock by design; it gates throughput, never golden digests
 			fmt.Println("  FAIL:", f)
 		}
 		fmt.Println("If the change is intentional, refresh with `go run ./cmd/ci-gate -update` and commit baselines.json.")

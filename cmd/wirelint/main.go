@@ -4,9 +4,21 @@
 //
 // Usage:
 //
-//	wirelint [-root dir] [-rules walltime,maporder,...] [-json]
+//	wirelint [-root dir] [-rules walltime,maporder,...] [-only path] [-noallow] [-json]
 //
-// Exit status: 0 when clean, 1 when findings are live, 2 on load or
+// -only restricts the report to findings and allowlisted exceptions in
+// files under the given module-relative path prefix. -noallow treats
+// allowlisted exceptions in scope as failures — the self-lint mode: CI
+// runs `wirelint -only internal/lint -noallow` so the analyzers
+// themselves stay finding-free without a single directive.
+//
+// The -json output is byte-deterministic for a given tree: findings
+// and the allow inventory are sorted by position, and map keys encode
+// in sorted order, so two runs produce identical bytes (pinned by a
+// regression test).
+//
+// Exit status: 0 when clean, 1 when findings are live (or, with
+// -noallow, exceptions are allowlisted in scope), 2 on load or
 // analysis errors.
 package main
 
@@ -14,6 +26,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -26,11 +39,13 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(argv []string, stdout, stderr *os.File) int {
+func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("wirelint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	root := fs.String("root", "", "module root (default: nearest parent directory containing go.mod)")
 	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	only := fs.String("only", "", "restrict the report to files under this module-relative path prefix")
+	noAllow := fs.Bool("noallow", false, "treat allowlisted exceptions in scope as failures (self-lint mode)")
 	asJSON := fs.Bool("json", false, "emit findings and summary as JSON")
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -62,6 +77,9 @@ func run(argv []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "wirelint: %v\n", err)
 		return 2
 	}
+	if *only != "" {
+		findings, sum = restrict(findings, sum, *only)
+	}
 
 	if *asJSON {
 		enc := json.NewEncoder(stdout)
@@ -76,13 +94,51 @@ func run(argv []string, stdout, stderr *os.File) int {
 	} else {
 		printReport(stdout, findings, sum)
 	}
+	if *noAllow && sum.Allowed > 0 {
+		fmt.Fprintf(stderr, "wirelint: %d allowlisted exceptions in scope with -noallow\n", sum.Allowed)
+		return 1
+	}
 	if len(findings) > 0 {
 		return 1
 	}
 	return 0
 }
 
-func printReport(out *os.File, findings []lint.Finding, sum lint.Summary) {
+// restrict narrows findings and the allow inventory to files under the
+// given module-relative prefix, recomputing the summary counts so the
+// report stays self-consistent.
+func restrict(findings []lint.Finding, sum lint.Summary, prefix string) ([]lint.Finding, lint.Summary) {
+	prefix = strings.TrimSuffix(filepath.ToSlash(prefix), "/")
+	in := func(f lint.Finding) bool {
+		file := filepath.ToSlash(f.File)
+		return file == prefix || strings.HasPrefix(file, prefix+"/")
+	}
+	var live []lint.Finding
+	for _, f := range findings {
+		if in(f) {
+			live = append(live, f)
+		}
+	}
+	out := lint.Summary{
+		Packages:      sum.Packages,
+		ByRule:        make(map[string]int),
+		AllowedByRule: make(map[string]int),
+	}
+	for _, f := range live {
+		out.ByRule[f.Rule]++
+	}
+	for _, f := range sum.AllowedList {
+		if in(f) {
+			out.AllowedList = append(out.AllowedList, f)
+			out.AllowedByRule[f.Rule]++
+		}
+	}
+	out.Findings = len(live)
+	out.Allowed = len(out.AllowedList)
+	return live, out
+}
+
+func printReport(out io.Writer, findings []lint.Finding, sum lint.Summary) {
 	for _, f := range findings {
 		fmt.Fprintln(out, f)
 	}

@@ -27,6 +27,18 @@ func TestConcurrencyFixture(t *testing.T) {
 	RunFixture(t, fixture("concurrency"), ConcurrencyAnalyzer)
 }
 
+func TestHotpathFlowFixture(t *testing.T) {
+	RunFixture(t, fixture("hotpathflow"), HotpathFlowAnalyzer)
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	RunFixture(t, fixture("determinism"), DeterminismAnalyzer)
+}
+
+func TestConservationFixture(t *testing.T) {
+	RunFixture(t, fixture("conservation"), ConservationAnalyzer)
+}
+
 // TestDirectiveFixture runs the full suite so allow directives for any
 // rule resolve, and checks the malformed/unused directive findings.
 func TestDirectiveFixture(t *testing.T) {

@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the interprocedural substrate under wirelint's
+// module-wide analyzers (hotpathflow, determinism, conservation): a
+// static call graph over every declared function in the module.
+//
+// Nodes are keyed by the types.Func FullName rather than by object
+// identity, because the source-importing loader type-checks each
+// package twice — once as an analysis unit (with its in-package test
+// files) and once as an import unit — and the two checks mint distinct
+// *types.Func objects for the same declaration. A call site in package
+// A resolves, through A's type info, to the import-unit object of
+// package B; keying by FullName folds that object onto B's analysis
+// unit, where the body is available.
+//
+// The graph is intentionally a static over/under-approximation in the
+// usual ways: calls through interface methods, function-typed values,
+// and reflection have no edge (the analyzers that ride on the graph
+// document what that means for them), and function literals are not
+// nodes — their bodies belong to the enclosing declaration.
+
+// A CallGraph is the module-wide static call graph.
+type CallGraph struct {
+	// Nodes maps a function key (types.Func FullName) to its node. Only
+	// functions declared in the module (and therefore carrying a body)
+	// appear.
+	Nodes map[string]*CGNode
+}
+
+// A CGNode is one declared function or method.
+type CGNode struct {
+	Key  string
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Calls are the static call sites in the body, in source order.
+	Calls []CGEdge
+}
+
+// A CGEdge is one static call site.
+type CGEdge struct {
+	// CalleeKey identifies the callee by FullName; resolve through
+	// CallGraph.Nodes to see whether it is module-internal.
+	CalleeKey string
+	// Callee is the callee object as seen from the caller's package
+	// (possibly an import-unit object).
+	Callee *types.Func
+	// Pos is the call site.
+	Pos token.Pos
+	// Call is the call expression itself.
+	Call *ast.CallExpr
+	// Cold marks call sites inside a block that terminates in panic;
+	// hot-path analyzers skip them, matching the base hotpath rule.
+	Cold bool
+}
+
+// funcKey returns the graph key for fn, folding generic instantiations
+// onto their origin declaration.
+func funcKey(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	if o := fn.Origin(); o != nil {
+		fn = o
+	}
+	return fn.FullName()
+}
+
+// testFile reports whether the file containing pos is a _test.go file.
+func testFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// BuildCallGraph walks every analysis unit of the module and records a
+// node per declared function with its outgoing static call edges.
+// When two analysis units declare the same key (a package and its
+// external-test unit never do, but an in-package test re-check could),
+// the first unit in module order wins — package order is sorted by the
+// loader, so the graph is deterministic.
+func BuildCallGraph(m *Module) *CallGraph {
+	g := &CallGraph{Nodes: make(map[string]*CGNode)}
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				key := funcKey(fn)
+				if _, dup := g.Nodes[key]; dup {
+					continue
+				}
+				node := &CGNode{Key: key, Fn: fn, Decl: fd, Pkg: pkg}
+				node.Calls = collectCalls(pkg, fd)
+				g.Nodes[key] = node
+			}
+		}
+	}
+	return g
+}
+
+// collectCalls lists the static call sites in fd's body, marking those
+// inside panic-terminated blocks cold.
+func collectCalls(pkg *Package, fd *ast.FuncDecl) []CGEdge {
+	cold := coldRanges(fd.Body)
+	inCold := func(pos token.Pos) bool {
+		for _, r := range cold {
+			if r[0] <= pos && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	var out []CGEdge
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pkg.Info, call)
+		if callee == nil {
+			return true
+		}
+		out = append(out, CGEdge{
+			CalleeKey: funcKey(callee),
+			Callee:    callee,
+			Pos:       call.Pos(),
+			Call:      call,
+			Cold:      inCold(call.Pos()),
+		})
+		return true
+	})
+	return out
+}
+
+// calleeFunc resolves the static callee of a call expression: a named
+// function, a method on a concrete type, or an interface method (which
+// will have no node in the graph). Builtins, conversions, and calls of
+// function-typed values yield nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			fn, _ := info.Uses[id].(*types.Func)
+			return fn
+		}
+	case *ast.IndexListExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			fn, _ := info.Uses[id].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+// SortedKeys returns the node keys in deterministic order; module
+// analyzers iterate the graph through this so their diagnostics come
+// out in a stable order before the runner's final sort.
+func (g *CallGraph) SortedKeys() []string {
+	keys := make([]string, 0, len(g.Nodes))
+	for k := range g.Nodes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// shortName renders a function for diagnostics without the
+// module-path noise: "Engine.quarantine" for methods, "Deliver" for
+// plain functions.
+func shortName(fn *types.Func) string {
+	if fn == nil {
+		return "?"
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}

@@ -1,0 +1,407 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ConservationAnalyzer makes the runtime drop-conservation checks a
+// compile-time property. The regression gate re-derives, after every
+// run, that the obs ledger's causes exactly partition the drop counters
+// (Received == Delivered + ChunkFiltered per engine; crash + headdrop +
+// stale == FleetReceived − Aggregated fleet-wide). Those equalities
+// hold only because every site that mutates a drop/loss counter also
+// charges the ledger — a discipline that was, before this analyzer,
+// enforced by convention and caught only when a 200-check gate run
+// failed. Statically:
+//
+//   - every drop-counter mutation (x.FooDrops++, h.hostLost += n, ...)
+//     in internal/nic, internal/core, internal/engines, and
+//     internal/fleet must be post-dominated, within its enclosing
+//     statement list, by exactly one obs ledger attribution — a direct
+//     DropN/PendingDrop/DescDrop/ChunkDrop/AbandonQueue call, or a call
+//     to a module function whose body makes one;
+//   - journey fleet-drop hooks (JourneyDrop, JourneyLost, FleetReject)
+//     may accompany the ledger call, and every cause-bearing
+//     attribution in the window must name the same Drop* cause;
+//   - a ledger attribution with no preceding counter mutation in its
+//     scope is itself a finding: a drop charged to the ledger but
+//     counted nowhere breaks the partition from the other side.
+//
+// Consecutive counter mutations (a total and its per-host breakdown)
+// form one accounting site sharing one attribution window. Counter
+// copies whose right-hand side reads the same-named field (report
+// aggregation like t.CaptureDrops += q.CaptureDrops) are not drop
+// sites. The analyzer is scoped to the four capture-plane packages (and
+// the "fix" fixture package); the obs package itself — the ledger
+// implementation — is exempt.
+var ConservationAnalyzer = &Analyzer{
+	Name:      "conservation",
+	Doc:       "require exactly one obs ledger attribution per drop-counter mutation",
+	RunModule: runConservation,
+}
+
+// ledgerCalls are the obs.Recorder methods that write the drop
+// forensics ledger — the calls whose counts the gate's partition checks
+// re-derive. Matching is by method name so fixtures (which can only
+// import the standard library) exercise the same code path.
+var ledgerCalls = map[string]bool{
+	"DropN": true, "PendingDrop": true, "DescDrop": true,
+	"ChunkDrop": true, "AbandonQueue": true,
+}
+
+// journeyCalls are the fleet journey drop hooks: per-packet loss
+// records that may accompany a ledger attribution but do not replace
+// it.
+var journeyCalls = map[string]bool{
+	"JourneyDrop": true, "JourneyLost": true, "FleetReject": true,
+}
+
+// counterKeywords mark an identifier as a drop/loss counter. The set is
+// derived from the capture plane's accounting fields: *Drops totals,
+// wireDropped/captureDropped/InFlightDropped, hostLost/HostLost,
+// staleRejected/stalePerHost, inFlight, and the NIC's filtered counter.
+var counterKeywords = []string{"drop", "lost", "stale", "inflight", "filtered"}
+
+func isDropCounterName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, kw := range counterKeywords {
+		if strings.Contains(lower, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+// conservationScoped reports whether pkgPath is under the analyzer's
+// jurisdiction: the four capture-plane package trees, or the fixture
+// loader's conventional "fix" path.
+func conservationScoped(modPath, pkgPath string) bool {
+	if pkgPath == "fix" {
+		return true
+	}
+	for _, sub := range []string{"/internal/nic", "/internal/core", "/internal/engines", "/internal/fleet"} {
+		p := modPath + sub
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// An attrEvent is one attribution call observed while scanning a
+// function: a ledger write, a journey hook, or a call into a module
+// helper that makes a ledger write.
+type attrEvent struct {
+	pos    token.Pos
+	name   string
+	ledger bool   // counts toward the exactly-one ledger requirement
+	helper bool   // indirect: a module call whose body writes the ledger
+	cause  string // Drop* cause constant, "" when none identifiable
+}
+
+// A counterSite is one accounting site: one or more consecutive
+// drop-counter mutations sharing an attribution window.
+type counterSite struct {
+	pos   token.Pos
+	names []string
+}
+
+type consCheck struct {
+	mp *ModulePass
+	// helperAttributes memoizes, per call-graph key, whether a module
+	// function's own body makes a direct ledger call — the depth-one
+	// rule that lets a refactor move the DropN into a named helper
+	// without widening the window to every transitive callee.
+	helperAttributes map[string]bool
+}
+
+func runConservation(mp *ModulePass) error {
+	c := &consCheck{mp: mp, helperAttributes: make(map[string]bool)}
+	for _, key := range mp.Graph.SortedKeys() {
+		n := mp.Graph.Nodes[key]
+		if !conservationScoped(mp.Module.Path, n.Pkg.PkgPath) {
+			continue
+		}
+		if testFile(mp.Module.Fset, n.Decl.Pos()) {
+			continue
+		}
+		unclaimed := c.processList(n.Pkg, n.Decl.Body.List)
+		for _, a := range unclaimed {
+			if !a.ledger || a.helper {
+				continue
+			}
+			c.mp.Reportf(a.pos,
+				"obs %s attribution has no preceding drop-counter mutation in this scope; count the drop where it is attributed so the ledger keeps partitioning the counters",
+				a.name)
+		}
+	}
+	return nil
+}
+
+// processList scans one statement list in source order, grouping
+// counter mutations into sites, claiming the attribution events that
+// follow each site, and returning the events no site claimed (for the
+// enclosing list to claim). Nested lists are processed first, so an
+// attribution inside an if-block is claimed by the innermost site that
+// precedes it.
+func (c *consCheck) processList(pkg *Package, stmts []ast.Stmt) []attrEvent {
+	type event struct {
+		site *counterSite
+		attr *attrEvent
+	}
+	var events []event
+	for _, s := range stmts {
+		if site := c.counterStmt(pkg, s); site != nil {
+			events = append(events, event{site: site})
+			continue
+		}
+		for _, a := range c.processStmt(pkg, s) {
+			a := a
+			events = append(events, event{attr: &a})
+		}
+	}
+
+	var unclaimed []attrEvent
+	i := 0
+	// Events before the first site belong to no site here.
+	for i < len(events) && events[i].site == nil {
+		unclaimed = append(unclaimed, *events[i].attr)
+		i++
+	}
+	for i < len(events) {
+		// Merge consecutive counter mutations into one site.
+		site := events[i].site
+		i++
+		for i < len(events) && events[i].site != nil {
+			site.names = append(site.names, events[i].site.names...)
+			i++
+		}
+		var window []attrEvent
+		for i < len(events) && events[i].site == nil {
+			window = append(window, *events[i].attr)
+			i++
+		}
+		c.checkSite(site, window)
+	}
+	return unclaimed
+}
+
+// checkSite enforces the exactly-one-ledger and cause-agreement rules
+// for one accounting site.
+func (c *consCheck) checkSite(site *counterSite, window []attrEvent) {
+	direct := 0
+	helpers := 0
+	causes := []string{}
+	for _, a := range window {
+		if a.ledger {
+			if a.helper {
+				helpers++
+			} else {
+				direct++
+			}
+		}
+		if a.cause != "" {
+			causes = append(causes, a.cause)
+		}
+	}
+	name := strings.Join(site.names, ", ")
+	switch {
+	case direct == 0 && helpers == 0:
+		c.mp.Reportf(site.pos,
+			"drop counter %s is mutated without an obs ledger attribution; exactly one DropN/PendingDrop/DescDrop/ChunkDrop/AbandonQueue must post-dominate the mutation so causes keep partitioning the drop counters",
+			name)
+	case direct > 1:
+		c.mp.Reportf(site.pos,
+			"drop counter %s is attributed to the obs ledger %d times in its window; exactly one attribution must post-dominate the mutation",
+			name, direct)
+	case direct == 0 && helpers > 1:
+		c.mp.Reportf(site.pos,
+			"drop counter %s is attributed through %d ledger-writing helpers; exactly one attribution must post-dominate the mutation",
+			name, helpers)
+	}
+	for i := 1; i < len(causes); i++ {
+		if causes[i] != causes[0] {
+			c.mp.Reportf(site.pos,
+				"attributions for drop counter %s disagree on cause: %s vs %s",
+				name, causes[0], causes[i])
+			break
+		}
+	}
+}
+
+// counterStmt classifies a statement as a drop-counter mutation site.
+// Only field accesses (and map/slice indexes on them) count — a local
+// scratch variable named lost is bookkeeping, not a counter — and
+// same-field aggregation copies are exempt.
+func (c *consCheck) counterStmt(pkg *Package, s ast.Stmt) *counterSite {
+	switch s := s.(type) {
+	case *ast.IncDecStmt:
+		if s.Tok != token.INC {
+			return nil
+		}
+		if _, ok := counterFieldName(s.X); ok {
+			return &counterSite{pos: s.Pos(), names: []string{types.ExprString(s.X)}}
+		}
+	case *ast.AssignStmt:
+		if s.Tok != token.ADD_ASSIGN || len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return nil
+		}
+		name, ok := counterFieldName(s.Lhs[0])
+		if !ok {
+			return nil
+		}
+		if sameFieldOnRHS(s.Rhs[0], name) {
+			return nil // aggregation copy: t.CaptureDrops += q.CaptureDrops
+		}
+		return &counterSite{pos: s.Pos(), names: []string{types.ExprString(s.Lhs[0])}}
+	}
+	return nil
+}
+
+// counterFieldName extracts the field name of a counter expression:
+// h.hostLost, q.stats.DeliveryDrops, a.stalePerHost[m.host].
+func counterFieldName(e ast.Expr) (string, bool) {
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		e = ix.X
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if !isDropCounterName(sel.Sel.Name) {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// sameFieldOnRHS reports whether the right-hand side reads a field of
+// the same name — the report-aggregation shape, where counters are
+// summed, not created.
+func sameFieldOnRHS(rhs ast.Expr, field string) bool {
+	found := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == field {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// processStmt collects the attribution events of one non-site
+// statement, recursing into nested statement lists (so their own sites
+// claim their own attributions first) and scanning expressions for
+// attribution calls.
+func (c *consCheck) processStmt(pkg *Package, s ast.Stmt) []attrEvent {
+	var out []attrEvent
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			out = append(out, c.processList(pkg, n.List)...)
+			return false
+		case *ast.CaseClause:
+			for _, e := range n.List {
+				out = append(out, c.scanExprAttrs(pkg, e)...)
+			}
+			out = append(out, c.processList(pkg, n.Body)...)
+			return false
+		case *ast.CommClause:
+			out = append(out, c.processList(pkg, n.Body)...)
+			return false
+		case *ast.FuncLit:
+			out = append(out, c.processList(pkg, n.Body.List)...)
+			return false
+		case *ast.CallExpr:
+			if a, ok := c.attrCall(pkg, n); ok {
+				out = append(out, a)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// scanExprAttrs collects attribution calls inside a bare expression.
+func (c *consCheck) scanExprAttrs(pkg *Package, e ast.Expr) []attrEvent {
+	var out []attrEvent
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if a, ok := c.attrCall(pkg, call); ok {
+				out = append(out, a)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// attrCall classifies a call as an attribution event: a direct ledger
+// write, a journey hook, or a call to a module function whose body
+// makes a direct ledger write.
+func (c *consCheck) attrCall(pkg *Package, call *ast.CallExpr) (attrEvent, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		if fn := calleeFunc(pkg.Info, call); fn != nil && c.helperLedger(fn) {
+			return attrEvent{pos: call.Pos(), name: fn.Name(), ledger: true, helper: true}, true
+		}
+		return attrEvent{}, false
+	}
+	name := sel.Sel.Name
+	switch {
+	case ledgerCalls[name]:
+		return attrEvent{pos: call.Pos(), name: name, ledger: true, cause: causeArg(call)}, true
+	case journeyCalls[name]:
+		return attrEvent{pos: call.Pos(), name: name, cause: causeArg(call)}, true
+	}
+	if fn := calleeFunc(pkg.Info, call); fn != nil && c.helperLedger(fn) {
+		return attrEvent{pos: call.Pos(), name: name, ledger: true, helper: true}, true
+	}
+	return attrEvent{}, false
+}
+
+// helperLedger reports whether fn is a module function whose own body
+// makes a direct ledger call (depth one, deliberately: transitive
+// reach would sweep half the capture plane into every window).
+func (c *consCheck) helperLedger(fn *types.Func) bool {
+	key := funcKey(fn)
+	if v, ok := c.helperAttributes[key]; ok {
+		return v
+	}
+	node, ok := c.mp.Graph.Nodes[key]
+	v := false
+	if ok {
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			if v {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if s, ok := call.Fun.(*ast.SelectorExpr); ok && ledgerCalls[s.Sel.Name] {
+					v = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	c.helperAttributes[key] = v
+	return v
+}
+
+// causeArg extracts the Drop* cause constant named in a call's
+// arguments, if any.
+func causeArg(call *ast.CallExpr) string {
+	for _, arg := range call.Args {
+		name := types.ExprString(arg)
+		if i := strings.LastIndex(name, "."); i >= 0 {
+			name = name[i+1:]
+		}
+		if strings.HasPrefix(name, "Drop") && len(name) > len("Drop") {
+			return name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,710 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// DeterminismAnalyzer tracks nondeterministic VALUES where the
+// per-package analyzers track nondeterministic CALLS. walltime bans the
+// wall clock at the call site and maporder flags map iteration that
+// emits directly from the loop — but a value can be born
+// nondeterministic in one function, travel through assignments,
+// returns, and call edges, and only reach exported bytes three frames
+// later, where no per-function rule can see the connection. This
+// analyzer runs taint analysis over the module call graph:
+//
+// Sources: map-range key/value bindings (iteration order), banned
+// time.* calls outside internal/walltime (the sanctioned wrapper —
+// note an //wirelint:allow walltime directive silences the call-site
+// rule but not the taint), math/rand top-level draws from the
+// process-seeded source, and channel receives outside
+// internal/vtime/domain (arrival order is scheduler-dependent; the
+// domain runtime's mailbox merges are the sanctioned path).
+//
+// Propagation: through assignments (plain reassignment of an ident is
+// a strong update and clears taint), append, composite literals,
+// field/index access, pure-function calls, and — via per-function
+// summaries computed to a fixpoint — returns and parameters of
+// module-internal functions. Numeric += accumulation over a tainted
+// value stays clean (sums are order-commutative; string concatenation
+// is not). Calls into sort/slices that sort a value launder it: sorted
+// data no longer carries iteration order.
+//
+// Sinks: the ordered-output calls that feed golden digests and
+// operator-facing reports — strings.Builder/bytes.Buffer/hash writes,
+// fmt.Fprint*, and the repo's digest and report writers (Digest,
+// WriteReports, WriteJourneys, WriteFleetLedger, WriteHealth,
+// WriteChrome, WriteForensics, WriteTimeline, WritePacket, WriteText,
+// WriteCSV). The diagnostic names the source, its position, and the
+// call chain the taint rode in on.
+//
+// Known under-approximations (shared with the AllocsPerRun-style
+// runtime backstops): taint through struct fields of a receiver,
+// control-flow taint (branching on a tainted value), and writes
+// through pointers are not tracked.
+var DeterminismAnalyzer = &Analyzer{
+	Name:      "determinism",
+	Doc:       "taint-track nondeterministic values from sources to digest/report sinks",
+	RunModule: runDeterminism,
+}
+
+// namedSinks are the repo's digest and export entry points: calls whose
+// receiver or arguments must be deterministic because their output is
+// golden-digested or operator-facing.
+var namedSinks = map[string]bool{
+	"Digest": true, "WriteReports": true, "WriteJourneys": true,
+	"WriteFleetLedger": true, "WriteHealth": true, "WriteChrome": true,
+	"WriteForensics": true, "WriteTimeline": true, "WritePacket": true,
+	"WriteText": true, "WriteCSV": true,
+}
+
+// A taint describes why a value is nondeterministic. The real part
+// (src != "") names a nondeterminism source the value derives from; the
+// params set records which enclosing-function parameters flow into it
+// (pseudo taint, used only to build summaries). A single value can
+// carry both — appending a wall-clock-derived string to a
+// parameter-derived slice yields a value tainted by each — which is why
+// this is a set and not a single origin: dropping the second origin
+// loses real findings.
+type taint struct {
+	src    string
+	where  string
+	chain  []string // functions the real taint passed through, source-first
+	params []int    // sorted parameter indexes flowing into the value
+}
+
+func realTaint(src, where string) *taint { return &taint{src: src, where: where} }
+
+func (t *taint) hasReal() bool { return t != nil && t.src != "" }
+
+// mergeTaint unions two taints: the first real part wins, parameter
+// sets union. Inputs are never mutated.
+func mergeTaint(a, b *taint) *taint {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := &taint{src: a.src, where: a.where, chain: a.chain}
+	if out.src == "" {
+		out.src, out.where, out.chain = b.src, b.where, b.chain
+	}
+	out.params = append(out.params, a.params...)
+	for _, p := range b.params {
+		seen := false
+		for _, q := range out.params {
+			if q == p {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out.params = append(out.params, p)
+		}
+	}
+	sortInts(out.params)
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func (t *taint) describe() string {
+	s := t.src + " at " + t.where
+	if len(t.chain) > 0 {
+		s += " via " + strings.Join(t.chain, " -> ")
+	}
+	return s
+}
+
+// A dtSummary is one function's interprocedural behavior: whether it
+// can return a nondeterministic value, which parameters flow to its
+// return, and which parameters it writes to an ordered sink.
+type dtSummary struct {
+	ret       *taint
+	paramRet  map[int]bool
+	paramSink map[int]string
+}
+
+func (s *dtSummary) equal(o *dtSummary) bool {
+	if (s.ret == nil) != (o.ret == nil) || len(s.paramRet) != len(o.paramRet) || len(s.paramSink) != len(o.paramSink) {
+		return false
+	}
+	for k := range s.paramRet {
+		if !o.paramRet[k] {
+			return false
+		}
+	}
+	for k, v := range s.paramSink {
+		if o.paramSink[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+type dtCheck struct {
+	mp        *ModulePass
+	summaries map[string]*dtSummary
+	reported  map[string]bool
+}
+
+// maxDtRounds bounds the interprocedural fixpoint. Summaries only grow,
+// so each round either changes at least one summary or terminates; the
+// bound is a backstop for pathological call chains.
+const maxDtRounds = 8
+
+func runDeterminism(mp *ModulePass) error {
+	c := &dtCheck{
+		mp:        mp,
+		summaries: make(map[string]*dtSummary),
+		reported:  make(map[string]bool),
+	}
+	keys := mp.Graph.SortedKeys()
+	for round := 0; round < maxDtRounds; round++ {
+		changed := false
+		for _, key := range keys {
+			n := mp.Graph.Nodes[key]
+			if testFile(mp.Module.Fset, n.Decl.Pos()) {
+				continue
+			}
+			sum := c.analyze(n, false)
+			if old, ok := c.summaries[key]; !ok || !old.equal(sum) {
+				changed = true
+			}
+			c.summaries[key] = sum
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, key := range keys {
+		n := mp.Graph.Nodes[key]
+		if testFile(mp.Module.Fset, n.Decl.Pos()) {
+			continue
+		}
+		c.analyze(n, true)
+	}
+	return nil
+}
+
+// dtScope is the per-function analysis state.
+type dtScope struct {
+	c       *dtCheck
+	node    *CGNode
+	info    *types.Info
+	tainted map[types.Object]*taint
+	sum     *dtSummary
+	report  bool
+}
+
+// analyze runs the intra-function taint pass over one function,
+// seeding parameters with pseudo taints so flows to returns and sinks
+// become summary facts. The statement walk runs twice so taint carried
+// around a loop back-edge reaches uses earlier in the body.
+func (c *dtCheck) analyze(n *CGNode, report bool) *dtSummary {
+	sc := &dtScope{
+		c:       c,
+		node:    n,
+		info:    n.Pkg.Info,
+		tainted: make(map[types.Object]*taint),
+		sum:     &dtSummary{paramRet: make(map[int]bool), paramSink: make(map[int]string)},
+		report:  report,
+	}
+	if ft := n.Decl.Type; ft.Params != nil {
+		i := 0
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				if obj := sc.info.Defs[name]; obj != nil {
+					sc.tainted[obj] = &taint{params: []int{i}}
+				}
+				i++
+			}
+			if len(field.Names) == 0 {
+				i++
+			}
+		}
+	}
+	for pass := 0; pass < 2; pass++ {
+		sc.walkStmts(n.Decl.Body.List)
+	}
+	return sc.sum
+}
+
+func (sc *dtScope) pos(p token.Pos) string {
+	ps := sc.c.mp.Module.Fset.Position(p)
+	return filepath.Base(ps.Filename) + ":" + strconv.Itoa(ps.Line)
+}
+
+func (sc *dtScope) emit(pos token.Pos, sink string, t *taint) {
+	if t == nil {
+		return
+	}
+	for _, p := range t.params {
+		if _, ok := sc.sum.paramSink[p]; !ok {
+			sc.sum.paramSink[p] = sink
+		}
+	}
+	if !t.hasReal() || !sc.report {
+		return
+	}
+	key := sc.pos(pos) + "|" + sink + "|" + t.describe()
+	if sc.c.reported[key] {
+		return
+	}
+	sc.c.reported[key] = true
+	sc.c.mp.Reportf(pos,
+		"nondeterministic value reaches ordered sink %s: %s; sort or canonicalize before emitting",
+		sink, t.describe())
+}
+
+func (sc *dtScope) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		sc.walkStmt(s)
+	}
+}
+
+func (sc *dtScope) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		sc.walkAssign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var t *taint
+					if i < len(vs.Values) {
+						t = sc.eval(vs.Values[i])
+					}
+					if obj := sc.info.Defs[name]; obj != nil {
+						sc.setTaint(obj, t)
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		xt := sc.eval(s.X)
+		var elemT *taint
+		if tv, ok := sc.info.Types[s.X]; ok && tv.Type != nil {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				elemT = realTaint("iteration order of map "+types.ExprString(s.X), sc.pos(s.For))
+			}
+		}
+		elemT = mergeTaint(elemT, xt)
+		for _, v := range []ast.Expr{s.Key, s.Value} {
+			if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+				obj := sc.info.Defs[id]
+				if obj == nil {
+					obj = sc.info.Uses[id]
+				}
+				if obj != nil {
+					sc.setTaint(obj, elemT)
+				}
+			}
+		}
+		sc.walkStmts(s.Body.List)
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			t := sc.eval(res)
+			if t == nil {
+				continue
+			}
+			for _, p := range t.params {
+				sc.sum.paramRet[p] = true
+			}
+			if t.hasReal() && sc.sum.ret == nil {
+				sc.sum.ret = &taint{src: t.src, where: t.where, chain: t.chain}
+			}
+		}
+	case *ast.ExprStmt:
+		sc.eval(s.X)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			sc.walkStmt(s.Init)
+		}
+		sc.eval(s.Cond)
+		sc.walkStmts(s.Body.List)
+		if s.Else != nil {
+			sc.walkStmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			sc.walkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			sc.eval(s.Cond)
+		}
+		sc.walkStmts(s.Body.List)
+		if s.Post != nil {
+			sc.walkStmt(s.Post)
+		}
+	case *ast.BlockStmt:
+		sc.walkStmts(s.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			sc.walkStmt(s.Init)
+		}
+		if s.Tag != nil {
+			sc.eval(s.Tag)
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					sc.eval(e)
+				}
+				sc.walkStmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			sc.walkStmt(s.Init)
+		}
+		sc.walkStmt(s.Assign)
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				sc.walkStmts(cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		sc.walkStmt(s.Stmt)
+	case *ast.DeferStmt:
+		sc.eval(s.Call)
+	case *ast.GoStmt:
+		sc.eval(s.Call)
+	case *ast.SendStmt:
+		sc.eval(s.Value)
+	case *ast.IncDecStmt:
+		// Counters stay clean: ++ on a tainted-adjacent value is
+		// order-commutative.
+	}
+}
+
+func (sc *dtScope) walkAssign(s *ast.AssignStmt) {
+	if s.Tok == token.ADD_ASSIGN && len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		rt := sc.eval(s.Rhs[0])
+		if rt == nil {
+			return
+		}
+		// Numeric accumulation over nondeterministically ordered values
+		// is order-commutative; string building is not.
+		if tv, ok := sc.info.Types[s.Lhs[0]]; ok && isStringType(tv.Type) {
+			if id, ok := s.Lhs[0].(*ast.Ident); ok {
+				if obj := sc.lookup(id); obj != nil {
+					sc.setTaint(obj, rt)
+				}
+			}
+		}
+		return
+	}
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+		// Other op-assigns (|=, &=, ...) on ordered accumulation are
+		// commutative too.
+		for _, r := range s.Rhs {
+			sc.eval(r)
+		}
+		return
+	}
+	var rts []*taint
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		// Multi-value: x, y := f(); the taint applies to every result —
+		// except error/bool results, which are control signals whose
+		// content does not carry ordered payload.
+		t := sc.eval(s.Rhs[0])
+		for _, lhs := range s.Lhs {
+			lt := t
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := sc.lookup(id); obj != nil && isControlType(obj.Type()) {
+					lt = nil
+				}
+			}
+			rts = append(rts, lt)
+		}
+	} else {
+		for _, r := range s.Rhs {
+			rts = append(rts, sc.eval(r))
+		}
+	}
+	for i, lhs := range s.Lhs {
+		if i >= len(rts) {
+			break
+		}
+		if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+			if obj := sc.lookup(id); obj != nil {
+				sc.setTaint(obj, rts[i]) // strong update: nil clears
+			}
+		}
+	}
+}
+
+func (sc *dtScope) lookup(id *ast.Ident) types.Object {
+	if obj := sc.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return sc.info.Uses[id]
+}
+
+// setTaint records or clears a variable's taint, but never downgrades a
+// real taint to a parameter pseudo-taint mid-function.
+func (sc *dtScope) setTaint(obj types.Object, t *taint) {
+	if t == nil {
+		delete(sc.tainted, obj)
+		return
+	}
+	sc.tainted[obj] = t
+}
+
+// eval computes the taint of an expression, reporting sink hits and
+// applying laundering side effects along the way.
+func (sc *dtScope) eval(e ast.Expr) *taint {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := sc.lookup(e); obj != nil {
+			return sc.tainted[obj]
+		}
+	case *ast.CallExpr:
+		return sc.evalCall(e)
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			if sc.node.Pkg.PkgPath != concurrencyExemptPkg {
+				return realTaint("channel receive ordering", sc.pos(e.Pos()))
+			}
+			return nil
+		}
+		return sc.eval(e.X)
+	case *ast.BinaryExpr:
+		return mergeTaint(sc.eval(e.X), sc.eval(e.Y))
+	case *ast.IndexExpr:
+		sc.eval(e.Index)
+		return sc.eval(e.X)
+	case *ast.IndexListExpr:
+		return sc.eval(e.X)
+	case *ast.SelectorExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := sc.info.Uses[id].(*types.PkgName); isPkg {
+				return nil
+			}
+		}
+		return sc.eval(e.X)
+	case *ast.CompositeLit:
+		var t *taint
+		for _, elt := range e.Elts {
+			v := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			t = mergeTaint(t, sc.eval(v))
+		}
+		return t
+	case *ast.ParenExpr:
+		return sc.eval(e.X)
+	case *ast.StarExpr:
+		return sc.eval(e.X)
+	case *ast.SliceExpr:
+		return sc.eval(e.X)
+	case *ast.TypeAssertExpr:
+		return sc.eval(e.X)
+	case *ast.FuncLit:
+		sc.walkStmts(e.Body.List)
+	}
+	return nil
+}
+
+// launderCall reports whether a call is a sort/slices/maps canonical
+// ordering operation; as a side effect it clears the taint of sorted
+// arguments (sort.Strings(keys) sorts in place).
+func (sc *dtScope) launderCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := sc.info.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	path := pn.Imported().Path()
+	if path != "sort" && path != "slices" {
+		return false
+	}
+	if !strings.HasPrefix(sel.Sel.Name, "Sort") && !sortFuncs[sel.Sel.Name] {
+		return false
+	}
+	for _, arg := range call.Args {
+		base := arg
+		for {
+			if ix, ok := base.(*ast.IndexExpr); ok {
+				base = ix.X
+				continue
+			}
+			if s, ok := base.(*ast.SelectorExpr); ok {
+				base = s.X
+				continue
+			}
+			break
+		}
+		if bid, ok := base.(*ast.Ident); ok {
+			if obj := sc.lookup(bid); obj != nil {
+				delete(sc.tainted, obj)
+			}
+		}
+	}
+	return true
+}
+
+func (sc *dtScope) evalCall(call *ast.CallExpr) *taint {
+	if sc.launderCall(call) {
+		return nil
+	}
+	tv, isExpr := sc.info.Types[call.Fun]
+	if isExpr && tv.IsType() {
+		// Conversion: taint passes through unchanged.
+		if len(call.Args) == 1 {
+			return sc.eval(call.Args[0])
+		}
+		return nil
+	}
+	// Argument taints (and receiver for method calls), evaluated first
+	// so nested calls report their own sinks.
+	var argTaints []*taint
+	var allArgs *taint
+	for _, a := range call.Args {
+		t := sc.eval(a)
+		argTaints = append(argTaints, t)
+		allArgs = mergeTaint(allArgs, t)
+	}
+	var recv *taint
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if sc.info.Selections[sel] != nil {
+			recv = sc.eval(sel.X)
+		}
+	}
+
+	// Sources: banned wall-clock and process-seeded randomness calls.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := sc.info.Uses[id].(*types.PkgName); ok {
+				switch pn.Imported().Path() {
+				case "time":
+					if _, banned := bannedTime[sel.Sel.Name]; banned && !strings.HasSuffix(sc.node.Pkg.PkgPath, "/internal/walltime") {
+						return realTaint("wall clock time."+sel.Sel.Name, sc.pos(call.Pos()))
+					}
+				case "math/rand", "math/rand/v2":
+					if bannedRand[sel.Sel.Name] {
+						return realTaint("process-seeded rand."+sel.Sel.Name, sc.pos(call.Pos()))
+					}
+				case "fmt":
+					if emitFmt[sel.Sel.Name] {
+						sc.emit(call.Pos(), "fmt."+sel.Sel.Name, allArgs)
+						return nil
+					}
+					if sel.Sel.Name == "Errorf" {
+						return allArgs
+					}
+				}
+			}
+		}
+	}
+
+	// Values returned by the sanctioned walltime wrapper are wall-clock
+	// readings the moment they leave that package: the walltime analyzer
+	// lets the doorway exist, this one tracks what walks out of it.
+	if fn := calleeFunc(sc.info, call); fn != nil && fn.Pkg() != nil {
+		if p := fn.Pkg().Path(); strings.HasSuffix(p, "/internal/walltime") && sc.node.Pkg.PkgPath != p {
+			return realTaint("wall-clock value from walltime."+fn.Name(), sc.pos(call.Pos()))
+		}
+	}
+
+	// Sinks: ordered-output methods and the repo's digest/report writers.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		name := sel.Sel.Name
+		if namedSinks[name] || (emitNames[name] && sc.info.Selections[sel] != nil) {
+			if t := mergeTaint(recv, allArgs); t != nil {
+				sc.emit(call.Pos(), name, t)
+				return nil
+			}
+		}
+	}
+
+	// append: the result carries its arguments' taint. len/cap of a
+	// tainted collection are counts — order-independent — and stay
+	// clean, like numeric accumulation.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := sc.info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "append" {
+				return allArgs
+			}
+			return nil
+		}
+	}
+
+	// Module-internal callee: consult its summary.
+	if fn := calleeFunc(sc.info, call); fn != nil {
+		if sum, ok := sc.c.summaries[funcKey(fn)]; ok {
+			var out *taint
+			for i, t := range argTaints {
+				if t == nil {
+					continue
+				}
+				if sink, hit := sum.paramSink[i]; hit {
+					sc.emit(call.Pos(), sink+" (inside "+shortName(fn)+")", t)
+				}
+				if sum.paramRet[i] {
+					out = mergeTaint(out, t)
+				}
+			}
+			if sum.ret != nil {
+				out = mergeTaint(out, &taint{
+					src:   sum.ret.src,
+					where: sum.ret.where,
+					chain: append(append([]string{}, sum.ret.chain...), shortName(fn)),
+				})
+			}
+			// A method on a tainted receiver yields a tainted result;
+			// receiver flow inside the callee is not otherwise modeled.
+			return mergeTaint(out, recv)
+		}
+	}
+
+	// Unknown or stdlib call: assume purity — taint flows from
+	// arguments (and receiver) to result. Plain error results are
+	// control signals, not ordered payload (fmt.Errorf, which embeds
+	// its arguments, is handled above).
+	if rtv, ok := sc.info.Types[call]; ok && isControlType(rtv.Type) {
+		return nil
+	}
+	return mergeTaint(recv, allArgs)
+}
+
+// isControlType reports whether t is the universe error type or a bool:
+// values whose content signals success/failure rather than carrying
+// ordered payload.
+func isControlType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if n, ok := t.(*types.Named); ok && n.Obj().Name() == "error" && n.Obj().Pkg() == nil {
+		return true
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.Bool {
+		return true
+	}
+	return false
+}

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -17,6 +18,9 @@ import (
 // append, make/new, and map/slice literals. Blocks that end in panic
 // are treated as cold — a corruption guard may format its death
 // message.
+//
+// The body checks live in hotScan so the interprocedural hotpathflow
+// analyzer can run them in collect mode over unannotated callees.
 var HotpathAnalyzer = &Analyzer{
 	Name: "hotpath",
 	Doc:  "flag allocation-causing constructs in //wirecap:hotpath functions",
@@ -31,7 +35,8 @@ func runHotpath(pass *Pass) error {
 				continue
 			}
 			sig, _ := pass.Info.Defs[fd.Name].Type().(*types.Signature)
-			checkHotBody(pass, fd.Body, sig)
+			s := &hotScan{info: pass.Info, report: pass.Reportf}
+			s.checkBody(fd.Body, sig)
 		}
 	}
 	return nil
@@ -70,7 +75,27 @@ func coldRanges(body *ast.BlockStmt) [][2]token.Pos {
 	return out
 }
 
-func checkHotBody(pass *Pass, body *ast.BlockStmt, declSig *types.Signature) {
+// A hotScan runs the hot-path allocation checks over one function body,
+// reporting through a pluggable sink: the base analyzer wires report to
+// Pass.Reportf, while hotpathflow collects the findings to decide
+// whether an unannotated callee allocates.
+type hotScan struct {
+	info   *types.Info
+	report func(pos token.Pos, format string, args ...any)
+}
+
+// collectAllocs runs the hot-body checks in collect mode and returns
+// the raw findings.
+func collectAllocs(info *types.Info, body *ast.BlockStmt, sig *types.Signature) []Diagnostic {
+	var out []Diagnostic
+	s := &hotScan{info: info, report: func(pos token.Pos, format string, args ...any) {
+		out = append(out, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+	}}
+	s.checkBody(body, sig)
+	return out
+}
+
+func (s *hotScan) checkBody(body *ast.BlockStmt, declSig *types.Signature) {
 	cold := coldRanges(body)
 	inCold := func(pos token.Pos) bool {
 		for _, r := range cold {
@@ -97,50 +122,50 @@ func checkHotBody(pass *Pass, body *ast.BlockStmt, declSig *types.Signature) {
 		}
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			pass.Reportf(n.Pos(), "function literal in hot path allocates a closure; hoist it or pre-bind it (vtime.Timer pattern)")
+			s.report(n.Pos(), "function literal in hot path allocates a closure; hoist it or pre-bind it (vtime.Timer pattern)")
 		case *ast.CallExpr:
 			calledFun[n.Fun] = true
-			checkHotCall(pass, n)
+			s.checkCall(n)
 		case *ast.SelectorExpr:
 			if !calledFun[n] {
-				if sel := pass.Info.Selections[n]; sel != nil && sel.Kind() == types.MethodVal {
+				if sel := s.info.Selections[n]; sel != nil && sel.Kind() == types.MethodVal {
 					// A method value not being called is a bound-closure
 					// allocation (x.M as a value).
-					pass.Reportf(n.Pos(), "method value %s allocates a bound closure in hot path", types.ExprString(n))
+					s.report(n.Pos(), "method value %s allocates a bound closure in hot path", types.ExprString(n))
 				}
 			}
 		case *ast.BinaryExpr:
-			if n.Op == token.ADD && isStringType(pass.Info.Types[n].Type) {
-				pass.Reportf(n.Pos(), "string concatenation allocates in hot path")
+			if n.Op == token.ADD && isStringType(s.info.Types[n].Type) {
+				s.report(n.Pos(), "string concatenation allocates in hot path")
 			}
 		case *ast.AssignStmt:
-			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(pass.Info.Types[n.Lhs[0]].Type) {
-				pass.Reportf(n.Pos(), "string concatenation allocates in hot path")
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(s.info.Types[n.Lhs[0]].Type) {
+				s.report(n.Pos(), "string concatenation allocates in hot path")
 			}
-			checkHotAssign(pass, n)
+			s.checkAssign(n)
 		case *ast.ReturnStmt:
 			sig := declSig
 			for i := len(stack) - 2; i >= 0; i-- {
 				if lit, ok := stack[i].(*ast.FuncLit); ok {
-					sig, _ = pass.Info.Types[lit].Type.(*types.Signature)
+					sig, _ = s.info.Types[lit].Type.(*types.Signature)
 					break
 				}
 			}
-			checkHotReturn(pass, n, sig)
+			s.checkReturn(n, sig)
 		case *ast.CompositeLit:
-			t := pass.Info.Types[n].Type
+			t := s.info.Types[n].Type
 			if t == nil {
 				break
 			}
 			switch t.Underlying().(type) {
 			case *types.Map:
-				pass.Reportf(n.Pos(), "map literal allocates in hot path")
+				s.report(n.Pos(), "map literal allocates in hot path")
 			case *types.Slice:
-				pass.Reportf(n.Pos(), "slice literal allocates in hot path")
+				s.report(n.Pos(), "slice literal allocates in hot path")
 			case *types.Struct:
 				if len(stack) >= 2 {
 					if u, ok := stack[len(stack)-2].(*ast.UnaryExpr); ok && u.Op == token.AND {
-						pass.Reportf(u.Pos(), "&%s literal escapes and allocates in hot path", types.ExprString(n.Type))
+						s.report(u.Pos(), "&%s literal escapes and allocates in hot path", types.ExprString(n.Type))
 					}
 				}
 			}
@@ -148,10 +173,10 @@ func checkHotBody(pass *Pass, body *ast.BlockStmt, declSig *types.Signature) {
 			if n.Type == nil {
 				break
 			}
-			t := pass.Info.Types[n.Type].Type
+			t := s.info.Types[n.Type].Type
 			for _, v := range n.Values {
-				if boxes(pass, t, v) {
-					pass.Reportf(v.Pos(), "%s is implicitly converted to %s in hot path (interface boxing allocates)",
+				if s.boxes(t, v) {
+					s.report(v.Pos(), "%s is implicitly converted to %s in hot path (interface boxing allocates)",
 						types.ExprString(v), t.String())
 				}
 			}
@@ -160,35 +185,35 @@ func checkHotBody(pass *Pass, body *ast.BlockStmt, declSig *types.Signature) {
 	})
 }
 
-func checkHotCall(pass *Pass, call *ast.CallExpr) {
+func (s *hotScan) checkCall(call *ast.CallExpr) {
 	// fmt.* — always an allocation (and boxing) machine.
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 		if id, ok := sel.X.(*ast.Ident); ok {
-			if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
-				pass.Reportf(call.Pos(), "fmt.%s allocates and boxes its arguments in hot path", sel.Sel.Name)
+			if pn, ok := s.info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				s.report(call.Pos(), "fmt.%s allocates and boxes its arguments in hot path", sel.Sel.Name)
 				return
 			}
 		}
 	}
 	// Builtins.
 	if id, ok := call.Fun.(*ast.Ident); ok {
-		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+		if b, ok := s.info.Uses[id].(*types.Builtin); ok {
 			switch b.Name() {
 			case "append":
-				pass.Reportf(call.Pos(), "append in hot path may grow its backing array; preallocate or reuse pooled storage")
+				s.report(call.Pos(), "append in hot path may grow its backing array; preallocate or reuse pooled storage")
 			case "make":
 				if len(call.Args) == 1 {
-					pass.Reportf(call.Pos(), "unsized make(%s) in hot path allocates; size it and hoist it out of the hot path", types.ExprString(call.Args[0]))
+					s.report(call.Pos(), "unsized make(%s) in hot path allocates; size it and hoist it out of the hot path", types.ExprString(call.Args[0]))
 				} else {
-					pass.Reportf(call.Pos(), "make in hot path allocates per call; hoist or pool the buffer")
+					s.report(call.Pos(), "make in hot path allocates per call; hoist or pool the buffer")
 				}
 			case "new":
-				pass.Reportf(call.Pos(), "new in hot path allocates; reuse pooled objects")
+				s.report(call.Pos(), "new in hot path allocates; reuse pooled objects")
 			}
 			return
 		}
 	}
-	tv, ok := pass.Info.Types[call.Fun]
+	tv, ok := s.info.Types[call.Fun]
 	if !ok || tv.Type == nil {
 		return
 	}
@@ -198,12 +223,12 @@ func checkHotCall(pass *Pass, call *ast.CallExpr) {
 			return
 		}
 		to := tv.Type
-		from := pass.Info.Types[call.Args[0]].Type
+		from := s.info.Types[call.Args[0]].Type
 		switch {
-		case boxes(pass, to, call.Args[0]):
-			pass.Reportf(call.Pos(), "conversion to %s in hot path boxes (allocates)", to.String())
+		case s.boxes(to, call.Args[0]):
+			s.report(call.Pos(), "conversion to %s in hot path boxes (allocates)", to.String())
 		case isStringType(to) && isByteSlice(from), isByteSlice(to) && isStringType(from):
-			pass.Reportf(call.Pos(), "%s<->%s conversion copies and allocates in hot path", from.String(), to.String())
+			s.report(call.Pos(), "%s<->%s conversion copies and allocates in hot path", from.String(), to.String())
 		}
 		return
 	}
@@ -221,14 +246,14 @@ func checkHotCall(pass *Pass, call *ast.CallExpr) {
 		case i < params.Len():
 			pt = params.At(i).Type()
 		}
-		if boxes(pass, pt, arg) {
-			pass.Reportf(arg.Pos(), "argument %s is implicitly converted to %s in hot path (interface boxing allocates)",
+		if s.boxes(pt, arg) {
+			s.report(arg.Pos(), "argument %s is implicitly converted to %s in hot path (interface boxing allocates)",
 				types.ExprString(arg), pt.String())
 		}
 	}
 }
 
-func checkHotAssign(pass *Pass, as *ast.AssignStmt) {
+func (s *hotScan) checkAssign(as *ast.AssignStmt) {
 	if len(as.Lhs) != len(as.Rhs) {
 		return
 	}
@@ -236,7 +261,7 @@ func checkHotAssign(pass *Pass, as *ast.AssignStmt) {
 		var lt types.Type
 		if as.Tok == token.DEFINE {
 			if id, ok := lhs.(*ast.Ident); ok {
-				if obj := pass.Info.Defs[id]; obj != nil {
+				if obj := s.info.Defs[id]; obj != nil {
 					lt = obj.Type()
 				}
 			}
@@ -245,24 +270,24 @@ func checkHotAssign(pass *Pass, as *ast.AssignStmt) {
 			if lt == nil {
 				continue
 			}
-		} else if tv, ok := pass.Info.Types[lhs]; ok {
+		} else if tv, ok := s.info.Types[lhs]; ok {
 			lt = tv.Type
 		}
-		if boxes(pass, lt, as.Rhs[i]) {
-			pass.Reportf(as.Rhs[i].Pos(), "%s is implicitly converted to %s in hot path (interface boxing allocates)",
+		if s.boxes(lt, as.Rhs[i]) {
+			s.report(as.Rhs[i].Pos(), "%s is implicitly converted to %s in hot path (interface boxing allocates)",
 				types.ExprString(as.Rhs[i]), lt.String())
 		}
 	}
 }
 
-func checkHotReturn(pass *Pass, ret *ast.ReturnStmt, sig *types.Signature) {
+func (s *hotScan) checkReturn(ret *ast.ReturnStmt, sig *types.Signature) {
 	if sig == nil || len(ret.Results) != sig.Results().Len() {
 		return
 	}
 	for i, res := range ret.Results {
 		rt := sig.Results().At(i).Type()
-		if boxes(pass, rt, res) {
-			pass.Reportf(res.Pos(), "return value %s is implicitly converted to %s in hot path (interface boxing allocates)",
+		if s.boxes(rt, res) {
+			s.report(res.Pos(), "return value %s is implicitly converted to %s in hot path (interface boxing allocates)",
 				types.ExprString(res), rt.String())
 		}
 	}
@@ -271,11 +296,11 @@ func checkHotReturn(pass *Pass, ret *ast.ReturnStmt, sig *types.Signature) {
 // boxes reports whether assigning arg to a destination of type to would
 // convert a concrete value to an interface — a heap allocation on every
 // execution in the general case.
-func boxes(pass *Pass, to types.Type, arg ast.Expr) bool {
+func (s *hotScan) boxes(to types.Type, arg ast.Expr) bool {
 	if to == nil || !types.IsInterface(to) {
 		return false
 	}
-	tv, ok := pass.Info.Types[arg]
+	tv, ok := s.info.Types[arg]
 	if !ok || tv.Type == nil || tv.IsNil() {
 		return false
 	}

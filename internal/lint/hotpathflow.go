@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/types"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// HotpathFlowAnalyzer closes the gap the per-function hotpath analyzer
+// leaves open: a //wirecap:hotpath annotation guards only the annotated
+// body, so an annotated function could call an unannotated helper that
+// allocates freely and the suite would stay silent. This analyzer
+// propagates hotness transitively along the module call graph: for
+// every call site in an annotated function whose (module-internal,
+// unannotated) callee can reach an allocating construct — in its own
+// body or through further unannotated calls — the call site is a
+// finding, and the diagnostic spells out the offending chain down to
+// the allocation so the fix is obvious: annotate the chain (which puts
+// every body under the base hotpath checks) or hoist the allocation.
+//
+// Calls to annotated callees are not findings — those bodies are
+// already checked — and call sites inside panic-terminated (cold)
+// blocks are skipped, matching the base rule. Calls through interfaces
+// and function values have no static edge and are therefore not
+// traversed; the capture path's dispatch is direct calls and pre-bound
+// timers, so this under-approximation is the same one the runtime
+// AllocsPerRun budgets backstop.
+var HotpathFlowAnalyzer = &Analyzer{
+	Name:      "hotpathflow",
+	Doc:       "propagate //wirecap:hotpath along call edges and flag calls that reach allocations",
+	RunModule: runHotpathFlow,
+}
+
+// allocEvidence is why a function is considered allocating: the chain
+// of unannotated module functions from it down to the function whose
+// body holds the construct, plus the construct's own description.
+type allocEvidence struct {
+	chain []*CGNode
+	desc  string
+	where string // file:line of the allocating construct
+}
+
+type hotFlow struct {
+	mp    *ModulePass
+	memo  map[string]*allocEvidence
+	state map[string]int // 0 unvisited, 1 in progress, 2 done
+}
+
+func runHotpathFlow(mp *ModulePass) error {
+	hf := &hotFlow{mp: mp, memo: make(map[string]*allocEvidence), state: make(map[string]int)}
+	g := mp.Graph
+	for _, key := range g.SortedKeys() {
+		n := g.Nodes[key]
+		if !isHotpath(n.Decl) || testFile(mp.Module.Fset, n.Decl.Pos()) {
+			continue
+		}
+		for _, e := range n.Calls {
+			if e.Cold {
+				continue
+			}
+			callee, ok := g.Nodes[e.CalleeKey]
+			if !ok || isHotpath(callee.Decl) {
+				continue
+			}
+			ev := hf.reaches(callee)
+			if ev == nil {
+				continue
+			}
+			mp.Reportf(e.Pos,
+				"call to %s escapes the hot path: %s is not marked //wirecap:hotpath and reaches an allocation via %s (%s: %s); annotate the chain or hoist the allocation",
+				shortName(e.Callee), shortName(callee.Fn), renderChain(n, ev.chain), ev.where, ev.desc)
+		}
+	}
+	return nil
+}
+
+// reaches reports whether executing n can hit an allocating construct
+// without passing through an annotated (and therefore checked)
+// function. Cycles are cut by treating in-progress nodes as
+// non-allocating — a cycle allocates only if some node on it does,
+// which that node's own visit discovers.
+func (hf *hotFlow) reaches(n *CGNode) *allocEvidence {
+	if hf.state[n.Key] == 1 {
+		return nil
+	}
+	if hf.state[n.Key] == 2 {
+		return hf.memo[n.Key]
+	}
+	hf.state[n.Key] = 1
+	ev := hf.localAlloc(n)
+	if ev == nil {
+		for _, e := range n.Calls {
+			if e.Cold {
+				continue
+			}
+			callee, ok := hf.mp.Graph.Nodes[e.CalleeKey]
+			if !ok || isHotpath(callee.Decl) {
+				continue
+			}
+			if sub := hf.reaches(callee); sub != nil {
+				ev = &allocEvidence{
+					chain: append([]*CGNode{n}, sub.chain...),
+					desc:  sub.desc,
+					where: sub.where,
+				}
+				break
+			}
+		}
+	}
+	hf.state[n.Key] = 2
+	hf.memo[n.Key] = ev
+	return ev
+}
+
+// localAlloc runs the base hotpath body checks in collect mode and
+// returns the first allocating construct, if any.
+func (hf *hotFlow) localAlloc(n *CGNode) *allocEvidence {
+	sig, _ := n.Fn.Type().(*types.Signature)
+	allocs := collectAllocs(n.Pkg.Info, n.Decl.Body, sig)
+	if len(allocs) == 0 {
+		return nil
+	}
+	pos := hf.mp.Module.Fset.Position(allocs[0].Pos)
+	desc := allocs[0].Message
+	// The base-rule messages end in hot-path phrasing; keep only the
+	// construct description so the chain diagnostic reads naturally.
+	if i := strings.Index(desc, " in hot path"); i > 0 {
+		desc = desc[:i]
+	}
+	return &allocEvidence{
+		chain: []*CGNode{n},
+		desc:  desc,
+		where: filepath.Base(pos.Filename) + ":" + strconv.Itoa(pos.Line),
+	}
+}
+
+func renderChain(root *CGNode, chain []*CGNode) string {
+	var b strings.Builder
+	b.WriteString(shortName(root.Fn))
+	for _, n := range chain {
+		b.WriteString(" -> ")
+		b.WriteString(shortName(n.Fn))
+	}
+	return b.String()
+}

@@ -40,12 +40,16 @@ import (
 )
 
 // An Analyzer describes one rule: a name (used in //wirelint:allow
-// directives and -rules selections), documentation, and a Run function
-// invoked once per loaded package.
+// directives and -rules selections), documentation, and exactly one of
+// two run functions. Run is invoked once per loaded package and sees a
+// single type-checked unit; RunModule is invoked once per module with
+// the whole package set and the shared call graph — the interprocedural
+// analyzers (hotpathflow, determinism, conservation) use this form.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) error
+	Name      string
+	Doc       string
+	Run       func(*Pass) error
+	RunModule func(*ModulePass) error
 }
 
 // A Pass carries one analyzer's view of one type-checked package.
@@ -62,6 +66,29 @@ type Pass struct {
 
 // Reportf records a diagnostic at pos attributed to the pass's analyzer.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     pos,
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// A ModulePass carries one module analyzer's view of the whole loaded
+// module: every analysis unit plus the shared call graph (built once
+// and reused across module analyzers).
+type ModulePass struct {
+	Analyzer *Analyzer
+	Module   *Module
+	Graph    *CallGraph
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos attributed to the pass's
+// analyzer. The runner routes it to the package owning pos's file, so
+// //wirelint:allow directives apply exactly as they do for per-package
+// analyzers.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:     pos,
 		Rule:    p.Analyzer.Name,
@@ -92,9 +119,14 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.File, f.Line, f.Col, f.Message, f.Rule)
 }
 
-// Analyzers returns the full wirelint suite in reporting order.
+// Analyzers returns the full wirelint suite in reporting order: the
+// five per-package analyzers followed by the three interprocedural
+// ones.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{WalltimeAnalyzer, MaporderAnalyzer, HotpathAnalyzer, LockAnalyzer, ConcurrencyAnalyzer}
+	return []*Analyzer{
+		WalltimeAnalyzer, MaporderAnalyzer, HotpathAnalyzer, LockAnalyzer, ConcurrencyAnalyzer,
+		HotpathFlowAnalyzer, DeterminismAnalyzer, ConservationAnalyzer,
+	}
 }
 
 // KnownRules returns the rule names valid in //wirelint:allow

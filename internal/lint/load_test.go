@@ -41,20 +41,72 @@ func TestModuleClean(t *testing.T) {
 		}
 	}
 
-	// The flight recorder's allow count is pinned: the 9 committed
-	// exemptions are all in the single-host packet-trace store (obs.go).
-	// The fleet observability plane — journeys, health sampler, ledger,
-	// merge — was built without any; a new allow in internal/obs means a
-	// hot-path append crept in where a bounded or off-path structure
-	// belongs, and needs a design look, not a directive.
+	// The flight recorder's allow count is pinned: the 11 committed
+	// exemptions are all in the single-host packet-trace store (obs.go) —
+	// 9 from the original fence plus the two the interprocedural pass
+	// surfaced (the journal append in Recorder.Action and the sampled
+	// flow label in PktArrive). The fleet observability plane —
+	// journeys, health sampler, ledger, merge — was built without any; a
+	// new allow in internal/obs means a hot-path append crept in where a
+	// bounded or off-path structure belongs, and needs a design look,
+	// not a directive.
 	obsAllows := 0
 	for _, f := range sum.AllowedList {
 		if strings.Contains(f.File, "internal/obs/") {
 			obsAllows++
 		}
 	}
-	if obsAllows != 9 {
-		t.Errorf("internal/obs carries %d allow directives, pinned at 9: "+
+	if obsAllows != 11 {
+		t.Errorf("internal/obs carries %d allow directives, pinned at 11: "+
 			"new observability code must pass the fence by construction", obsAllows)
+	}
+}
+
+// allowBudget pins the exact number of allowlisted exceptions per
+// package tree. Every entry is a deliberate, reasoned triage; the
+// budget makes adding one a visible, reviewed act (bump the number
+// here alongside the directive) and deleting code that carried one
+// equally visible. Trees not listed must carry zero.
+var allowBudget = map[string]int{
+	"internal/core":     14,
+	"internal/obs":      11,
+	"internal/engines":  10,
+	"internal/mem":      9,
+	"internal/vtime":    3,
+	"cmd/ci-gate":       4,
+	"internal/walltime": 2,
+}
+
+// TestAllowBudget enforces the per-package allow budget over the whole
+// module using the same allow inventory `wirelint -json` emits.
+func TestAllowBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	m, err := LoadModule("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sum, err := Run(m, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]int)
+	for _, f := range sum.AllowedList {
+		dir := f.File
+		if i := strings.LastIndex(dir, "/"); i >= 0 {
+			dir = dir[:i]
+		}
+		got[dir]++
+	}
+	for dir, want := range allowBudget {
+		if got[dir] != want {
+			t.Errorf("%s has %d allowlisted exceptions, budget is %d", dir, got[dir], want)
+		}
+	}
+	for dir, n := range got {
+		if _, budgeted := allowBudget[dir]; !budgeted {
+			t.Errorf("%s has %d allowlisted exceptions but no budget entry; zero is the default", dir, n)
+		}
 	}
 }

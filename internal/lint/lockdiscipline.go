@@ -23,7 +23,14 @@ import (
 //     or pool lock would cause;
 //   - functions whose name ends in "Locked" (the convention for
 //     run-with-lock-held helpers) must not call locking methods of
-//     their own receiver at all.
+//     their own receiver at all;
+//   - RWMutex read paths follow the same all-paths release rule, and
+//     cross-mode acquisitions on one RWMutex — Lock while the read
+//     side is held (the RLock-then-Lock upgrade) or RLock while the
+//     write side is held — are flagged as self-deadlocks, directly and
+//     through calls to locking methods, deferred releases included:
+//     sync.RWMutex blocks new readers once a writer queues, so the
+//     upgrade hangs against the caller's own read hold.
 //
 // The path analysis is deliberately conservative: branch-local locking
 // is tracked within the branch, and states merge by intersection, so a
@@ -48,7 +55,8 @@ type lockChecker struct {
 	pass *Pass
 	// locking maps a method object to the receiver-relative path of the
 	// mutex it (transitively) acquires, e.g. ".mu" — or "" when the
-	// mutex is embedded in the receiver itself.
+	// mutex is embedded in the receiver itself — with a "/r" suffix
+	// when the acquisition is the read side (RLock).
 	locking map[*types.Func]string
 	inLoop  bool
 }
@@ -157,6 +165,9 @@ func lockingMethods(pass *Pass) map[*types.Func]string {
 					obj := s.Obj()
 					if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && (obj.Name() == "Lock" || obj.Name() == "RLock") {
 						if rel, hit := recvRel(m.recv, sel.X); hit {
+							if obj.Name() == "RLock" {
+								rel += "/r"
+							}
 							found, ok = rel, true
 							return false
 						}
@@ -493,6 +504,23 @@ func (c *lockChecker) scanExpr(e ast.Expr, held map[string]*heldLock) {
 					c.pass.Reportf(n.Pos(), "%s is locked again while already held (locked at line %d)",
 						strings.TrimSuffix(key, "/r"), c.pass.Fset.Position(h.pos).Line)
 				}
+				// Cross-mode acquisitions on the same RWMutex self-deadlock
+				// regardless of deferred releases: the deferred RUnlock or
+				// Unlock runs only after the blocking acquire would have
+				// returned. sync.RWMutex blocks new readers once a writer
+				// waits, so Lock-after-RLock (the read-to-write upgrade)
+				// and RLock-after-Lock both hang the calling goroutine.
+				if base, isRead := strings.CutSuffix(key, "/r"); isRead {
+					if h, exists := held[base]; exists {
+						c.pass.Reportf(n.Pos(), "%s.RLock() while %s.Lock() is held (locked at line %d) — read-locking a write-held mutex self-deadlocks",
+							base, base, c.pass.Fset.Position(h.pos).Line)
+					}
+				} else {
+					if h, exists := held[key+"/r"]; exists {
+						c.pass.Reportf(n.Pos(), "%s.Lock() upgrades the read lock held since line %d — RLock-then-Lock self-deadlocks once a writer queues; release the RLock first",
+							key, c.pass.Fset.Position(h.pos).Line)
+					}
+				}
 				held[key] = &heldLock{pos: n.Pos(), acquiredHere: true}
 			case unlock:
 				delete(held, key)
@@ -520,11 +548,27 @@ func (c *lockChecker) checkReacquire(call *ast.CallExpr, held map[string]*heldLo
 		return
 	}
 	key := types.ExprString(sel.X) + rel
-	if h, heldNow := held[key]; heldNow && !strings.HasSuffix(key, "/r") {
-		_ = h
+	if _, heldNow := held[key]; heldNow && !strings.HasSuffix(key, "/r") {
 		c.pass.Reportf(call.Pos(),
 			"%s.%s re-acquires %s, which is already held here — self-deadlock (registration/pool calls must not run under this lock)",
 			types.ExprString(sel.X), sel.Sel.Name, key)
+		return
+	}
+	// Cross-mode deadlocks through a callee: a method that write-locks a
+	// mutex whose read side the caller holds hangs on the upgrade, and a
+	// method that read-locks a write-held mutex hangs behind ourselves.
+	if base, isRead := strings.CutSuffix(key, "/r"); isRead {
+		if _, heldNow := held[base]; heldNow {
+			c.pass.Reportf(call.Pos(),
+				"%s.%s read-locks %s, whose write lock is already held here — self-deadlock",
+				types.ExprString(sel.X), sel.Sel.Name, base)
+		}
+	} else {
+		if _, heldNow := held[key+"/r"]; heldNow {
+			c.pass.Reportf(call.Pos(),
+				"%s.%s write-locks %s while this function holds its read lock — RLock-then-Lock self-deadlocks; release the RLock before calling",
+				types.ExprString(sel.X), sel.Sel.Name, key)
+		}
 	}
 }
 

@@ -35,11 +35,49 @@ func Run(m *Module, azs []*Analyzer) ([]Finding, Summary, error) {
 		ByRule:        make(map[string]int),
 		AllowedByRule: make(map[string]int),
 	}
+	// Module analyzers report anywhere in the module; their diagnostics
+	// are routed to the package owning the diagnostic's file so that
+	// package's //wirelint:allow directives apply.
+	fileOwner := make(map[string]*Package)
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			name := m.Fset.Position(f.Pos()).Filename
+			if _, taken := fileOwner[name]; !taken {
+				fileOwner[name] = pkg
+			}
+		}
+	}
+	pkgDiags := make(map[*Package][]Diagnostic)
+	var moduleDiags []Diagnostic
+	var graph *CallGraph
+	for _, a := range azs {
+		if a.RunModule == nil {
+			continue
+		}
+		if graph == nil {
+			graph = BuildCallGraph(m)
+		}
+		mp := &ModulePass{Analyzer: a, Module: m, Graph: graph, diags: &moduleDiags}
+		if err := a.RunModule(mp); err != nil {
+			return nil, sum, fmt.Errorf("lint: %s: %w", a.Name, err)
+		}
+	}
+	for _, d := range moduleDiags {
+		pkg := fileOwner[m.Fset.Position(d.Pos).Filename]
+		if pkg == nil && len(m.Pkgs) > 0 {
+			pkg = m.Pkgs[0]
+		}
+		pkgDiags[pkg] = append(pkgDiags[pkg], d)
+	}
+
 	var live []Finding
 	seen := make(map[string]bool)
 	for _, pkg := range m.Pkgs {
-		var diags []Diagnostic
+		diags := pkgDiags[pkg]
 		for _, a := range azs {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     m.Fset,
@@ -63,6 +101,13 @@ func Run(m *Module, azs []*Analyzer) ([]Finding, Summary, error) {
 			if a := dirs.match(pos.Filename, pos.Line, d.Rule); a != nil {
 				f.Allowed = true
 				f.Reason = a.reason
+				// Dedup like live findings: a package re-analyzed as an
+				// in-package test unit must not double its inventory.
+				key := f.String()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
 				sum.Allowed++
 				sum.AllowedByRule[d.Rule]++
 				sum.AllowedList = append(sum.AllowedList, f)

@@ -1,0 +1,108 @@
+package fix
+
+// Fixture for conservation: every drop-counter mutation must be
+// post-dominated by exactly one obs ledger attribution. Matching is by
+// method name (fixtures import only the standard library), so a local
+// ledger type with the obs.Recorder method names exercises the same
+// code path the capture plane does.
+
+type ledger struct{}
+
+func (ledger) DropN(cause string, n uint64)        {}
+func (ledger) AbandonQueue(cause string, n uint64) {}
+func (ledger) JourneyDrop(cause string)            {}
+
+// Cause constants mirror the obs DropCause naming convention.
+const (
+	DropBus           = "bus"
+	DropQueueHang     = "queue-hang"
+	DropHostLostCrash = "host-lost-crash"
+)
+
+type stats struct {
+	wireDropped    uint64
+	captureDropped uint64
+	hostLost       uint64
+	lostPerHost    map[string]uint64
+	CaptureDrops   uint64
+	delivered      uint64
+}
+
+// attributed is the canonical shape: mutate, then charge the ledger
+// once with a cause.
+func (s *stats) attributed(led ledger) {
+	s.wireDropped++
+	led.DropN(DropBus, 1)
+}
+
+// unattributed counts a drop the ledger never hears about.
+func (s *stats) unattributed() {
+	s.wireDropped++ // want `drop counter s\.wireDropped is mutated without an obs ledger attribution; exactly one DropN/PendingDrop/DescDrop/ChunkDrop/AbandonQueue must post-dominate the mutation`
+	s.delivered++
+}
+
+// doubleCharged books one drop twice: the gate equality would read
+// high on the ledger side.
+func (s *stats) doubleCharged(led ledger) {
+	s.wireDropped++ // want `drop counter s\.wireDropped is attributed to the obs ledger 2 times in its window; exactly one attribution must post-dominate the mutation`
+	led.DropN(DropBus, 1)
+	led.DropN(DropBus, 1)
+}
+
+// causeDisagreement: a journey hook may accompany the ledger call but
+// must name the same cause.
+func (s *stats) causeDisagreement(led ledger) {
+	s.wireDropped++ // want `attributions for drop counter s\.wireDropped disagree on cause: DropBus vs DropQueueHang`
+	led.DropN(DropBus, 1)
+	led.JourneyDrop(DropQueueHang)
+}
+
+// journeyAlongside: same cause on both is fine, and the journey hook
+// does not count toward the exactly-one ledger requirement.
+func (s *stats) journeyAlongside(led ledger) {
+	s.captureDropped++
+	led.DropN(DropQueueHang, 1)
+	led.JourneyDrop(DropQueueHang)
+}
+
+// consecutiveCounters: a total and its per-host breakdown form one
+// accounting site sharing one attribution window.
+func (s *stats) consecutiveCounters(led ledger, host string) {
+	s.hostLost++
+	s.lostPerHost[host]++
+	led.DropN(DropHostLostCrash, 1)
+}
+
+// aggregationCopy sums counters for a report; copies whose RHS reads
+// the same-named field are not drop sites.
+func (s *stats) aggregationCopy(q *stats) {
+	s.CaptureDrops += q.CaptureDrops
+}
+
+// chargeDrop pairs its own mutation with a direct ledger call, which
+// also makes it a depth-one ledger-writing helper for callers.
+func (s *stats) chargeDrop(led ledger) {
+	s.wireDropped++
+	led.DropN(DropBus, 1)
+}
+
+// viaHelper attributes through the helper instead of a direct call.
+func (s *stats) viaHelper(led ledger) {
+	s.captureDropped++
+	s.chargeDrop(led)
+}
+
+// orphanAttribution charges the ledger with no preceding counter: a
+// drop attributed but counted nowhere breaks the partition from the
+// other side.
+func (s *stats) orphanAttribution(led ledger) {
+	s.delivered++
+	led.AbandonQueue(DropQueueHang, 3) // want `obs AbandonQueue attribution has no preceding drop-counter mutation in this scope`
+}
+
+// allowedOrphan documents the triage path: an allow directive with a
+// reason keeps the exception visible in the inventory.
+func (s *stats) allowedOrphan(led ledger) {
+	//wirelint:allow conservation fixture demonstrates a reasoned exception
+	led.DropN(DropBus, 2)
+}

@@ -1,0 +1,106 @@
+package fix
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Fixture for determinism: taint from nondeterminism sources through
+// assignments, returns, and call edges into ordered sinks. The
+// walltime-package-boundary source has no stdlib analogue and is
+// exercised by the real-module triage instead (cmd/ci-gate).
+
+// mapRangeDirect is the canonical finding: map iteration order printed
+// as-is.
+func mapRangeDirect(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `nondeterministic value reaches ordered sink fmt.Println: iteration order of map m at a\.go:\d+; sort or canonicalize before emitting`
+	}
+}
+
+// mapRangeSorted launders through sort.Strings: collecting keys and
+// sorting them canonicalizes the order, so no finding.
+func mapRangeSorted(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k)
+	}
+}
+
+// lenOfMapRange: counts are order-independent even when the collection
+// was filled in map order.
+func lenOfMapRange(m map[string]int) {
+	var got []string
+	for k := range m {
+		got = append(got, k)
+	}
+	fmt.Println(len(got))
+}
+
+// wallClock taints through an intermediate assignment.
+func wallClock(b *strings.Builder) {
+	stamp := time.Now().String()
+	b.WriteString(stamp) // want `nondeterministic value reaches ordered sink WriteString: wall clock time.Now at a\.go:\d+; sort or canonicalize before emitting`
+}
+
+// unseededRand is a source even without assignment chains.
+func unseededRand() {
+	fmt.Printf("jitter=%d\n", rand.Int()) // want `nondeterministic value reaches ordered sink fmt.Printf: process-seeded rand.Int at a\.go:\d+; sort or canonicalize before emitting`
+}
+
+// chanReceive: select/receive ordering is scheduler-dependent outside
+// the virtual-time domain package.
+func chanReceive(ch chan string) {
+	v := <-ch
+	fmt.Println(v) // want `nondeterministic value reaches ordered sink fmt.Println: channel receive ordering at a\.go:\d+; sort or canonicalize before emitting`
+}
+
+// firstKey returns a map-order-dependent value: the taint is recorded
+// in the function summary and surfaces at the caller's sink.
+func firstKey(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+func printFirstKey(m map[string]int) {
+	fmt.Println(firstKey(m)) // want `nondeterministic value reaches ordered sink fmt.Println: iteration order of map m at a\.go:\d+ via firstKey; sort or canonicalize before emitting`
+}
+
+// emitLabel sinks its parameter: callers passing tainted values get
+// the finding at their call site, attributed through the summary.
+func emitLabel(label string) {
+	fmt.Println(label)
+}
+
+func emitMapKeys(m map[string]int) {
+	for k := range m {
+		emitLabel(k) // want `nondeterministic value reaches ordered sink fmt.Println \(inside emitLabel\): iteration order of map m at a\.go:\d+; sort or canonicalize before emitting`
+	}
+}
+
+// passThrough forwards its parameter to its return: taint flows
+// param -> return -> caller sink across two summary edges.
+func passThrough(s string) string { return s }
+
+func printThrough(m map[string]int) {
+	for k := range m {
+		fmt.Println(passThrough(k)) // want `nondeterministic value reaches ordered sink fmt.Println: iteration order of map m at a\.go:\d+; sort or canonicalize before emitting`
+	}
+}
+
+// allowed documents a triaged exception: the directive suppresses the
+// finding and the allow inventory records the reason.
+func allowed(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) //wirelint:allow determinism fixture demonstrates a reasoned exception
+	}
+}

@@ -1,0 +1,63 @@
+package fix
+
+// Fixture for hotpathflow: transitive hot-path propagation along the
+// module call graph. The base hotpath rule is not run here, so only
+// call-edge findings appear.
+
+var sink int
+
+// capture is the annotated hot-path entry; its call edges are checked.
+//
+//wirecap:hotpath
+func capture(vals []int) int {
+	n := stamp(vals)         // want `call to stamp escapes the hot path: stamp is not marked //wirecap:hotpath and reaches an allocation via capture -> stamp \(a\.go:\d+: append\)`
+	n += throughMiddle(vals) // want `call to throughMiddle escapes the hot path: throughMiddle is not marked //wirecap:hotpath and reaches an allocation via capture -> throughMiddle -> middle -> leafAlloc \(a\.go:\d+: append\)`
+	n += cleanHelper(n)
+	n += annotatedCallee(vals)
+	if n < 0 {
+		// Cold block: panic-terminated, so this edge is exempt.
+		stamp(vals)
+		panic("negative")
+	}
+	return n
+}
+
+// stamp allocates directly and is not annotated: calling it from a hot
+// function is a finding at the call site.
+func stamp(vals []int) int {
+	grown := append(vals, 1)
+	return len(grown)
+}
+
+// throughMiddle -> middle -> leafAlloc: the chain diagnostic names
+// every unannotated hop down to the allocating body.
+func throughMiddle(vals []int) int { return middle(vals) }
+
+func middle(vals []int) int { return leafAlloc(vals) }
+
+func leafAlloc(vals []int) int {
+	grown := append(vals, 2)
+	return len(grown)
+}
+
+// cleanHelper neither allocates nor calls an allocator: calling it
+// from a hot function is fine without annotation.
+func cleanHelper(n int) int {
+	sink += n
+	return sink
+}
+
+// annotatedCallee is itself hot-path annotated, so its body is the
+// base rule's responsibility and the edge into it is never a finding —
+// even though its callee chain would otherwise count as allocating.
+//
+//wirecap:hotpath
+func annotatedCallee(vals []int) int {
+	return len(vals)
+}
+
+// throughMiddle is reused here outside any hot path; unannotated
+// callers get no findings no matter what their callees do.
+func coldCaller(vals []int) int {
+	return throughMiddle(vals) + stamp(vals)
+}

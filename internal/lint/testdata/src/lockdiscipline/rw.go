@@ -1,0 +1,126 @@
+package fix
+
+import "sync"
+
+// RWMutex read-path discipline: RLock follows the same
+// release-on-all-paths rule as Lock, and cross-mode acquisitions on
+// one RWMutex self-deadlock.
+
+type cache struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// readOK is the canonical RLock/defer-RUnlock shape.
+func (c *cache) readOK(k string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m[k]
+}
+
+// readBothPaths releases the read lock inline on every path.
+func (c *cache) readBothPaths(k string) int {
+	c.mu.RLock()
+	if v, ok := c.m[k]; ok {
+		c.mu.RUnlock()
+		return v
+	}
+	c.mu.RUnlock()
+	return 0
+}
+
+// readMissingUnlock never releases the read side.
+func (c *cache) readMissingUnlock(k string) {
+	c.mu.RLock() // want `c\.mu\.RLock\(\) is not released on every path`
+	_ = c.m[k]
+}
+
+// readLeakOnEarlyReturn releases only on the miss path.
+func (c *cache) readLeakOnEarlyReturn(k string) int {
+	c.mu.RLock()
+	if v, ok := c.m[k]; ok {
+		return v // want `return while c\.mu is held`
+	}
+	c.mu.RUnlock()
+	return 0
+}
+
+// recursiveRead deadlocks if a writer queues between the two RLocks:
+// sync.RWMutex blocks new readers once a writer waits.
+func (c *cache) recursiveRead() {
+	c.mu.RLock()
+	c.mu.RLock() // want `c\.mu is locked again while already held`
+	c.mu.RUnlock()
+	c.mu.RUnlock()
+}
+
+// upgrade is the RLock-then-Lock self-upgrade: the Lock waits for
+// readers to drain, and this goroutine is one of them.
+func (c *cache) upgrade(k string) {
+	c.mu.RLock()
+	c.mu.Lock() // want `c\.mu\.Lock\(\) upgrades the read lock held since line \d+ — RLock-then-Lock self-deadlocks`
+	c.m[k] = 1
+	c.mu.Unlock()
+	c.mu.RUnlock()
+}
+
+// upgradeUnderDefer still deadlocks: the deferred RUnlock runs only
+// after the Lock would have returned.
+func (c *cache) upgradeUnderDefer(k string) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.mu.Lock() // want `c\.mu\.Lock\(\) upgrades the read lock held since line \d+ — RLock-then-Lock self-deadlocks`
+	c.m[k] = 1
+	c.mu.Unlock()
+}
+
+// readUnderWrite hangs behind our own write hold.
+func (c *cache) readUnderWrite(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mu.RLock() // want `c\.mu\.RLock\(\) while c\.mu\.Lock\(\) is held \(locked at line \d+\) — read-locking a write-held mutex self-deadlocks`
+	v := c.m[k]
+	c.mu.RUnlock()
+	return v
+}
+
+// writeSet is a write-locking method: calling it with the read lock
+// held is the interprocedural form of the upgrade deadlock.
+func (c *cache) writeSet(k string, v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[k] = v
+}
+
+func (c *cache) upgradeViaMethod(k string) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if _, ok := c.m[k]; !ok {
+		c.writeSet(k, 1) // want `c\.writeSet write-locks c\.mu while this function holds its read lock — RLock-then-Lock self-deadlocks`
+	}
+}
+
+// getShared is a read-locking method: calling it under the write lock
+// hangs behind ourselves.
+func (c *cache) getShared(k string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m[k]
+}
+
+func (c *cache) readViaMethodUnderWrite(k string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[k] = c.getShared(k) + 1 // want `c\.getShared read-locks c\.mu, whose write lock is already held here — self-deadlock`
+}
+
+// handoffOK: independent read sections back to back are fine.
+func (c *cache) handoffOK(k string) int {
+	c.mu.RLock()
+	v := c.m[k]
+	c.mu.RUnlock()
+	c.mu.Lock()
+	c.m[k] = v + 1
+	c.mu.Unlock()
+	return v
+}

@@ -469,9 +469,11 @@ func (p *Pool) Recycle(m Meta) error {
 // PendingCount packets it throws away as reclaim drops before calling.
 // Chunks with outstanding transmit references cannot be reclaimed (the
 // wire still reads their cells).
+//
+//wirecap:hotpath
 func (p *Pool) Reclaim(c *Chunk) error {
 	if c.pool != p || c.state == StateFree || c.refs > 0 {
-		return fmt.Errorf("%w: %v state %v refs %d", ErrBadReclaim, c.id, c.state, c.refs)
+		return fmt.Errorf("%w: %v state %v refs %d", ErrBadReclaim, c.id, c.state, c.refs) //wirelint:allow hotpath rejection path is cold; runs once per invalid reclaim
 	}
 	if p.trace != nil {
 		p.trace.Action("pool_reclaim", p.nicID, p.ringID, int64(c.PendingCount()), p.traceNow())
@@ -479,7 +481,7 @@ func (p *Pool) Reclaim(c *Chunk) error {
 	c.state = StateFree
 	c.count = 0
 	c.base = 0
-	p.free = append(p.free, c)
+	p.free = append(p.free, c) //wirelint:allow hotpath free list capacity R is preallocated at pool construction
 	p.stats.Reclaimed++
 	return nil
 }

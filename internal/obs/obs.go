@@ -439,7 +439,7 @@ func (r *Recorder) PktArrive(nic, queue int, flow packet.FlowKey, frameLen int, 
 		return
 	}
 	r.pkts = append(r.pkts, PacketTrace{ //wirelint:allow hotpath trace store is bounded by MaxPackets; recorder is opt-in per run
-		ID: id, Flow: flow, FlowS: flow.String(), Hash: r.cfg.FlowHash(flow),
+		ID: id, Flow: flow, FlowS: flow.String(), Hash: r.cfg.FlowHash(flow), //wirelint:allow hotpathflow flow label formatted once per sampled packet on traced runs only
 		NIC: nic, Queue: queue, Len: frameLen,
 		Stamps: []StageStamp{{Stage: StageWire, At: ts}}, //wirelint:allow hotpath per sampled packet on traced runs only
 	})
@@ -829,11 +829,13 @@ func (r *Recorder) FaultClose(kind string, nic, queue int, ts vtime.Time) {
 
 // Action records an annotated recovery/pool event. kind must be a
 // constant string at the call site (no fmt on hot paths).
+//
+//wirecap:hotpath
 func (r *Recorder) Action(kind string, nic, queue int, arg int64, ts vtime.Time) {
 	if r == nil {
 		return
 	}
-	r.actions = append(r.actions, ActionRecord{At: ts, Kind: kind, NIC: nic, Queue: queue, Arg: arg})
+	r.actions = append(r.actions, ActionRecord{At: ts, Kind: kind, NIC: nic, Queue: queue, Arg: arg}) //wirelint:allow hotpath action journal grows amortized; recorder is opt-in per run
 }
 
 // StageCost charges d virtual nanoseconds to the (engine, queue,

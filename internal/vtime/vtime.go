@@ -192,11 +192,13 @@ func (s *Scheduler) Cancel(id EventID) bool {
 
 // compact removes every stale entry and restores the heap property with a
 // bottom-up (Floyd) rebuild.
+//
+//wirecap:hotpath
 func (s *Scheduler) compact() {
 	kept := s.heap[:0]
 	for _, e := range s.heap {
 		if s.slots[e.slot].gen == e.gen {
-			kept = append(kept, e)
+			kept = append(kept, e) //wirelint:allow hotpath compaction reuses the backing array via kept[:0]
 		}
 	}
 	s.heap = kept
@@ -344,8 +346,11 @@ func lessEntry(a, b entry) bool {
 	return a.seq < b.seq
 }
 
+// push inserts an entry, sifting up from the new leaf.
+//
+//wirecap:hotpath
 func (s *Scheduler) push(e entry) {
-	s.heap = append(s.heap, e)
+	s.heap = append(s.heap, e) //wirelint:allow hotpath slot pool grows amortized; steady state pops the free list
 	i := len(s.heap) - 1
 	for i > 0 {
 		p := (i - 1) / 4
